@@ -1,0 +1,40 @@
+//! Figure 5 regeneration bench: one full simulated run (workload build +
+//! every scheduling phase + execution) per processor count, for both
+//! RT-SADS and D-COLS.
+//!
+//! Criterion reports the time to regenerate each figure point; the measured
+//! deadline hit ratios are printed once per point so the bench doubles as a
+//! smoke regeneration of the figure's series.
+
+use bench_support::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsads::Algorithm;
+use std::hint::black_box;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_scalability");
+    group.sample_size(10);
+    for algorithm in [Algorithm::rt_sads(), Algorithm::d_cols()] {
+        for workers in [2usize, 6, 10] {
+            let report = run_once(workers, 0.3, algorithm.clone(), 0);
+            println!(
+                "# fig5 point: {} P={workers} -> hit ratio {:.4}",
+                algorithm.name(),
+                report.hit_ratio()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), workers),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        black_box(run_once(workers, 0.3, algorithm.clone(), 0).hits)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

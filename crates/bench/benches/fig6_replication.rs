@@ -1,0 +1,34 @@
+//! Figure 6 regeneration bench: one full simulated run per replication
+//! rate at 10 processors, for both RT-SADS and D-COLS.
+
+use bench_support::run_once;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtsads::Algorithm;
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_replication");
+    group.sample_size(10);
+    for algorithm in [Algorithm::rt_sads(), Algorithm::d_cols()] {
+        for rate_pct in [10u32, 50, 100] {
+            let rate = rate_pct as f64 / 100.0;
+            let report = run_once(10, rate, algorithm.clone(), 0);
+            println!(
+                "# fig6 point: {} R={rate_pct}% -> hit ratio {:.4}",
+                algorithm.name(),
+                report.hit_ratio()
+            );
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), rate_pct),
+                &rate,
+                |b, &rate| {
+                    b.iter(|| black_box(run_once(10, rate, algorithm.clone(), 0).hits));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

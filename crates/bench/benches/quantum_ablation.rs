@@ -1,0 +1,35 @@
+//! Ext. B bench: end-to-end runs under the self-adjusting quantum versus
+//! fixed quanta (the paper's Section 4.2 mechanism).
+
+use bench_support::{bench_driver, bench_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paragon_des::Duration;
+use rtsads::{Algorithm, Driver, QuantumPolicy};
+use std::hint::black_box;
+
+fn quantum(c: &mut Criterion) {
+    let workers = 6;
+    let mut group = c.benchmark_group("quantum_ablation");
+    group.sample_size(10);
+    let policies: [(&str, QuantumPolicy); 3] = [
+        ("self_adjusting", QuantumPolicy::self_adjusting()),
+        ("fixed_1ms", QuantumPolicy::Fixed(Duration::from_millis(1))),
+        ("fixed_25ms", QuantumPolicy::Fixed(Duration::from_millis(25))),
+    ];
+    for (label, policy) in policies {
+        let built = bench_workload(workers, 0.3, 0);
+        let config = bench_driver(workers, Algorithm::rt_sads()).quantum(policy);
+        let report = Driver::new(config.clone()).run(built.tasks.clone());
+        println!("# quantum {label}: hit ratio {:.4}", report.hit_ratio());
+        group.bench_function(BenchmarkId::new("rt_sads", label), |b| {
+            b.iter(|| {
+                let built = bench_workload(workers, 0.3, 0);
+                black_box(Driver::new(config.clone()).run(built.tasks).hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, quantum);
+criterion_main!(benches);

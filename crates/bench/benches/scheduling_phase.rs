@@ -1,0 +1,60 @@
+//! Microbenchmark of one scheduling phase: how fast the search engine
+//! turns a batch into a feasible schedule under each representation, and
+//! how the baselines compare at the same job.
+
+use bench_support::synthetic_batch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paragon_des::{Duration, SimRng, Time};
+use paragon_platform::{HostParams, SchedulingMeter};
+use rt_task::{CommModel, ResourceEats};
+use rtsads::Algorithm;
+use sched_search::Pruning;
+use std::hint::black_box;
+
+fn phase(c: &mut Criterion) {
+    let workers = 8;
+    let comm = CommModel::constant(Duration::from_millis(2));
+    let mut group = c.benchmark_group("scheduling_phase");
+    for n in [50usize, 150, 400] {
+        let tasks = synthetic_batch(n, workers);
+        let initial = vec![Time::ZERO; workers];
+        group.throughput(Throughput::Elements(n as u64));
+        for algorithm in [
+            Algorithm::rt_sads(),
+            Algorithm::d_cols(),
+            Algorithm::GreedyEdf,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), n),
+                &tasks,
+                |b, tasks| {
+                    b.iter(|| {
+                        // an effectively unbounded quantum: profile the raw
+                        // search, bounded by the vertex cap
+                        let mut meter = SchedulingMeter::new(
+                            HostParams::new(Duration::from_micros(1)),
+                            Duration::from_secs(10),
+                        );
+                        let mut rng = SimRng::seed_from(7);
+                        let out = algorithm.schedule_phase(
+                            tasks,
+                            &comm,
+                            &initial,
+                            Time::ZERO,
+                            Some(200_000),
+                            Pruning::default(),
+                            &ResourceEats::new(),
+                            &mut meter,
+                            &mut rng,
+                        );
+                        black_box(out.assignments.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase);
+criterion_main!(benches);

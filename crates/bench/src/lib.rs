@@ -1,0 +1,101 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target regenerates (a scaled slice of) one paper figure or
+//! profiles one scheduler component; the fixtures here keep the workload and
+//! platform parameters identical across targets so numbers are comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use paragon_des::{Duration, Time};
+use rt_task::Task;
+use rt_workload::{BuiltScenario, Scenario};
+use rtsads::{Algorithm, Driver, DriverConfig, RunReport};
+
+pub use experiments::config::{comm_model, host_params};
+
+/// Transactions per benchmark run — small enough for tight iteration, large
+/// enough that batches exercise real search depth.
+pub const BENCH_TRANSACTIONS: usize = 150;
+
+/// The benchmark scenario: the paper's configuration at bench scale.
+#[must_use]
+pub fn bench_scenario(workers: usize, replication: f64) -> Scenario {
+    Scenario::paper_defaults()
+        .workers(workers)
+        .transactions(BENCH_TRANSACTIONS)
+        .replication_rate(replication)
+}
+
+/// Builds the benchmark workload deterministically.
+#[must_use]
+pub fn bench_workload(workers: usize, replication: f64, seed: u64) -> BuiltScenario {
+    bench_scenario(workers, replication).build(seed)
+}
+
+/// A driver with the calibrated platform constants.
+#[must_use]
+pub fn bench_driver(workers: usize, algorithm: Algorithm) -> DriverConfig {
+    DriverConfig::new(workers, algorithm)
+        .comm(comm_model())
+        .host(host_params())
+}
+
+/// Runs one complete simulation (the unit of the figure benches).
+#[must_use]
+pub fn run_once(workers: usize, replication: f64, algorithm: Algorithm, seed: u64) -> RunReport {
+    let built = bench_workload(workers, replication, seed);
+    Driver::new(bench_driver(workers, algorithm).seed(seed)).run(built.tasks)
+}
+
+/// A synthetic independent task batch for the search microbenchmarks:
+/// uniform processing times with deadlines `10x` cost, one-third of the
+/// tasks pinned to a single processor.
+#[must_use]
+pub fn synthetic_batch(n: usize, workers: usize) -> Vec<Task> {
+    use rt_task::{AffinitySet, ProcessorId, TaskId};
+    (0..n)
+        .map(|i| {
+            let p = Duration::from_micros(100 + (i as u64 % 7) * 50);
+            let affinity = if i % 3 == 0 {
+                AffinitySet::from_iter([ProcessorId::new(i % workers)])
+            } else {
+                AffinitySet::all(workers)
+            };
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .deadline(Time::ZERO + p * 10)
+                .affinity(affinity)
+                .build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        let a = bench_workload(4, 0.3, 1);
+        let b = bench_workload(4, 0.3, 1);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.tasks.len(), BENCH_TRANSACTIONS);
+    }
+
+    #[test]
+    fn run_once_is_consistent() {
+        let report = run_once(4, 0.3, Algorithm::rt_sads(), 2);
+        assert!(report.is_consistent());
+        assert_eq!(report.executed_misses, 0);
+    }
+
+    #[test]
+    fn synthetic_batch_shape() {
+        let batch = synthetic_batch(30, 5);
+        assert_eq!(batch.len(), 30);
+        assert!(batch.iter().all(|t| !t.processing_time().is_zero()));
+        let pinned = batch.iter().filter(|t| t.affinity().len() == 1).count();
+        assert_eq!(pinned, 10);
+    }
+}

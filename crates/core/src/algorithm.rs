@@ -1,0 +1,489 @@
+//! The scheduling algorithms: RT-SADS, D-COLS, and sanity baselines.
+
+use paragon_des::{SimRng, Time};
+use paragon_platform::SchedulingMeter;
+use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
+use sched_search::{
+    search_schedule, ChildOrder, PathState, ProcessorOrder, Pruning, Representation,
+    SearchOutcome, SearchParams, SearchStats, TaskOrder, Termination,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which scheduler runs the phases.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's contribution: assignment-oriented search (Figure 2) with
+    /// a per-level task ordering and heuristic successor ordering.
+    RtSads {
+        /// Which task each tree level considers.
+        task_order: TaskOrder,
+        /// Successor ordering (the load-balancing cost function by default).
+        child_order: ChildOrder,
+    },
+    /// The sequence-oriented baseline (Figure 1), Distributed Continuous
+    /// On-Line Scheduling, reconstructed from the paper's description: same
+    /// quantum formula and feasibility test, different representation.
+    DCols {
+        /// Which processor each tree level serves.
+        processor_order: ProcessorOrder,
+        /// Successor ordering (EDF over the remaining tasks by default).
+        child_order: ChildOrder,
+        /// Whether a blocked level may advance to the next processor
+        /// (ablation variant; the paper's D-COLS dead-ends instead).
+        skip_processors: bool,
+    },
+    /// Greedy earliest-deadline-first list scheduling without backtracking:
+    /// each task goes to the feasible processor with the earliest
+    /// completion. A classical non-search baseline.
+    GreedyEdf,
+    /// The myopic algorithm of Ramamritham, Stankovic and Zhao (the paper's
+    /// references \[3\]/\[6\]): feasibility window, integrating heuristic
+    /// `H = d + W·EST`, limited backtracking. See [`Algorithm::myopic`].
+    Myopic {
+        /// Feasibility-window size `K`.
+        window: usize,
+        /// Heuristic weight `W`, in percent (100 = 1.0).
+        weight_pct: u32,
+        /// Backtracks allowed per phase.
+        max_backtracks: u32,
+    },
+    /// Each task goes to a uniformly random *feasible* processor. The floor
+    /// any informed scheduler must beat.
+    RandomAssign,
+}
+
+impl Algorithm {
+    /// Canonical RT-SADS: EDF task order, load-balancing cost function.
+    #[must_use]
+    pub fn rt_sads() -> Self {
+        Algorithm::RtSads {
+            task_order: TaskOrder::EarliestDeadline,
+            child_order: ChildOrder::LoadBalance,
+        }
+    }
+
+    /// Canonical D-COLS: round-robin processors, EDF successor ordering, no
+    /// processor skipping.
+    #[must_use]
+    pub fn d_cols() -> Self {
+        Algorithm::DCols {
+            processor_order: ProcessorOrder::RoundRobin,
+            child_order: ChildOrder::EarliestDeadline,
+            skip_processors: false,
+        }
+    }
+
+    /// The D-COLS ablation variant that may advance past a blocked
+    /// processor instead of dead-ending.
+    #[must_use]
+    pub fn d_cols_skipping() -> Self {
+        Algorithm::DCols {
+            processor_order: ProcessorOrder::RoundRobin,
+            child_order: ChildOrder::EarliestDeadline,
+            skip_processors: true,
+        }
+    }
+
+    /// The classical myopic configuration: window of 7 tasks, unit
+    /// heuristic weight, 8 backtracks per phase.
+    #[must_use]
+    pub fn myopic() -> Self {
+        Algorithm::Myopic {
+            window: 7,
+            weight_pct: 100,
+            max_backtracks: 8,
+        }
+    }
+
+    /// A short human-readable name for tables and figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::RtSads { child_order, .. } => match child_order {
+                ChildOrder::LoadBalance => "RT-SADS",
+                ChildOrder::EarliestCompletion => "RT-SADS/greedy-order",
+                ChildOrder::EarliestDeadline => "RT-SADS/edf-order",
+                ChildOrder::None => "RT-SADS/no-cost",
+            },
+            Algorithm::DCols {
+                processor_order,
+                skip_processors,
+                ..
+            } => match (processor_order, skip_processors) {
+                (ProcessorOrder::RoundRobin, false) => "D-COLS",
+                (ProcessorOrder::RoundRobin, true) => "D-COLS/skip",
+                (ProcessorOrder::FillFirst, false) => "D-COLS/fill-first",
+                (ProcessorOrder::FillFirst, true) => "D-COLS/fill-first-skip",
+            },
+            Algorithm::GreedyEdf => "Greedy-EDF",
+            Algorithm::Myopic { .. } => "Myopic",
+            Algorithm::RandomAssign => "Random",
+        }
+    }
+
+    /// Runs one scheduling phase over `tasks` and returns the (partial)
+    /// schedule. `initial_finish[k]` is `max(busy_until_k, t_s + Q_s(j))`;
+    /// `meter` charges and bounds the scheduling time; `pruning` applies the
+    /// Section-3 bounds to the search-based algorithms (the one-pass
+    /// baselines ignore it); `rng` is only used by
+    /// [`Algorithm::RandomAssign`].
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn schedule_phase(
+        &self,
+        tasks: &[Task],
+        comm: &CommModel,
+        initial_finish: &[Time],
+        now: Time,
+        vertex_cap: Option<u64>,
+        pruning: Pruning,
+        resources: &ResourceEats,
+        meter: &mut SchedulingMeter,
+        rng: &mut SimRng,
+    ) -> SearchOutcome {
+        match self {
+            Algorithm::RtSads {
+                task_order,
+                child_order,
+            } => {
+                let repr = Representation::AssignmentOriented {
+                    task_order: *task_order,
+                };
+                let params = SearchParams {
+                    tasks,
+                    comm,
+                    initial_finish,
+                    representation: &repr,
+                    child_order: *child_order,
+                    now,
+                    vertex_cap,
+                    pruning,
+                    resources: resources.clone(),
+                };
+                search_schedule(&params, meter)
+            }
+            Algorithm::DCols {
+                processor_order,
+                child_order,
+                skip_processors,
+            } => {
+                let repr = Representation::SequenceOriented {
+                    processor_order: *processor_order,
+                    skip_processors: *skip_processors,
+                };
+                let params = SearchParams {
+                    tasks,
+                    comm,
+                    initial_finish,
+                    representation: &repr,
+                    child_order: *child_order,
+                    now,
+                    vertex_cap,
+                    pruning,
+                    resources: resources.clone(),
+                };
+                search_schedule(&params, meter)
+            }
+            Algorithm::GreedyEdf => greedy_edf(tasks, comm, initial_finish, now, resources, meter),
+            Algorithm::Myopic {
+                window,
+                weight_pct,
+                max_backtracks,
+            } => crate::myopic::myopic_phase(
+                tasks,
+                comm,
+                initial_finish,
+                now,
+                resources,
+                *window,
+                *weight_pct,
+                *max_backtracks,
+                meter,
+            ),
+            Algorithm::RandomAssign => random_assign(tasks, comm, initial_finish, resources, meter, rng),
+        }
+    }
+}
+
+/// List scheduling: EDF order, each task to its feasible
+/// earliest-completion processor, never undone.
+fn greedy_edf(
+    tasks: &[Task],
+    comm: &CommModel,
+    initial_finish: &[Time],
+    now: Time,
+    resources: &ResourceEats,
+    meter: &mut SchedulingMeter,
+) -> SearchOutcome {
+    let order = TaskOrder::EarliestDeadline.order(tasks, now);
+    one_pass(tasks, comm, initial_finish, resources, meter, order, |cands| {
+        cands.iter().min_by_key(|&&(_, completion)| completion).copied()
+    })
+}
+
+/// Each task to a uniformly random feasible processor.
+fn random_assign(
+    tasks: &[Task],
+    comm: &CommModel,
+    initial_finish: &[Time],
+    resources: &ResourceEats,
+    meter: &mut SchedulingMeter,
+    rng: &mut SimRng,
+) -> SearchOutcome {
+    let order: Vec<usize> = (0..tasks.len()).collect();
+    one_pass(tasks, comm, initial_finish, resources, meter, order, |cands| {
+        if cands.is_empty() {
+            None
+        } else {
+            Some(*rng.choose(cands))
+        }
+    })
+}
+
+/// Shared single-pass (no-backtracking) scheduler skeleton for the two
+/// baselines; `pick` chooses among the feasible `(processor, completion)`
+/// candidates of one task.
+fn one_pass(
+    tasks: &[Task],
+    comm: &CommModel,
+    initial_finish: &[Time],
+    resources: &ResourceEats,
+    meter: &mut SchedulingMeter,
+    order: Vec<usize>,
+    mut pick: impl FnMut(&[(usize, Time)]) -> Option<(usize, Time)>,
+) -> SearchOutcome {
+    let mut state =
+        PathState::with_resources(initial_finish.to_vec(), tasks.len(), resources.clone());
+    let mut stats = SearchStats::default();
+    let mut skipped_any = false;
+    let mut exhausted = false;
+
+    'outer: for &t in &order {
+        stats.expansions += 1;
+        let mut feasible: Vec<(usize, Time)> = Vec::new();
+        for p in ProcessorId::all(state.processors()) {
+            if !meter.charge_vertex() {
+                stats.vertices_generated += 1;
+                exhausted = true;
+                break 'outer;
+            }
+            stats.vertices_generated += 1;
+            let completion = state.completion_if(tasks, comm, t, p);
+            if tasks[t].meets_deadline(completion) {
+                stats.feasible_children += 1;
+                feasible.push((p.index(), completion));
+            } else {
+                stats.infeasible_children += 1;
+            }
+        }
+        if let Some((p, _)) = pick(&feasible) {
+            state.apply(tasks, comm, t, ProcessorId::new(p));
+            stats.deepest = state.depth();
+        } else {
+            skipped_any = true;
+        }
+    }
+
+    let termination = if exhausted {
+        Termination::QuantumExhausted
+    } else if skipped_any {
+        Termination::DeadEnd
+    } else {
+        Termination::Leaf
+    };
+    SearchOutcome {
+        assignments: state.into_assignments(),
+        termination,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+    use paragon_platform::HostParams;
+    use rt_task::{AffinitySet, TaskId};
+
+    fn mk_task(id: u64, p_us: u64, d_us: u64, aff_all: usize) -> Task {
+        Task::builder(TaskId::new(id))
+            .processing_time(Duration::from_micros(p_us))
+            .deadline(Time::from_micros(d_us))
+            .affinity(AffinitySet::all(aff_all))
+            .build()
+    }
+
+    fn free_meter() -> SchedulingMeter {
+        SchedulingMeter::new(HostParams::free(), Duration::ZERO)
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Algorithm::rt_sads().name(),
+            Algorithm::d_cols().name(),
+            Algorithm::GreedyEdf.name(),
+            Algorithm::RandomAssign.name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(Algorithm::rt_sads().name(), "RT-SADS");
+        assert_eq!(Algorithm::d_cols().name(), "D-COLS");
+    }
+
+    #[test]
+    fn rt_sads_balances_equal_tasks() {
+        let tasks: Vec<Task> = (0..4).map(|i| mk_task(i, 100, 100_000, 2)).collect();
+        let comm = CommModel::free();
+        let initial = [Time::ZERO; 2];
+        let mut rng = SimRng::seed_from(0);
+        let out = Algorithm::rt_sads().schedule_phase(
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            Some(10_000),
+            Pruning::default(),
+            &ResourceEats::new(),
+            &mut free_meter(),
+            &mut rng,
+        );
+        assert_eq!(out.termination, Termination::Leaf);
+        assert_eq!(out.processors_used(), 2);
+        // perfectly balanced: two tasks per processor, makespan 200
+        let makespan = out.assignments.iter().map(|a| a.completion).max().unwrap();
+        assert_eq!(makespan, Time::from_micros(200));
+    }
+
+    #[test]
+    fn greedy_edf_schedules_in_deadline_order() {
+        let tasks = vec![
+            mk_task(0, 100, 100_000, 1),
+            mk_task(1, 100, 50_000, 1),
+            mk_task(2, 100, 200_000, 1),
+        ];
+        let comm = CommModel::free();
+        let initial = [Time::ZERO];
+        let mut rng = SimRng::seed_from(0);
+        let out = Algorithm::GreedyEdf.schedule_phase(
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            None,
+            Pruning::default(),
+            &ResourceEats::new(),
+            &mut free_meter(),
+            &mut rng,
+        );
+        assert_eq!(out.termination, Termination::Leaf);
+        let order: Vec<usize> = out.assignments.iter().map(|a| a.task).collect();
+        assert_eq!(order, vec![1, 0, 2], "EDF picks task 1 first");
+    }
+
+    #[test]
+    fn greedy_edf_skips_infeasible_and_reports_dead_end() {
+        let tasks = vec![mk_task(0, 100, 50, 1), mk_task(1, 100, 100_000, 1)];
+        let comm = CommModel::free();
+        let initial = [Time::ZERO];
+        let mut rng = SimRng::seed_from(0);
+        let out = Algorithm::GreedyEdf.schedule_phase(
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            None,
+            Pruning::default(),
+            &ResourceEats::new(),
+            &mut free_meter(),
+            &mut rng,
+        );
+        assert_eq!(out.termination, Termination::DeadEnd);
+        assert_eq!(out.assignments.len(), 1);
+        assert_eq!(out.assignments[0].task, 1);
+    }
+
+    #[test]
+    fn random_assign_is_deterministic_per_seed_and_feasible() {
+        let tasks: Vec<Task> = (0..8).map(|i| mk_task(i, 100, 100_000, 3)).collect();
+        let comm = CommModel::free();
+        let initial = [Time::ZERO; 3];
+        let run = |seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            Algorithm::RandomAssign.schedule_phase(
+                &tasks,
+                &comm,
+                &initial,
+                Time::ZERO,
+                None,
+                Pruning::default(),
+                &ResourceEats::new(),
+                &mut free_meter(),
+                &mut rng,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.assignments, b.assignments);
+        for asg in &a.assignments {
+            assert!(tasks[asg.task].meets_deadline(asg.completion));
+        }
+        assert_eq!(a.termination, Termination::Leaf);
+        // different seeds usually differ
+        let c = run(8);
+        assert!(
+            a.assignments != c.assignments || a.assignments.len() == c.assignments.len(),
+            "sanity"
+        );
+    }
+
+    #[test]
+    fn baselines_respect_the_meter() {
+        let tasks: Vec<Task> = (0..100).map(|i| mk_task(i, 100, 1_000_000, 2)).collect();
+        let comm = CommModel::free();
+        let initial = [Time::ZERO; 2];
+        let mut meter = SchedulingMeter::new(
+            HostParams::new(Duration::from_micros(1)),
+            Duration::from_micros(9),
+        );
+        let mut rng = SimRng::seed_from(0);
+        let out = Algorithm::GreedyEdf.schedule_phase(
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            None,
+            Pruning::default(),
+            &ResourceEats::new(),
+            &mut meter,
+            &mut rng,
+        );
+        assert_eq!(out.termination, Termination::QuantumExhausted);
+        // 9 vertex charges = 4 tasks fully evaluated (2 procs each) + 1 cut
+        assert!(out.assignments.len() <= 5);
+        assert!(!out.assignments.is_empty());
+    }
+
+    #[test]
+    fn d_cols_uses_sequence_representation() {
+        let tasks: Vec<Task> = (0..4).map(|i| mk_task(i, 100, 100_000, 2)).collect();
+        let comm = CommModel::free();
+        let initial = [Time::ZERO; 2];
+        let mut rng = SimRng::seed_from(0);
+        let out = Algorithm::d_cols().schedule_phase(
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            Some(10_000),
+            Pruning::default(),
+            &ResourceEats::new(),
+            &mut free_meter(),
+            &mut rng,
+        );
+        assert_eq!(out.termination, Termination::Leaf);
+        assert_eq!(out.processors_used(), 2, "round-robin spreads the tasks");
+    }
+}

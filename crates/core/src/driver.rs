@@ -1,0 +1,535 @@
+//! The end-to-end scheduler/executor loop: batches, phases, dispatch.
+//!
+//! The driver realizes the concurrency structure of Section 4: while the
+//! working processors execute the previously delivered schedule `S_j`, the
+//! host processor runs scheduling phase `j+1` over `Batch(j+1)`. In virtual
+//! time this becomes a sequential loop — compute phase `j` at `t_s`, charge
+//! its scheduling time, deliver `S_j` at `t_e = t_s + consumed`, repeat —
+//! which is exact because worker queues are FIFO, non-preemptive and
+//! append-only.
+
+use std::collections::HashSet;
+
+use paragon_des::trace::{TraceEvent, TraceSink, Tracer};
+use paragon_des::{Duration, SimRng, Time};
+use paragon_platform::{Dispatch, HostParams, Machine, MachineConfig, SchedulingMeter};
+use rt_task::{Batch, CommModel, Task, TaskId};
+
+use sched_search::Pruning;
+
+use crate::algorithm::Algorithm;
+use crate::quantum::QuantumPolicy;
+use crate::report::{PhaseRecord, RunReport};
+
+/// Configuration of one simulation run.
+///
+/// Construct with [`DriverConfig::new`] and chain the setters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    workers: usize,
+    comm: CommModel,
+    host: HostParams,
+    quantum: QuantumPolicy,
+    algorithm: Algorithm,
+    vertex_cap: Option<u64>,
+    pruning: Pruning,
+    seed: u64,
+}
+
+impl DriverConfig {
+    /// A configuration with `workers` working processors running
+    /// `algorithm`, free communication, default host cost, the paper's
+    /// self-adjusting quantum and a defensive vertex cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn new(workers: usize, algorithm: Algorithm) -> Self {
+        assert!(workers > 0, "at least one working processor required");
+        DriverConfig {
+            workers,
+            comm: CommModel::free(),
+            host: HostParams::default(),
+            quantum: QuantumPolicy::self_adjusting(),
+            algorithm,
+            vertex_cap: Some(2_000_000),
+            pruning: Pruning::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the interconnect cost model.
+    #[must_use]
+    pub fn comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Sets the host (scheduling) cost parameters.
+    #[must_use]
+    pub fn host(mut self, host: HostParams) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Sets the scheduling-time allocation policy.
+    #[must_use]
+    pub fn quantum(mut self, quantum: QuantumPolicy) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets (or disables) the per-phase vertex cap that guards unbounded
+    /// searches when the host's vertex cost is zero.
+    #[must_use]
+    pub fn vertex_cap(mut self, cap: Option<u64>) -> Self {
+        self.vertex_cap = cap;
+        self
+    }
+
+    /// Applies Section-3 pruning bounds (depth bound, backtrack limit) to
+    /// the search-based algorithms.
+    #[must_use]
+    pub fn pruning(mut self, pruning: Pruning) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Sets the seed for algorithms that randomize (and only those).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured number of working processors.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured algorithm.
+    #[must_use]
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+}
+
+/// Runs a task set to completion under one configuration.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    config: DriverConfig,
+}
+
+impl Driver {
+    /// Creates a driver.
+    #[must_use]
+    pub fn new(config: DriverConfig) -> Self {
+        Driver { config }
+    }
+
+    /// Simulates the full lifetime of `tasks`: every task is eventually
+    /// either executed (and, by the paper's theorem, meets its deadline) or
+    /// dropped once its deadline can no longer be met.
+    ///
+    /// Deterministic: identical inputs and seed produce identical reports.
+    #[must_use]
+    pub fn run(&self, tasks: Vec<Task>) -> RunReport {
+        self.run_traced(tasks, &mut Tracer::disabled())
+    }
+
+    /// Like [`Driver::run`], but emits [`TraceEvent`]s to `tracer` as the
+    /// simulation progresses: phase boundaries, drops, and task
+    /// start/completion (completion events are emitted at delivery time,
+    /// timestamped with their — possibly later — execution instants).
+    #[must_use]
+    pub fn run_traced(&self, mut tasks: Vec<Task>, tracer: &mut impl TraceSink) -> RunReport {
+        let cfg = &self.config;
+        let mut machine = Machine::new(MachineConfig {
+            workers: cfg.workers,
+            comm: cfg.comm,
+        });
+        let mut rng = SimRng::seed_from(cfg.seed);
+        tasks.sort_by_key(|t| (t.arrival(), t.id()));
+        let total_tasks = tasks.len();
+
+        // The quantum floor guarantees progress: at least one full expansion
+        // (workers + 1 vertex evaluations) fits in every phase, and time
+        // advances by at least `min_step` per phase.
+        let min_quantum = cfg.host.vertex_eval_cost * (cfg.workers as u64 + 1);
+        let min_step = Duration::from_micros(1).max(cfg.host.vertex_eval_cost);
+
+        let mut cursor = 0;
+        let mut batch = Batch::new(0);
+        let mut now = Time::ZERO;
+        let mut phases: Vec<PhaseRecord> = Vec::new();
+        let mut dropped_total = 0usize;
+
+        loop {
+            // Ingest everything that has arrived by `now`.
+            while cursor < tasks.len() && tasks[cursor].arrival() <= now {
+                batch.push(tasks[cursor].clone());
+                cursor += 1;
+            }
+            if batch.is_empty() {
+                if cursor >= tasks.len() {
+                    break;
+                }
+                // Idle until the next arrival.
+                now = tasks[cursor].arrival();
+                continue;
+            }
+
+            // Phase j starts at t_s = now.
+            let phase_no = batch.phase();
+            let started = now;
+            let dropped = batch.drop_expired(started);
+            dropped_total += dropped.len();
+            if tracer.enabled() {
+                for t in &dropped.dropped {
+                    tracer.emit(started, TraceEvent::TaskDropped { task: t.id().as_u64() });
+                }
+            }
+            if batch.is_empty() {
+                // Everything expired; loop back (arrivals or exit).
+                continue;
+            }
+
+            let quantum = cfg
+                .quantum
+                .allocate(&batch, started, &machine)
+                .max(min_quantum);
+            if tracer.enabled() {
+                tracer.emit(
+                    started,
+                    TraceEvent::PhaseStarted {
+                        phase: phase_no,
+                        batch_len: batch.len(),
+                        quantum,
+                    },
+                );
+            }
+            let mut meter = SchedulingMeter::new(cfg.host, quantum);
+            let exec_bound = started + quantum;
+            let initial_finish: Vec<Time> = machine
+                .iter_workers()
+                .map(|w| w.busy_until().max(exec_bound))
+                .collect();
+
+            let outcome = cfg.algorithm.schedule_phase(
+                batch.tasks(),
+                &cfg.comm,
+                &initial_finish,
+                started,
+                cfg.vertex_cap,
+                cfg.pruning,
+                &machine.resource_eats().clone(),
+                &mut meter,
+                &mut rng,
+            );
+
+            let consumed = meter.consumed().max(min_step);
+            let ended = started + consumed;
+
+            let dispatches: Vec<Dispatch> = outcome
+                .assignments
+                .iter()
+                .map(|a| Dispatch {
+                    task: batch.tasks()[a.task].clone(),
+                    processor: a.processor,
+                })
+                .collect();
+            let scheduled_ids: HashSet<TaskId> =
+                dispatches.iter().map(|d| d.task.id()).collect();
+            let scheduled = dispatches.len();
+            let records = machine.deliver(dispatches, ended);
+            batch.remove_scheduled(&scheduled_ids);
+            if tracer.enabled() {
+                tracer.emit(
+                    ended,
+                    TraceEvent::PhaseEnded {
+                        phase: phase_no,
+                        scheduled,
+                        consumed,
+                        vertices: outcome.stats.vertices_generated,
+                    },
+                );
+                for r in &records {
+                    tracer.emit(
+                        r.start,
+                        TraceEvent::TaskStarted {
+                            task: r.task.as_u64(),
+                            processor: r.processor.index(),
+                        },
+                    );
+                    tracer.emit(
+                        r.completion,
+                        TraceEvent::TaskCompleted {
+                            task: r.task.as_u64(),
+                            processor: r.processor.index(),
+                            met_deadline: r.met_deadline,
+                        },
+                    );
+                }
+            }
+
+            phases.push(PhaseRecord {
+                phase: phase_no,
+                started,
+                batch_len: batch.len() + scheduled,
+                dropped: dropped.len(),
+                quantum,
+                consumed,
+                vertices: outcome.stats.vertices_generated,
+                backtracks: outcome.stats.backtracks,
+                deepest: outcome.stats.deepest,
+                scheduled,
+                processors_used: outcome.processors_used(),
+                termination: outcome.termination,
+            });
+
+            batch = batch.into_next(Vec::new());
+            now = ended;
+
+            // Fast-forward through provably idle stretches. If the phase
+            // scheduled nothing, the next phase faces an identical problem:
+            // between arrivals and batch expiries, the planned execution
+            // start `t_s + Q_s(j)` is constant (`Q_s` terms are
+            // `min(d_l − t − p_l)` and `min(busy_k − t)`, so `t + Q_s` is
+            // `max(min(d_l − p_l), min busy_k)`), hence the deterministic
+            // search repeats its outcome exactly. Jump to the next event
+            // that changes the problem: an arrival or a task expiry.
+            if scheduled == 0 {
+                let next_arrival = tasks.get(cursor).map(|t| t.arrival());
+                let next_expiry = batch
+                    .iter()
+                    .map(|t| (t.deadline() - t.processing_time()) + Duration::from_micros(1))
+                    .min();
+                let jump = match (next_arrival, next_expiry) {
+                    (Some(a), Some(e)) => Some(a.min(e)),
+                    (Some(a), None) => Some(a),
+                    (None, Some(e)) => Some(e),
+                    (None, None) => None,
+                };
+                if let Some(target) = jump {
+                    now = now.max(target);
+                }
+            }
+        }
+
+        let hits = machine.deadline_hits();
+        let completions = machine.completions().to_vec();
+        let executed_misses = completions.len() - hits;
+        let finished_at = completions
+            .iter()
+            .map(|c| c.completion)
+            .max()
+            .unwrap_or(now);
+        RunReport {
+            algorithm: cfg.algorithm.name().to_string(),
+            total_tasks,
+            hits,
+            dropped: dropped_total,
+            executed_misses,
+            completions,
+            phases,
+            workers_used: machine.workers_used(),
+            worker_busy: machine.iter_workers().map(|w| w.busy_time()).collect(),
+            finished_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_task::{AffinitySet, ProcessorId};
+
+    fn mk_task(id: u64, p_ms: u64, a_ms: u64, d_ms: u64, workers: usize) -> Task {
+        Task::builder(TaskId::new(id))
+            .processing_time(Duration::from_millis(p_ms))
+            .arrival(Time::from_millis(a_ms))
+            .deadline(Time::from_millis(d_ms))
+            .affinity(AffinitySet::all(workers))
+            .build()
+    }
+
+    #[test]
+    fn empty_task_set_runs_to_empty_report() {
+        let report = Driver::new(DriverConfig::new(2, Algorithm::rt_sads())).run(vec![]);
+        assert_eq!(report.total_tasks, 0);
+        assert_eq!(report.hits, 0);
+        assert!(report.phases.is_empty());
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn all_feasible_tasks_hit_their_deadlines() {
+        let tasks: Vec<Task> = (0..20).map(|i| mk_task(i, 1, 0, 200, 4)).collect();
+        let report = Driver::new(DriverConfig::new(4, Algorithm::rt_sads())).run(tasks);
+        assert_eq!(report.hits, 20);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.executed_misses, 0);
+        assert!(report.is_consistent());
+        assert!((report.hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_no_scheduled_task_misses() {
+        // Overloaded: 50 tasks x 5ms on 2 workers with 30ms deadlines.
+        // Many will be dropped, but none that executes may miss.
+        let tasks: Vec<Task> = (0..50).map(|i| mk_task(i, 5, 0, 30, 2)).collect();
+        for algorithm in [Algorithm::rt_sads(), Algorithm::d_cols()] {
+            let report = Driver::new(DriverConfig::new(2, algorithm)).run(tasks.clone());
+            assert_eq!(report.executed_misses, 0, "theorem violated");
+            assert!(report.dropped > 0, "overload must drop something");
+            assert!(report.is_consistent());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let tasks: Vec<Task> = (0..30).map(|i| mk_task(i, 2, i % 7, 60 + i, 3)).collect();
+        let run = || {
+            Driver::new(DriverConfig::new(3, Algorithm::rt_sads()).seed(42)).run(tasks.clone())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.phases.len(), b.phases.len());
+    }
+
+    #[test]
+    fn later_arrivals_enter_later_batches() {
+        let mut tasks = vec![mk_task(0, 2, 0, 100, 2)];
+        tasks.push(mk_task(1, 2, 50, 150, 2));
+        let report = Driver::new(DriverConfig::new(2, Algorithm::rt_sads())).run(tasks);
+        assert_eq!(report.hits, 2);
+        assert!(report.phases.len() >= 2, "idle gap forces a second phase");
+        let c1 = report
+            .completions
+            .iter()
+            .find(|c| c.task == TaskId::new(1))
+            .unwrap();
+        assert!(c1.start >= Time::from_millis(50));
+    }
+
+    #[test]
+    fn time_always_advances_under_zero_slack() {
+        // Tasks with zero slack and an idle machine give Q_s = 0; the
+        // driver's floor must still make progress and expire them.
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 10, 0, 10, 1)).collect();
+        let report = Driver::new(DriverConfig::new(1, Algorithm::rt_sads())).run(tasks);
+        assert!(report.is_consistent());
+        // With the quantum floor, at most one can be scheduled in time.
+        assert!(report.hits <= 1);
+        assert!(report.dropped >= 4);
+    }
+
+    #[test]
+    fn affinity_restricts_placement_under_tight_deadlines() {
+        // Tasks affine to P1 only; deadline too tight to pay C elsewhere.
+        let tasks: Vec<Task> = (0..3)
+            .map(|i| {
+                Task::builder(TaskId::new(i))
+                    .processing_time(Duration::from_millis(1))
+                    .deadline(Time::from_millis(20))
+                    .affinity(AffinitySet::from_iter([ProcessorId::new(1)]))
+                    .build()
+            })
+            .collect();
+        let config = DriverConfig::new(3, Algorithm::rt_sads())
+            .comm(CommModel::constant(Duration::from_millis(100)));
+        let report = Driver::new(config).run(tasks);
+        assert_eq!(report.hits, 3);
+        for c in &report.completions {
+            assert_eq!(c.processor, ProcessorId::new(1));
+        }
+        assert_eq!(report.workers_used, 1);
+    }
+
+    #[test]
+    fn greedy_and_random_also_account_consistently() {
+        let tasks: Vec<Task> = (0..25).map(|i| mk_task(i, 3, 0, 40, 3)).collect();
+        for algorithm in [Algorithm::GreedyEdf, Algorithm::RandomAssign] {
+            let report =
+                Driver::new(DriverConfig::new(3, algorithm).seed(9)).run(tasks.clone());
+            assert!(report.is_consistent());
+            assert_eq!(report.executed_misses, 0);
+        }
+    }
+
+    #[test]
+    fn rt_sads_beats_d_cols_under_low_affinity() {
+        // A miniature Figure 5 point: low replication (each task affine to
+        // exactly one worker), tight deadlines, constant C too large to pay.
+        let workers = 4;
+        let tasks: Vec<Task> = (0..40)
+            .map(|i| {
+                Task::builder(TaskId::new(i))
+                    .processing_time(Duration::from_millis(2))
+                    .deadline(Time::from_millis(30))
+                    .affinity(AffinitySet::from_iter([ProcessorId::new(
+                        (i % workers as u64) as usize,
+                    )]))
+                    .build()
+            })
+            .collect();
+        let comm = CommModel::constant(Duration::from_millis(50));
+        let sads = Driver::new(
+            DriverConfig::new(workers, Algorithm::rt_sads()).comm(comm),
+        )
+        .run(tasks.clone());
+        let cols = Driver::new(
+            DriverConfig::new(workers, Algorithm::d_cols()).comm(comm),
+        )
+        .run(tasks);
+        assert!(
+            sads.hits >= cols.hits,
+            "RT-SADS ({}) should not lose to D-COLS ({})",
+            sads.hits,
+            cols.hits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one working processor")]
+    fn zero_workers_rejected() {
+        let _ = DriverConfig::new(0, Algorithm::rt_sads());
+    }
+
+    #[test]
+    fn traced_runs_emit_a_consistent_event_stream() {
+        use paragon_des::trace::{RecordingTracer, TraceEvent};
+        let tasks: Vec<Task> = (0..12).map(|i| mk_task(i, 2, 0, 25, 2)).collect();
+        let mut tracer = RecordingTracer::new();
+        let report = Driver::new(DriverConfig::new(2, Algorithm::rt_sads()))
+            .run_traced(tasks, &mut tracer);
+
+        let starts = tracer.count_matching(|e| matches!(e, TraceEvent::PhaseStarted { .. }));
+        let ends = tracer.count_matching(|e| matches!(e, TraceEvent::PhaseEnded { .. }));
+        assert_eq!(starts, report.phases.len());
+        assert_eq!(ends, report.phases.len());
+        let completed =
+            tracer.count_matching(|e| matches!(e, TraceEvent::TaskCompleted { .. }));
+        assert_eq!(completed, report.completions.len());
+        let dropped = tracer.count_matching(|e| matches!(e, TraceEvent::TaskDropped { .. }));
+        assert_eq!(dropped, report.dropped);
+        // a traced run and an untraced run agree
+        let plain = Driver::new(DriverConfig::new(2, Algorithm::rt_sads()))
+            .run((0..12).map(|i| mk_task(i, 2, 0, 25, 2)).collect());
+        assert_eq!(plain.hits, report.hits);
+    }
+
+    #[test]
+    fn tracing_is_free_when_disabled() {
+        use paragon_des::trace::Tracer;
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 1, 0, 50, 2)).collect();
+        let a = Driver::new(DriverConfig::new(2, Algorithm::rt_sads()))
+            .run_traced(tasks.clone(), &mut Tracer::disabled());
+        let b = Driver::new(DriverConfig::new(2, Algorithm::rt_sads())).run(tasks);
+        assert_eq!(a.completions, b.completions);
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-phase records and the end-to-end run report.
+
+use paragon_des::{Duration, Time};
+use paragon_platform::CompletionRecord;
+use sched_search::Termination;
+
+/// Diagnostics of one scheduling phase `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Phase index `j`.
+    pub phase: u64,
+    /// Phase start `t_s`.
+    pub started: Time,
+    /// Batch size after expiry filtering.
+    pub batch_len: usize,
+    /// Tasks dropped by the expiry filter at phase start.
+    pub dropped: usize,
+    /// Allocated quantum `Q_s(j)` (after the driver's floor).
+    pub quantum: Duration,
+    /// Scheduling time actually consumed.
+    pub consumed: Duration,
+    /// Search vertices generated.
+    pub vertices: u64,
+    /// Backtracks performed.
+    pub backtracks: u64,
+    /// Deepest feasible partial schedule reached.
+    pub deepest: usize,
+    /// Tasks scheduled (dispatched) by the phase.
+    pub scheduled: usize,
+    /// Distinct processors the phase's schedule used.
+    pub processors_used: usize,
+    /// How the phase's search ended.
+    pub termination: Termination,
+}
+
+/// The outcome of one complete simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The scheduling algorithm's display name.
+    pub algorithm: String,
+    /// Number of tasks submitted.
+    pub total_tasks: usize,
+    /// Tasks that completed by their deadline.
+    pub hits: usize,
+    /// Tasks dropped from batches because their deadline passed before they
+    /// could be scheduled.
+    pub dropped: usize,
+    /// Tasks that were scheduled yet missed their deadline at execution time
+    /// — the paper's theorem guarantees this is zero.
+    pub executed_misses: usize,
+    /// Every task execution, in delivery order.
+    pub completions: Vec<CompletionRecord>,
+    /// Per-phase diagnostics.
+    pub phases: Vec<PhaseRecord>,
+    /// Distinct workers that executed at least one task.
+    pub workers_used: usize,
+    /// Total busy (service) time per worker, indexed by processor.
+    pub worker_busy: Vec<Duration>,
+    /// The instant the last completion finished (or the last phase ended).
+    pub finished_at: Time,
+}
+
+impl RunReport {
+    /// The paper's headline metric: fraction of tasks that completed by
+    /// their deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had no tasks.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        assert!(self.total_tasks > 0, "hit ratio of an empty run");
+        self.hits as f64 / self.total_tasks as f64
+    }
+
+    /// Total scheduling time consumed across phases — the paper's
+    /// "scheduling cost as the physical time required to run the scheduling
+    /// algorithm".
+    #[must_use]
+    pub fn total_scheduling_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.consumed).sum()
+    }
+
+    /// Total vertices generated across phases.
+    #[must_use]
+    pub fn total_vertices(&self) -> u64 {
+        self.phases.iter().map(|p| p.vertices).sum()
+    }
+
+    /// Total backtracks across phases.
+    #[must_use]
+    pub fn total_backtracks(&self) -> u64 {
+        self.phases.iter().map(|p| p.backtracks).sum()
+    }
+
+    /// Number of phases that ended at a dead-end.
+    #[must_use]
+    pub fn dead_end_phases(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| p.termination == Termination::DeadEnd)
+            .count()
+    }
+
+    /// Mean number of distinct processors used per non-empty schedule —
+    /// the processor-coverage measure behind the paper's scalability
+    /// conjecture. `None` if no phase scheduled anything.
+    #[must_use]
+    pub fn mean_processors_used(&self) -> Option<f64> {
+        let used: Vec<usize> = self
+            .phases
+            .iter()
+            .filter(|p| p.scheduled > 0)
+            .map(|p| p.processors_used)
+            .collect();
+        if used.is_empty() {
+            None
+        } else {
+            Some(used.iter().sum::<usize>() as f64 / used.len() as f64)
+        }
+    }
+
+    /// Response time (completion − delivery-relevant arrival) of every
+    /// executed task, in completion-record order. The arrival is not stored
+    /// in the completion record, so this uses delivery as the baseline when
+    /// `from_delivery` is `true`, and the start of the run otherwise — both
+    /// useful: delivery-relative isolates queueing, absolute shows
+    /// end-to-end latency for the paper's burst (where every arrival is 0).
+    #[must_use]
+    pub fn response_times(&self, from_delivery: bool) -> Vec<Duration> {
+        self.completions
+            .iter()
+            .map(|c| {
+                if from_delivery {
+                    c.completion - c.delivered
+                } else {
+                    c.completion.saturating_since(Time::ZERO)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean response time of executed tasks (see
+    /// [`RunReport::response_times`]); `None` if nothing executed.
+    #[must_use]
+    pub fn mean_response_time(&self, from_delivery: bool) -> Option<Duration> {
+        let times = self.response_times(from_delivery);
+        if times.is_empty() {
+            return None;
+        }
+        let total: Duration = times.iter().copied().sum();
+        Some(total / times.len() as u64)
+    }
+
+    /// Per-worker utilization over `[0, finished_at]`, in `[0, 1]`. Empty if
+    /// the run finished instantly.
+    #[must_use]
+    pub fn worker_utilizations(&self) -> Vec<f64> {
+        if self.finished_at == Time::ZERO {
+            return vec![0.0; self.worker_busy.len()];
+        }
+        let horizon = self.finished_at.as_micros() as f64;
+        self.worker_busy
+            .iter()
+            .map(|b| b.as_micros() as f64 / horizon)
+            .collect()
+    }
+
+    /// Load-imbalance factor: busiest worker's busy time divided by the
+    /// mean busy time. 1.0 = perfectly balanced; `None` if no work ran.
+    #[must_use]
+    pub fn load_imbalance(&self) -> Option<f64> {
+        let total: u64 = self.worker_busy.iter().map(|b| b.as_micros()).sum();
+        if total == 0 || self.worker_busy.is_empty() {
+            return None;
+        }
+        let mean = total as f64 / self.worker_busy.len() as f64;
+        let max = self
+            .worker_busy
+            .iter()
+            .map(|b| b.as_micros())
+            .max()
+            .unwrap_or(0) as f64;
+        Some(max / mean)
+    }
+
+    /// Internal consistency: every task is accounted for exactly once.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.hits + self.executed_misses + self.dropped == self.total_tasks
+            && self.completions.len() == self.hits + self.executed_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(termination: Termination, scheduled: usize, procs: usize) -> PhaseRecord {
+        PhaseRecord {
+            phase: 0,
+            started: Time::ZERO,
+            batch_len: 10,
+            dropped: 0,
+            quantum: Duration::from_micros(100),
+            consumed: Duration::from_micros(60),
+            vertices: 12,
+            backtracks: 3,
+            deepest: scheduled,
+            scheduled,
+            processors_used: procs,
+            termination,
+        }
+    }
+
+    fn report(phases: Vec<PhaseRecord>) -> RunReport {
+        RunReport {
+            algorithm: "RT-SADS".into(),
+            total_tasks: 10,
+            hits: 7,
+            dropped: 3,
+            executed_misses: 0,
+            completions: Vec::new(),
+            phases,
+            workers_used: 4,
+            worker_busy: vec![
+                Duration::from_millis(4),
+                Duration::from_millis(2),
+                Duration::from_millis(2),
+                Duration::ZERO,
+            ],
+            finished_at: Time::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn hit_ratio_and_aggregates() {
+        let r = report(vec![
+            record(Termination::QuantumExhausted, 4, 4),
+            record(Termination::DeadEnd, 3, 2),
+            record(Termination::DeadEnd, 0, 0),
+        ]);
+        assert!((r.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(r.total_scheduling_time(), Duration::from_micros(180));
+        assert_eq!(r.total_vertices(), 36);
+        assert_eq!(r.total_backtracks(), 9);
+        assert_eq!(r.dead_end_phases(), 2);
+        assert_eq!(r.mean_processors_used(), Some(3.0));
+    }
+
+    #[test]
+    fn mean_processors_none_when_nothing_scheduled() {
+        let r = report(vec![record(Termination::DeadEnd, 0, 0)]);
+        assert_eq!(r.mean_processors_used(), None);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut r = report(vec![]);
+        // completions must match hits + executed misses; empty does not
+        assert!(!r.is_consistent());
+        r.hits = 0;
+        r.dropped = 10;
+        assert!(r.is_consistent());
+    }
+
+    #[test]
+    fn response_times_from_completions() {
+        use paragon_platform::CompletionRecord;
+        use rt_task::{ProcessorId, TaskId};
+        let mut r = report(vec![]);
+        assert_eq!(r.mean_response_time(true), None);
+        r.completions = vec![CompletionRecord {
+            task: TaskId::new(0),
+            processor: ProcessorId::new(0),
+            delivered: Time::from_millis(1),
+            start: Time::from_millis(2),
+            completion: Time::from_millis(5),
+            deadline: Time::from_millis(9),
+            met_deadline: true,
+            service: Duration::from_millis(3),
+        }];
+        assert_eq!(
+            r.response_times(true),
+            vec![Duration::from_millis(4)] // 5 - 1
+        );
+        assert_eq!(
+            r.mean_response_time(false),
+            Some(Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn utilization_and_imbalance() {
+        let r = report(vec![]);
+        let u = r.worker_utilizations();
+        assert_eq!(u.len(), 4);
+        assert!((u[0] - 0.8).abs() < 1e-12);
+        assert_eq!(u[3], 0.0);
+        // busiest 4ms, mean 2ms -> imbalance 2.0
+        assert_eq!(r.load_imbalance(), Some(2.0));
+        let mut idle = r.clone();
+        idle.worker_busy = vec![Duration::ZERO; 4];
+        assert_eq!(idle.load_imbalance(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn hit_ratio_of_empty_run_panics() {
+        let mut r = report(vec![]);
+        r.total_tasks = 0;
+        let _ = r.hit_ratio();
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! This crate is the lowest substrate of the RT-SADS reproduction: it provides
+//! a virtual clock ([`Time`], [`Duration`]), a deterministic event queue
+//! ([`EventQueue`]), a generic simulation driver ([`Simulation`]), a seeded
+//! random-number helper ([`SimRng`]) and a lightweight trace facility
+//! ([`trace::Tracer`]).
+//!
+//! Everything is integer-based (microsecond ticks) so that simulations are
+//! bit-for-bit reproducible across runs and platforms — a property the test
+//! suite and the experiment harness both rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use paragon_des::{Duration, EventQueue, Time};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Time::ZERO + Duration::from_millis(2), "later");
+//! q.schedule(Time::ZERO + Duration::from_millis(1), "sooner");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(e, "sooner");
+//! assert_eq!(t, Time::from_micros(1_000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod sim;
+mod time;
+pub mod trace;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use sim::{EventHandler, HandlerFlow, Simulation, StopReason};
+pub use time::{Duration, Time};

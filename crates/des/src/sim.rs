@@ -1,0 +1,222 @@
+//! A minimal generic simulation driver on top of [`EventQueue`].
+//!
+//! The RT-SADS scheduler/executor loop in the `rtsads` crate drives its own
+//! specialized loop, but simpler models (and the test suites) use this generic
+//! driver: a clock, a queue, and a handler invoked per event.
+
+use crate::queue::EventQueue;
+use crate::time::Time;
+
+/// Why [`Simulation::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    Drained,
+    /// The configured horizon was reached with events still pending.
+    Horizon,
+    /// The handler requested an early stop.
+    Stopped,
+}
+
+/// Reaction of an [`EventHandler`] to one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerFlow {
+    /// Keep processing events.
+    Continue,
+    /// Stop the run after this event.
+    Stop,
+}
+
+/// Logic plugged into a [`Simulation`]: called once per delivered event, with
+/// mutable access to the queue so it can schedule follow-up events.
+pub trait EventHandler<E> {
+    /// Handles `event` fired at `now`; may schedule more events on `queue`.
+    fn on_event(&mut self, now: Time, event: E, queue: &mut EventQueue<E>) -> HandlerFlow;
+}
+
+impl<E, F> EventHandler<E> for F
+where
+    F: FnMut(Time, E, &mut EventQueue<E>) -> HandlerFlow,
+{
+    fn on_event(&mut self, now: Time, event: E, queue: &mut EventQueue<E>) -> HandlerFlow {
+        self(now, event, queue)
+    }
+}
+
+/// A generic event-driven simulation: clock + queue + horizon.
+///
+/// # Example
+///
+/// ```
+/// use paragon_des::{Duration, EventQueue, HandlerFlow, Simulation, StopReason, Time};
+///
+/// let mut sim = Simulation::new();
+/// sim.queue_mut().schedule(Time::from_micros(1), 0u32);
+/// let mut fired = Vec::new();
+/// let reason = sim.run(|now: Time, ev: u32, q: &mut EventQueue<u32>| {
+///     fired.push(ev);
+///     if ev < 3 {
+///         q.schedule(now + Duration::from_micros(1), ev + 1);
+///     }
+///     HandlerFlow::Continue
+/// });
+/// assert_eq!(reason, StopReason::Drained);
+/// assert_eq!(fired, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: Time,
+    horizon: Time,
+    events_processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with an unbounded horizon.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            horizon: Time::MAX,
+            events_processed: 0,
+        }
+    }
+
+    /// Creates a simulation that refuses to advance past `horizon`.
+    #[must_use]
+    pub fn with_horizon(horizon: Time) -> Self {
+        Simulation {
+            horizon,
+            ..Self::new()
+        }
+    }
+
+    /// Current virtual time (the firing time of the last delivered event).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Access to the pending-event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Runs until the queue drains, the horizon is hit, or the handler stops
+    /// the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event was scheduled in the past (before the previously
+    /// delivered event) — that indicates a model bug.
+    pub fn run<H: EventHandler<E>>(&mut self, mut handler: H) -> StopReason {
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return StopReason::Drained;
+            };
+            if next > self.horizon {
+                return StopReason::Horizon;
+            }
+            let (at, event) = self.queue.pop().expect("peek guaranteed an event");
+            assert!(
+                at >= self.now,
+                "event scheduled in the past: {at} < now {}",
+                self.now
+            );
+            self.now = at;
+            self.events_processed += 1;
+            if handler.on_event(at, event, &mut self.queue) == HandlerFlow::Stop {
+                return StopReason::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn drains_and_counts() {
+        let mut sim = Simulation::new();
+        for i in 0..5u32 {
+            sim.queue_mut().schedule(Time::from_micros(i as u64), i);
+        }
+        let mut seen = Vec::new();
+        let reason = sim.run(|_, e: u32, _: &mut EventQueue<u32>| {
+            seen.push(e);
+            HandlerFlow::Continue
+        });
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.events_processed(), 5);
+        assert_eq!(sim.now(), Time::from_micros(4));
+    }
+
+    #[test]
+    fn horizon_stops_before_late_events() {
+        let mut sim = Simulation::with_horizon(Time::from_micros(10));
+        sim.queue_mut().schedule(Time::from_micros(5), 1u8);
+        sim.queue_mut().schedule(Time::from_micros(15), 2u8);
+        let mut seen = Vec::new();
+        let reason = sim.run(|_, e: u8, _: &mut EventQueue<u8>| {
+            seen.push(e);
+            HandlerFlow::Continue
+        });
+        assert_eq!(reason, StopReason::Horizon);
+        assert_eq!(seen, vec![1]);
+    }
+
+    #[test]
+    fn handler_can_stop_early() {
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule(Time::from_micros(1), 1);
+        sim.queue_mut().schedule(Time::from_micros(2), 2);
+        let reason = sim.run(|_, _e: i32, _: &mut EventQueue<i32>| HandlerFlow::Stop);
+        assert_eq!(reason, StopReason::Stopped);
+        assert_eq!(sim.events_processed(), 1);
+    }
+
+    #[test]
+    fn handler_schedules_follow_ups() {
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule(Time::ZERO, 0u32);
+        let mut count = 0u32;
+        sim.run(|now, ev: u32, q: &mut EventQueue<u32>| {
+            count += 1;
+            if ev < 9 {
+                q.schedule(now + Duration::from_micros(3), ev + 1);
+            }
+            HandlerFlow::Continue
+        });
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), Time::from_micros(27));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_event_panics() {
+        let mut sim = Simulation::new();
+        sim.queue_mut().schedule(Time::from_micros(10), true);
+        sim.run(|_, first: bool, q: &mut EventQueue<bool>| {
+            if first {
+                q.schedule(Time::from_micros(1), false);
+            }
+            HandlerFlow::Continue
+        });
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness: regenerates every figure of the paper's evaluation
+//! (Figures 5 and 6) plus the extension/ablation experiments indexed in
+//! `DESIGN.md`.
+//!
+//! Each experiment module exposes a `run(&ExperimentConfig) -> FigureOutput`
+//! returning the same rows/series the paper reports (deadline hit ratios
+//! over a swept parameter) together with the significance tests and
+//! diagnostics the text cites. The `experiments` binary prints them as
+//! aligned tables and writes CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ext;
+pub mod fig5;
+pub mod fig6;
+pub mod runner;
+
+pub use config::ExperimentConfig;
+pub use runner::{FigureOutput, PointResult};

@@ -1,0 +1,146 @@
+//! CLI entry point: regenerate the paper's figures.
+//!
+//! ```text
+//! experiments [all|fig5|fig6|ext-laxity|ext-quantum|ext-cost|ext-overhead|
+//!              ext-deadends|ext-baselines|ext-openload|ext-pruning]
+//!             [--quick] [--runs N] [--txns N] [--out DIR]
+//!             [--scenario FILE.json] [--dump-scenario FILE.json]
+//! ```
+//!
+//! Prints each figure as an aligned table (plus significance notes) and, if
+//! `--out` is given, writes one CSV per figure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::{config::ExperimentConfig, ext, fig5, fig6, FigureOutput};
+
+struct Cli {
+    which: Vec<String>,
+    config: ExperimentConfig,
+    out: Option<PathBuf>,
+}
+
+const ALL: [&str; 12] = [
+    "fig5",
+    "fig6",
+    "ext-laxity",
+    "ext-quantum",
+    "ext-cost",
+    "ext-overhead",
+    "ext-deadends",
+    "ext-baselines",
+    "ext-openload",
+    "ext-pruning",
+    "ext-mesh",
+    "ext-resources",
+];
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut which = Vec::new();
+    let mut config = ExperimentConfig::paper();
+    let mut out = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => config = ExperimentConfig::quick(),
+            "--runs" => {
+                config.runs = it
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--txns" => {
+                config.transactions = it
+                    .next()
+                    .ok_or("--txns needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--txns: {e}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--scenario" => {
+                let path = it.next().ok_or("--scenario needs a file path")?;
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("--scenario {path}: {e}"))?;
+                config = config
+                    .with_scenario_json(&json)
+                    .map_err(|e| format!("--scenario {path}: {e}"))?;
+            }
+            "--dump-scenario" => {
+                let path = it.next().ok_or("--dump-scenario needs a file path")?;
+                std::fs::write(path, config.scenario_json())
+                    .map_err(|e| format!("--dump-scenario {path}: {e}"))?;
+                eprintln!("# wrote scenario template to {path}");
+            }
+            "all" => which.extend(ALL.iter().map(|s| s.to_string())),
+            name if ALL.contains(&name) => which.push(name.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if which.is_empty() {
+        which.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    Ok(Cli { which, config, out })
+}
+
+fn run_one(name: &str, config: &ExperimentConfig) -> FigureOutput {
+    match name {
+        "fig5" => fig5::run(config),
+        "fig6" => fig6::run(config),
+        "ext-laxity" => ext::laxity(config),
+        "ext-quantum" => ext::quantum(config),
+        "ext-cost" => ext::cost(config),
+        "ext-overhead" => ext::overhead(config),
+        "ext-deadends" => ext::deadends(config),
+        "ext-baselines" => ext::baselines(config),
+        "ext-openload" => ext::open_load(config),
+        "ext-pruning" => ext::pruning(config),
+        "ext-mesh" => ext::mesh(config),
+        "ext-resources" => ext::resources(config),
+        other => unreachable!("unvalidated experiment name {other}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: experiments [{}|all] [--quick] [--runs N] [--txns N] [--out DIR] \
+                 [--scenario FILE.json] [--dump-scenario FILE.json]",
+                ALL.join("|")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "# config: {} runs x {} transactions (seed base {})",
+        cli.config.runs, cli.config.transactions, cli.config.seed_base
+    );
+    if let Some(dir) = &cli.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for name in &cli.which {
+        let started = std::time::Instant::now();
+        let fig = run_one(name, &cli.config);
+        println!("{}", fig.render());
+        eprintln!("# {name} took {:.1}s", started.elapsed().as_secs_f64());
+        if let Some(dir) = &cli.out {
+            let path = dir.join(format!("{}.csv", fig.id));
+            if let Err(e) = std::fs::write(&path, fig.table.to_csv()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,216 @@
+//! Replication runner: executes `(scenario, driver) × runs` jobs across
+//! threads and aggregates the per-run reports into per-point statistics.
+
+use std::collections::VecDeque;
+use std::thread;
+
+use crossbeam::thread as cb_thread;
+use parking_lot::Mutex;
+use rt_stats::{Summary, Table};
+use rt_workload::Scenario;
+use rtsads::{Driver, DriverConfig, RunReport};
+
+/// Aggregated outcome of `runs` replications of one experiment point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Per-run deadline hit ratios, in run order.
+    pub hit_ratios: Vec<f64>,
+    /// Per-run total scheduling time (ms).
+    pub sched_time_ms: Vec<f64>,
+    /// Per-run vertices generated.
+    pub vertices: Vec<f64>,
+    /// Per-run backtracks.
+    pub backtracks: Vec<f64>,
+    /// Per-run dead-end phase counts.
+    pub dead_ends: Vec<f64>,
+    /// Per-run mean processors used per delivering phase.
+    pub procs_used: Vec<f64>,
+    /// Per-run scheduled-but-missed counts (the theorem says all zeros).
+    pub executed_misses: Vec<f64>,
+}
+
+impl PointResult {
+    fn from_reports(reports: &[RunReport]) -> Self {
+        PointResult {
+            hit_ratios: reports.iter().map(RunReport::hit_ratio).collect(),
+            sched_time_ms: reports
+                .iter()
+                .map(|r| r.total_scheduling_time().as_millis_f64())
+                .collect(),
+            vertices: reports.iter().map(|r| r.total_vertices() as f64).collect(),
+            backtracks: reports
+                .iter()
+                .map(|r| r.total_backtracks() as f64)
+                .collect(),
+            dead_ends: reports.iter().map(|r| r.dead_end_phases() as f64).collect(),
+            procs_used: reports
+                .iter()
+                .map(|r| r.mean_processors_used().unwrap_or(0.0))
+                .collect(),
+            executed_misses: reports
+                .iter()
+                .map(|r| r.executed_misses as f64)
+                .collect(),
+        }
+    }
+
+    /// Summary of the hit ratios.
+    #[must_use]
+    pub fn hit_summary(&self) -> Summary {
+        Summary::from_slice(&self.hit_ratios)
+    }
+
+    /// Mean hit ratio — the quantity the paper plots.
+    #[must_use]
+    pub fn mean_hit_ratio(&self) -> f64 {
+        self.hit_summary().mean()
+    }
+}
+
+/// Runs one `(scenario, driver)` point `runs` times with seeds
+/// `seed_base..seed_base+runs`, farming the replications out to worker
+/// threads (sequentially on single-core machines).
+#[must_use]
+pub fn run_point(
+    scenario: &Scenario,
+    driver: &DriverConfig,
+    runs: usize,
+    seed_base: u64,
+) -> PointResult {
+    let jobs: VecDeque<u64> = (0..runs as u64).map(|r| seed_base + r).collect();
+    let queue = Mutex::new(jobs);
+    let results: Mutex<Vec<(u64, RunReport)>> = Mutex::new(Vec::with_capacity(runs));
+    let threads = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(runs.max(1));
+
+    cb_thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let Some(seed) = queue.lock().pop_front() else {
+                    break;
+                };
+                let built = scenario.build(seed);
+                let report = Driver::new(driver.clone().seed(seed)).run(built.tasks);
+                results.lock().push((seed, report));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(seed, _)| *seed);
+    let reports: Vec<RunReport> = collected.into_iter().map(|(_, r)| r).collect();
+    PointResult::from_reports(&reports)
+}
+
+/// A scheduling-oblivious reference point: the hit ratio an *oracle* EDF
+/// list scheduler achieves with zero scheduling overhead and zero
+/// communication cost (every task treated as locally runnable everywhere).
+/// Not a strict upper bound for arbitrary instances, but a tight capacity
+/// reference for the paper's burst workloads — it shows how much headroom
+/// the deadline formula itself leaves.
+#[must_use]
+pub fn oracle_capacity(tasks: &[rt_task::Task], workers: usize) -> f64 {
+    use paragon_des::Time;
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    let mut order: Vec<&rt_task::Task> = tasks.iter().collect();
+    order.sort_by_key(|t| (t.deadline(), t.id()));
+    let mut free_at = vec![Time::ZERO; workers];
+    let mut hits = 0usize;
+    for t in order {
+        // earliest-available worker
+        let k = (0..workers)
+            .min_by_key(|&k| free_at[k])
+            .expect("at least one worker");
+        let start = free_at[k].max(t.arrival());
+        let done = start + t.processing_time();
+        if t.meets_deadline(done) {
+            free_at[k] = done;
+            hits += 1;
+        }
+        // infeasible tasks are simply skipped (no capacity consumed)
+    }
+    hits as f64 / tasks.len() as f64
+}
+
+/// One regenerated figure/table: the data plus human-readable notes
+/// (significance tests, diagnostics, shape checks).
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Short id, e.g. `fig5`.
+    pub id: &'static str,
+    /// The rendered table (series over the swept x-axis).
+    pub table: Table,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl FigureOutput {
+    /// Renders the table and notes as printable text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = self.table.render_ascii();
+        for n in &self.notes {
+            out.push_str("  note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{comm_model, host_params};
+    use rtsads::Algorithm;
+
+    #[test]
+    fn run_point_is_deterministic_and_ordered() {
+        let scenario = Scenario::small().transactions(40);
+        let driver = DriverConfig::new(4, Algorithm::rt_sads())
+            .comm(comm_model())
+            .host(host_params());
+        let a = run_point(&scenario, &driver, 3, 100);
+        let b = run_point(&scenario, &driver, 3, 100);
+        assert_eq!(a.hit_ratios, b.hit_ratios);
+        assert_eq!(a.hit_ratios.len(), 3);
+        // theorem check across every replication
+        assert!(a.executed_misses.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn different_seeds_vary_the_ratio() {
+        let scenario = Scenario::small().transactions(60);
+        let driver = DriverConfig::new(4, Algorithm::rt_sads())
+            .comm(comm_model())
+            .host(host_params());
+        let p = run_point(&scenario, &driver, 4, 7);
+        let first = p.hit_ratios[0];
+        assert!(
+            p.hit_ratios.iter().any(|&h| (h - first).abs() > 1e-9),
+            "expected run-to-run variation, got {:?}",
+            p.hit_ratios
+        );
+        let s = p.hit_summary();
+        assert_eq!(s.n(), 4);
+        assert!((p.mean_hit_ratio() - s.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_output_renders_notes() {
+        let mut series = rt_stats::Series::new("X");
+        series.push(1.0, 0.5);
+        let fig = FigureOutput {
+            id: "demo",
+            table: Table::new("t", "x", vec![series]),
+            notes: vec!["hello".into()],
+        };
+        let text = fig.render();
+        assert!(text.contains("note: hello"));
+    }
+}

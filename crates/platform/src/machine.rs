@@ -1,0 +1,402 @@
+//! The machine: all working processors plus delivery bookkeeping.
+
+use paragon_des::{Duration, Time};
+use rt_task::{CommModel, ProcessorId, ResourceEats, Task, TaskId};
+use serde::{Deserialize, Serialize};
+
+use crate::worker::Worker;
+
+/// Static machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of working processors `m` (the dedicated host is extra).
+    pub workers: usize,
+    /// The interconnect cost model (`c_ij ∈ {0, C}`).
+    pub comm: CommModel,
+}
+
+/// One task-to-processor dispatch: the unit a delivered schedule consists of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dispatch {
+    /// The task to execute.
+    pub task: Task,
+    /// The worker it was assigned to.
+    pub processor: ProcessorId,
+}
+
+/// What actually happened to one dispatched task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// The task's id.
+    pub task: TaskId,
+    /// The worker that executed it.
+    pub processor: ProcessorId,
+    /// When the schedule containing it was delivered.
+    pub delivered: Time,
+    /// When execution (including any communication delay) began.
+    pub start: Time,
+    /// When execution finished.
+    pub completion: Time,
+    /// The task's absolute deadline.
+    pub deadline: Time,
+    /// Whether `completion <= deadline`.
+    pub met_deadline: bool,
+    /// The service time charged (`p + c`).
+    pub service: Duration,
+}
+
+/// The simulated distributed-memory machine.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    workers: Vec<Worker>,
+    completions: Vec<CompletionRecord>,
+    resources: ResourceEats,
+}
+
+impl Machine {
+    /// Builds an idle machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.workers > 0, "a machine needs at least one worker");
+        Machine {
+            workers: ProcessorId::all(config.workers).map(Worker::new).collect(),
+            config,
+            completions: Vec::new(),
+            resources: ResourceEats::new(),
+        }
+    }
+
+    /// Number of working processors.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The interconnect model.
+    #[must_use]
+    pub fn comm(&self) -> &CommModel {
+        &self.config.comm
+    }
+
+    /// Read access to one worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn worker(&self, p: ProcessorId) -> &Worker {
+        &self.workers[p.index()]
+    }
+
+    /// Iterates over all workers.
+    pub fn iter_workers(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// Delivers a (partial) schedule at instant `at`: each dispatch is
+    /// appended to its worker's FIFO queue in order, and exact start and
+    /// completion times are computed immediately (valid because execution is
+    /// non-preemptive FIFO and deliveries only append).
+    ///
+    /// Returns the completion records for exactly this delivery, in dispatch
+    /// order. All records are also retained in [`Machine::completions`].
+    pub fn deliver(&mut self, dispatches: Vec<Dispatch>, at: Time) -> Vec<CompletionRecord> {
+        let mut new_records = Vec::with_capacity(dispatches.len());
+        for Dispatch { task, processor } in dispatches {
+            let service = self.config.comm.demand(&task, processor);
+            // a task may not start before its resources are available
+            let ready = at.max(self.resources.earliest_start(task.resources()));
+            let start = self.workers[processor.index()].admit(ready, service);
+            let completion = start + service;
+            self.resources.commit(task.resources(), completion);
+            let record = CompletionRecord {
+                task: task.id(),
+                processor,
+                delivered: at,
+                start,
+                completion,
+                deadline: task.deadline(),
+                met_deadline: task.meets_deadline(completion),
+                service,
+            };
+            self.completions.push(record.clone());
+            new_records.push(record);
+        }
+        new_records
+    }
+
+    /// The machine's resource earliest-available times (what the next
+    /// scheduling phase should plan against).
+    #[must_use]
+    pub fn resource_eats(&self) -> &ResourceEats {
+        &self.resources
+    }
+
+    /// The paper's `Load_k` for worker `p` at `now`.
+    #[must_use]
+    pub fn load(&self, p: ProcessorId, now: Time) -> Duration {
+        self.workers[p.index()].load(now)
+    }
+
+    /// All worker loads at `now`, indexed by processor.
+    #[must_use]
+    pub fn loads(&self, now: Time) -> Vec<Duration> {
+        self.workers.iter().map(|w| w.load(now)).collect()
+    }
+
+    /// `Min_Load` (Figure 3): the minimum waiting time among working
+    /// processors at `now`.
+    #[must_use]
+    pub fn min_load(&self, now: Time) -> Duration {
+        self.workers
+            .iter()
+            .map(|w| w.load(now))
+            .min()
+            .expect("machine has at least one worker")
+    }
+
+    /// The instant every worker has drained its queue.
+    #[must_use]
+    pub fn all_idle_at(&self) -> Time {
+        self.workers
+            .iter()
+            .map(Worker::busy_until)
+            .max()
+            .expect("machine has at least one worker")
+    }
+
+    /// Every completion record so far, in delivery order.
+    #[must_use]
+    pub fn completions(&self) -> &[CompletionRecord] {
+        &self.completions
+    }
+
+    /// Count of completions that met their deadline.
+    #[must_use]
+    pub fn deadline_hits(&self) -> usize {
+        self.completions.iter().filter(|r| r.met_deadline).count()
+    }
+
+    /// Number of distinct workers that have executed at least one task —
+    /// used to validate the paper's conjecture that sequence-oriented search
+    /// loads only a fraction of the processors.
+    #[must_use]
+    pub fn workers_used(&self) -> usize {
+        self.workers.iter().filter(|w| w.executed() > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_task::AffinitySet;
+
+    fn machine(workers: usize, c_us: u64) -> Machine {
+        Machine::new(MachineConfig {
+            workers,
+            comm: CommModel::constant(Duration::from_micros(c_us)),
+        })
+    }
+
+    fn task(id: u64, p_us: u64, d_us: u64, affine: &[usize]) -> Task {
+        Task::builder(TaskId::new(id))
+            .processing_time(Duration::from_micros(p_us))
+            .deadline(Time::from_micros(d_us))
+            .affinity(affine.iter().map(|&i| ProcessorId::new(i)).collect::<AffinitySet>())
+            .build()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = machine(0, 0);
+    }
+
+    #[test]
+    fn delivery_computes_exact_times() {
+        let mut m = machine(2, 100);
+        let recs = m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 1_000, 10_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(1, 1_000, 10_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(2, 1_000, 10_000, &[0]),
+                    processor: ProcessorId::new(1),
+                },
+            ],
+            Time::ZERO,
+        );
+        // P0: affine task then affine task, FIFO
+        assert_eq!(recs[0].start, Time::ZERO);
+        assert_eq!(recs[0].completion, Time::from_micros(1_000));
+        assert_eq!(recs[1].start, Time::from_micros(1_000));
+        assert_eq!(recs[1].completion, Time::from_micros(2_000));
+        // P1: non-affine, pays C=100
+        assert_eq!(recs[2].service, Duration::from_micros(1_100));
+        assert_eq!(recs[2].completion, Time::from_micros(1_100));
+        assert!(recs.iter().all(|r| r.met_deadline));
+        assert_eq!(m.completions().len(), 3);
+        assert_eq!(m.deadline_hits(), 3);
+        assert_eq!(m.workers_used(), 2);
+    }
+
+    #[test]
+    fn missed_deadline_is_recorded_not_dropped() {
+        let mut m = machine(1, 0);
+        let recs = m.deliver(
+            vec![Dispatch {
+                task: task(0, 5_000, 1_000, &[0]),
+                processor: ProcessorId::new(0),
+            }],
+            Time::ZERO,
+        );
+        assert!(!recs[0].met_deadline);
+        assert_eq!(m.deadline_hits(), 0);
+    }
+
+    #[test]
+    fn loads_track_backlog_per_worker() {
+        let mut m = machine(3, 0);
+        m.deliver(
+            vec![Dispatch {
+                task: task(0, 4_000, 100_000, &[1]),
+                processor: ProcessorId::new(1),
+            }],
+            Time::ZERO,
+        );
+        let now = Time::from_micros(1_000);
+        assert_eq!(m.load(ProcessorId::new(1), now), Duration::from_micros(3_000));
+        assert_eq!(m.load(ProcessorId::new(0), now), Duration::ZERO);
+        assert_eq!(m.loads(now), vec![
+            Duration::ZERO,
+            Duration::from_micros(3_000),
+            Duration::ZERO
+        ]);
+        assert_eq!(m.min_load(now), Duration::ZERO);
+        assert_eq!(m.all_idle_at(), Time::from_micros(4_000));
+    }
+
+    #[test]
+    fn min_load_when_all_busy() {
+        let mut m = machine(2, 0);
+        m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 2_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(1, 5_000, 100_000, &[1]),
+                    processor: ProcessorId::new(1),
+                },
+            ],
+            Time::ZERO,
+        );
+        assert_eq!(m.min_load(Time::ZERO), Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn later_delivery_queues_behind_earlier() {
+        let mut m = machine(1, 0);
+        m.deliver(
+            vec![Dispatch {
+                task: task(0, 10_000, 100_000, &[0]),
+                processor: ProcessorId::new(0),
+            }],
+            Time::ZERO,
+        );
+        let recs = m.deliver(
+            vec![Dispatch {
+                task: task(1, 1_000, 100_000, &[0]),
+                processor: ProcessorId::new(0),
+            }],
+            Time::from_micros(2_000),
+        );
+        assert_eq!(recs[0].start, Time::from_micros(10_000));
+        assert_eq!(recs[0].delivered, Time::from_micros(2_000));
+    }
+
+    #[test]
+    fn resource_holds_serialize_across_processors() {
+        use rt_task::ResourceRequest;
+        let mut m = machine(2, 0);
+        let writer = task(0, 5_000, 1_000_000, &[0])
+            .with_resources(vec![ResourceRequest::exclusive(0)]);
+        let reader = task(1, 1_000, 1_000_000, &[1])
+            .with_resources(vec![ResourceRequest::shared(0)]);
+        let recs = m.deliver(
+            vec![
+                Dispatch { task: writer, processor: ProcessorId::new(0) },
+                Dispatch { task: reader, processor: ProcessorId::new(1) },
+            ],
+            Time::ZERO,
+        );
+        // the reader runs on a different (idle) processor but must still
+        // wait for the exclusive writer
+        assert_eq!(recs[0].completion, Time::from_micros(5_000));
+        assert_eq!(recs[1].start, Time::from_micros(5_000));
+        assert_eq!(recs[1].completion, Time::from_micros(6_000));
+        assert_eq!(
+            m.resource_eats().earliest_start(&[ResourceRequest::exclusive(0)]),
+            Time::from_micros(6_000),
+            "a future writer waits for the reader too"
+        );
+    }
+
+    #[test]
+    fn shared_holds_overlap_across_processors() {
+        use rt_task::ResourceRequest;
+        let mut m = machine(2, 0);
+        let mk_reader = |id: u64, p: usize| Dispatch {
+            task: task(id, 2_000, 1_000_000, &[p]).with_resources(vec![
+                ResourceRequest::shared(3),
+            ]),
+            processor: ProcessorId::new(p),
+        };
+        let recs = m.deliver(vec![mk_reader(0, 0), mk_reader(1, 1)], Time::ZERO);
+        // shared readers run concurrently
+        assert_eq!(recs[0].start, Time::ZERO);
+        assert_eq!(recs[1].start, Time::ZERO);
+    }
+
+    #[test]
+    fn workers_used_counts_distinct() {
+        let mut m = machine(4, 0);
+        assert_eq!(m.workers_used(), 0);
+        m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 1_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(1, 1_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+            ],
+            Time::ZERO,
+        );
+        assert_eq!(m.workers_used(), 1);
+        assert_eq!(m.worker(ProcessorId::new(0)).executed(), 2);
+        assert_eq!(m.iter_workers().count(), 4);
+    }
+}

@@ -1,0 +1,222 @@
+//! Data-object placement across local memories.
+//!
+//! In the paper's model, data objects (sub-databases in the evaluation) are
+//! distributed among the processors' private memories, possibly with copies.
+//! A task has affinity with exactly the processors holding *all* of its
+//! referenced objects locally (Section 2).
+
+use rt_task::{AffinitySet, ProcessorId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a replicable data object (e.g. a sub-database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataObjectId(usize);
+
+impl DataObjectId {
+    /// Wraps a dense object index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        DataObjectId(index)
+    }
+
+    /// The dense object index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DataObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Which processors hold a local copy of each data object.
+///
+/// # Example
+///
+/// ```
+/// use paragon_platform::{DataObjectId, Placement};
+/// use rt_task::ProcessorId;
+///
+/// let mut placement = Placement::new(2, 4);
+/// placement.add_copy(DataObjectId::new(0), ProcessorId::new(1));
+/// placement.add_copy(DataObjectId::new(1), ProcessorId::new(1));
+/// placement.add_copy(DataObjectId::new(1), ProcessorId::new(3));
+/// // a task touching both objects is only local on P1
+/// let aff = placement.affinity_for([DataObjectId::new(0), DataObjectId::new(1)]);
+/// assert_eq!(aff.len(), 1);
+/// assert!(aff.contains(ProcessorId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    homes: Vec<AffinitySet>,
+    workers: usize,
+}
+
+impl Placement {
+    /// Creates an empty placement for `objects` data objects over `workers`
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn new(objects: usize, workers: usize) -> Self {
+        assert!(workers > 0, "placement needs at least one worker");
+        Placement {
+            homes: vec![AffinitySet::new(); objects],
+            workers,
+        }
+    }
+
+    /// Number of data objects.
+    #[must_use]
+    pub fn objects(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Records that `proc` holds a local copy of `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` or `proc` is out of range.
+    pub fn add_copy(&mut self, object: DataObjectId, proc: ProcessorId) {
+        assert!(
+            proc.index() < self.workers,
+            "processor {proc} out of range (workers={})",
+            self.workers
+        );
+        self.homes
+            .get_mut(object.index())
+            .unwrap_or_else(|| panic!("unknown data object {object}"))
+            .insert(proc);
+    }
+
+    /// The processors holding a copy of `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    #[must_use]
+    pub fn holders(&self, object: DataObjectId) -> &AffinitySet {
+        &self.homes[object.index()]
+    }
+
+    /// The affinity set of a task referencing `objects`: processors holding
+    /// *all* of them. Referencing no objects yields affinity with every
+    /// processor (nothing needs to be fetched).
+    #[must_use]
+    pub fn affinity_for<I: IntoIterator<Item = DataObjectId>>(&self, objects: I) -> AffinitySet {
+        let mut iter = objects.into_iter();
+        let Some(first) = iter.next() else {
+            return AffinitySet::all(self.workers);
+        };
+        let mut acc = self.holders(first).clone();
+        for obj in iter {
+            acc = acc.intersection(self.holders(obj));
+        }
+        acc
+    }
+
+    /// Number of copies of each object, for replication-rate assertions.
+    #[must_use]
+    pub fn copy_counts(&self) -> Vec<usize> {
+        self.homes.iter().map(AffinitySet::len).collect()
+    }
+
+    /// The achieved replication rate: mean fraction of processors holding
+    /// each object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement has no objects.
+    #[must_use]
+    pub fn replication_rate(&self) -> f64 {
+        assert!(!self.homes.is_empty(), "no data objects placed");
+        let total: usize = self.homes.iter().map(AffinitySet::len).sum();
+        total as f64 / (self.homes.len() * self.workers) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_copies() {
+        let mut p = Placement::new(3, 4);
+        assert_eq!(p.objects(), 3);
+        assert_eq!(p.workers(), 4);
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(2));
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(3));
+        assert_eq!(p.holders(DataObjectId::new(0)).len(), 2);
+        assert!(p.holders(DataObjectId::new(1)).is_empty());
+        assert_eq!(p.copy_counts(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn affinity_is_intersection_of_holders() {
+        let mut p = Placement::new(2, 4);
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(0));
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(1));
+        p.add_copy(DataObjectId::new(1), ProcessorId::new(1));
+        p.add_copy(DataObjectId::new(1), ProcessorId::new(2));
+        let aff = p.affinity_for([DataObjectId::new(0), DataObjectId::new(1)]);
+        assert_eq!(aff.iter().map(ProcessorId::index).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_reference_set_is_fully_affine() {
+        let p = Placement::new(1, 3);
+        let aff = p.affinity_for([]);
+        assert_eq!(aff.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_objects_yield_empty_affinity() {
+        let mut p = Placement::new(2, 2);
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(0));
+        p.add_copy(DataObjectId::new(1), ProcessorId::new(1));
+        let aff = p.affinity_for([DataObjectId::new(0), DataObjectId::new(1)]);
+        assert!(aff.is_empty());
+    }
+
+    #[test]
+    fn replication_rate_is_mean_fraction() {
+        let mut p = Placement::new(2, 4);
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(0));
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(1));
+        p.add_copy(DataObjectId::new(1), ProcessorId::new(2));
+        // (2 + 1) / (2 * 4)
+        assert!((p.replication_rate() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn copy_on_unknown_processor_panics() {
+        let mut p = Placement::new(1, 2);
+        p.add_copy(DataObjectId::new(0), ProcessorId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown data object")]
+    fn copy_of_unknown_object_panics() {
+        let mut p = Placement::new(1, 2);
+        p.add_copy(DataObjectId::new(5), ProcessorId::new(0));
+    }
+
+    #[test]
+    fn display_and_index() {
+        let d = DataObjectId::new(7);
+        assert_eq!(d.index(), 7);
+        assert_eq!(d.to_string(), "D7");
+    }
+}

@@ -1,0 +1,170 @@
+//! A single working processor with a FIFO ready queue.
+
+use paragon_des::{Duration, Time};
+use rt_task::ProcessorId;
+
+/// One working processor `P_k`.
+///
+/// The worker executes assignments non-preemptively in delivery order. Its
+/// state is summarized by `busy_until` — the instant it finishes everything
+/// currently queued — from which the paper's `Load_k` ("the waiting time
+/// before the processor becomes available") follows directly.
+///
+/// # Example
+///
+/// ```
+/// use paragon_des::{Duration, Time};
+/// use paragon_platform::Worker;
+/// use rt_task::ProcessorId;
+///
+/// let mut w = Worker::new(ProcessorId::new(0));
+/// let start = w.admit(Time::from_millis(1), Duration::from_millis(3));
+/// assert_eq!(start, Time::from_millis(1));
+/// assert_eq!(w.busy_until(), Time::from_millis(4));
+/// assert_eq!(w.load(Time::from_millis(1)), Duration::from_millis(3));
+/// assert_eq!(w.load(Time::from_millis(10)), Duration::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Worker {
+    id: ProcessorId,
+    busy_until: Time,
+    busy_time: Duration,
+    executed: u64,
+}
+
+impl Worker {
+    /// Creates an idle worker.
+    #[must_use]
+    pub fn new(id: ProcessorId) -> Self {
+        Worker {
+            id,
+            busy_until: Time::ZERO,
+            busy_time: Duration::ZERO,
+            executed: 0,
+        }
+    }
+
+    /// This worker's identifier.
+    #[must_use]
+    pub fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// Appends a work item of length `service` delivered at `at`, returning
+    /// the instant execution will start (after all previously queued work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes an earlier delivery's time in a way that would
+    /// start work in the past relative to `busy_until` bookkeeping — i.e.
+    /// `service` must be non-zero.
+    pub fn admit(&mut self, at: Time, service: Duration) -> Time {
+        assert!(!service.is_zero(), "zero-length work admitted to {}", self.id);
+        let start = self.busy_until.max(at);
+        self.busy_until = start + service;
+        self.busy_time += service;
+        self.executed += 1;
+        start
+    }
+
+    /// The instant this worker drains its queue.
+    #[must_use]
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// The paper's `Load_k` at instant `now`: how long until the processor
+    /// becomes available (zero if already idle).
+    #[must_use]
+    pub fn load(&self, now: Time) -> Duration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Whether the worker has no pending work at `now`.
+    #[must_use]
+    pub fn is_idle(&self, now: Time) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total service time executed so far (for utilization reports).
+    #[must_use]
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+
+    /// Number of work items executed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Utilization over the window `[0, horizon]`, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is `Time::ZERO`.
+    #[must_use]
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        assert!(horizon > Time::ZERO, "utilization needs a positive horizon");
+        let busy = self.busy_time.as_micros().min(horizon.as_micros());
+        busy as f64 / horizon.as_micros() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_when_idle_starts_immediately() {
+        let mut w = Worker::new(ProcessorId::new(2));
+        let start = w.admit(Time::from_millis(5), Duration::from_millis(2));
+        assert_eq!(start, Time::from_millis(5));
+        assert_eq!(w.busy_until(), Time::from_millis(7));
+        assert_eq!(w.executed(), 1);
+    }
+
+    #[test]
+    fn admit_when_busy_queues_fifo() {
+        let mut w = Worker::new(ProcessorId::new(0));
+        w.admit(Time::ZERO, Duration::from_millis(10));
+        let start = w.admit(Time::from_millis(1), Duration::from_millis(5));
+        assert_eq!(start, Time::from_millis(10), "second item waits for the first");
+        assert_eq!(w.busy_until(), Time::from_millis(15));
+    }
+
+    #[test]
+    fn load_reflects_backlog() {
+        let mut w = Worker::new(ProcessorId::new(0));
+        assert_eq!(w.load(Time::ZERO), Duration::ZERO);
+        assert!(w.is_idle(Time::ZERO));
+        w.admit(Time::ZERO, Duration::from_millis(4));
+        assert_eq!(w.load(Time::from_millis(1)), Duration::from_millis(3));
+        assert!(!w.is_idle(Time::from_millis(1)));
+        assert!(w.is_idle(Time::from_millis(4)));
+    }
+
+    #[test]
+    fn busy_time_accumulates_across_gaps() {
+        let mut w = Worker::new(ProcessorId::new(0));
+        w.admit(Time::ZERO, Duration::from_millis(1));
+        w.admit(Time::from_millis(100), Duration::from_millis(1));
+        assert_eq!(w.busy_time(), Duration::from_millis(2));
+        let u = w.utilization(Time::from_millis(200));
+        assert!((u - 0.01).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length work")]
+    fn zero_service_rejected() {
+        let mut w = Worker::new(ProcessorId::new(0));
+        w.admit(Time::ZERO, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive horizon")]
+    fn utilization_rejects_zero_horizon() {
+        let w = Worker::new(ProcessorId::new(0));
+        let _ = w.utilization(Time::ZERO);
+    }
+}

@@ -1,0 +1,334 @@
+//! Write operations on the database substrate.
+//!
+//! The paper's evaluation "assume[s] read-only transactions" to simplify the
+//! study, but the underlying system is a general distributed database; this
+//! module supplies the general mutation path — inserts, predicate-based
+//! updates and deletes with full key-index maintenance — so the substrate
+//! stands on its own. Writes are applied to one partition (primary copy);
+//! replica refresh is the placement layer's concern and out of scope here,
+//! exactly as in the paper.
+
+use crate::database::{GlobalDatabase, SubDatabase, Tuple};
+use crate::schema::Schema;
+use crate::transaction::Transaction;
+
+/// Errors from mutating the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// The tuple's arity does not match the schema.
+    WrongArity {
+        /// Values supplied.
+        got: usize,
+        /// Attributes expected.
+        expected: usize,
+    },
+    /// A value lies outside its `(partition, attribute)` domain.
+    ValueOutOfDomain {
+        /// The offending attribute.
+        attr: usize,
+        /// The offending value.
+        value: u64,
+    },
+    /// The referenced partition does not exist.
+    NoSuchPartition(usize),
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::WrongArity { got, expected } => {
+                write!(f, "tuple has {got} values, schema expects {expected}")
+            }
+            MutateError::ValueOutOfDomain { attr, value } => {
+                write!(f, "value {value} outside the domain of attribute {attr}")
+            }
+            MutateError::NoSuchPartition(p) => write!(f, "no such partition {p}"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl SubDatabase {
+    /// Appends a tuple, maintaining the key index.
+    pub(crate) fn insert_tuple(&mut self, tuple: Tuple) {
+        let idx = self.tuples_mut().len();
+        let key = tuple.key();
+        self.tuples_mut().push(tuple);
+        self.key_index_mut().entry(key).or_default().push(idx);
+    }
+
+    /// Rebuilds the key index from scratch (after updates/deletes).
+    pub(crate) fn reindex(&mut self) {
+        let entries: Vec<(u64, usize)> = self
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.key(), i))
+            .collect();
+        let index = self.key_index_mut();
+        index.clear();
+        for (key, i) in entries {
+            index.entry(key).or_default().push(i);
+        }
+    }
+}
+
+impl GlobalDatabase {
+    /// Validates `values` against partition `subdb`'s domains.
+    fn validate(&self, subdb: usize, values: &[u64]) -> Result<(), MutateError> {
+        let schema: &Schema = self.schema();
+        if subdb >= self.partitions() {
+            return Err(MutateError::NoSuchPartition(subdb));
+        }
+        if values.len() != schema.attributes() {
+            return Err(MutateError::WrongArity {
+                got: values.len(),
+                expected: schema.attributes(),
+            });
+        }
+        for (attr, &v) in values.iter().enumerate() {
+            if !schema.value_in_domain(v, subdb, attr) {
+                return Err(MutateError::ValueOutOfDomain { attr, value: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a tuple into partition `subdb`, maintaining both the
+    /// partition's key index and the host's global index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects tuples with the wrong arity or out-of-domain values.
+    pub fn insert(&mut self, subdb: usize, values: Vec<u64>) -> Result<(), MutateError> {
+        self.validate(subdb, &values)?;
+        let key = values[Schema::KEY_ATTR];
+        self.subdb_mut(subdb).insert_tuple(Tuple::new(values));
+        self.global_key_index_mut()
+            .entry(key)
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        Ok(())
+    }
+
+    /// Sets attribute `attr` to `new_value` on every tuple of the target
+    /// partition matching `txn`'s predicates. Returns the number of tuples
+    /// changed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects values outside the target partition's domain for `attr`.
+    pub fn update_where(
+        &mut self,
+        txn: &Transaction,
+        attr: usize,
+        new_value: u64,
+    ) -> Result<usize, MutateError> {
+        let target = self.target_subdb(txn);
+        if !self.schema().value_in_domain(new_value, target, attr) {
+            return Err(MutateError::ValueOutOfDomain {
+                attr,
+                value: new_value,
+            });
+        }
+        let key_changed = attr == Schema::KEY_ATTR;
+        let mut old_keys: Vec<u64> = Vec::new();
+        let sdb = self.subdb_mut(target);
+        let mut changed = 0;
+        for i in 0..sdb.len() {
+            if txn.matches(sdb.tuples_mut()[i].values()) {
+                if key_changed {
+                    old_keys.push(sdb.tuples_mut()[i].key());
+                }
+                sdb.tuples_mut()[i].values_mut()[attr] = new_value;
+                changed += 1;
+            }
+        }
+        if key_changed && changed > 0 {
+            sdb.reindex();
+            for k in old_keys {
+                self.decrement_global_key(k);
+            }
+            *self.global_key_index_mut().entry(new_value).or_insert(0) += changed;
+        }
+        Ok(changed)
+    }
+
+    /// Deletes every tuple of the target partition matching `txn`'s
+    /// predicates. Returns the number of tuples removed.
+    pub fn delete_where(&mut self, txn: &Transaction) -> usize {
+        let target = self.target_subdb(txn);
+        let sdb = self.subdb_mut(target);
+        let mut removed_keys = Vec::new();
+        sdb.tuples_mut().retain(|t| {
+            if txn.matches(t.values()) {
+                removed_keys.push(t.key());
+                false
+            } else {
+                true
+            }
+        });
+        sdb.reindex();
+        let removed = removed_keys.len();
+        for k in removed_keys {
+            self.decrement_global_key(k);
+        }
+        removed
+    }
+
+    fn decrement_global_key(&mut self, key: u64) {
+        if let Some(c) = self.global_key_index_mut().get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.global_key_index_mut().remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::SimRng;
+
+    fn db() -> GlobalDatabase {
+        let mut rng = SimRng::seed_from(21);
+        GlobalDatabase::generate(&Schema::new(3, 10), 2, 50, &mut rng)
+    }
+
+    /// The invariant every mutation must preserve.
+    fn check_indexes(db: &GlobalDatabase) {
+        for s in 0..db.partitions() {
+            let sdb = db.subdb(s);
+            let base = db.schema().domain_base(s, Schema::KEY_ATTR);
+            for key in base..base + db.schema().domain_size() {
+                let scan = sdb.iter().filter(|t| t.key() == key).count();
+                assert_eq!(sdb.key_frequency(key), scan, "partition index for {key}");
+                assert_eq!(db.global_key_frequency(key), scan, "global index for {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_maintains_indexes() {
+        let mut db = db();
+        let before = db.total_tuples();
+        let schema = *db.schema();
+        let values: Vec<u64> = (0..3).map(|a| schema.domain_base(1, a) + 5).collect();
+        db.insert(1, values.clone()).unwrap();
+        assert_eq!(db.total_tuples(), before + 1);
+        check_indexes(&db);
+        // the new tuple is findable by key
+        let freq = db.global_key_frequency(values[0]);
+        assert!(freq >= 1);
+    }
+
+    #[test]
+    fn insert_rejects_bad_tuples() {
+        let mut db = db();
+        let schema = *db.schema();
+        assert!(matches!(
+            db.insert(1, vec![schema.domain_base(1, 0)]),
+            Err(MutateError::WrongArity { got: 1, expected: 3 })
+        ));
+        // value from partition 0's domain inserted into partition 1
+        let bad: Vec<u64> = (0..3).map(|a| schema.domain_base(0, a)).collect();
+        assert!(matches!(
+            db.insert(1, bad),
+            Err(MutateError::ValueOutOfDomain { attr: 0, .. })
+        ));
+        assert!(matches!(
+            db.insert(9, vec![0, 0, 0]),
+            Err(MutateError::NoSuchPartition(9))
+        ));
+    }
+
+    #[test]
+    fn update_non_key_attribute() {
+        let mut db = db();
+        let schema = *db.schema();
+        let probe = db.subdb(0).iter().next().unwrap().values()[1];
+        let txn = Transaction::new(0, vec![(1, probe)]);
+        let expected = db.subdb(0).iter().filter(|t| t.values()[1] == probe).count();
+        let new_value = schema.domain_base(0, 2) + 9;
+        // update attr 2 of all matching tuples
+        let changed = db.update_where(&txn, 2, new_value).unwrap();
+        assert_eq!(changed, expected);
+        check_indexes(&db);
+        let now_there = db
+            .subdb(0)
+            .iter()
+            .filter(|t| t.values()[1] == probe && t.values()[2] == new_value)
+            .count();
+        assert_eq!(now_there, expected);
+    }
+
+    #[test]
+    fn update_key_attribute_reindexes() {
+        let mut db = db();
+        let schema = *db.schema();
+        let old_key = db.subdb(0).iter().next().unwrap().key();
+        let txn = Transaction::new(0, vec![(0, old_key)]);
+        let moved = db.global_key_frequency(old_key);
+        let new_key = schema.domain_base(0, 0) + 3;
+        let prior_at_new = db.global_key_frequency(new_key);
+        let changed = db.update_where(&txn, 0, new_key).unwrap();
+        assert_eq!(changed, moved);
+        assert_eq!(db.global_key_frequency(old_key), 0);
+        assert_eq!(db.global_key_frequency(new_key), prior_at_new + moved);
+        check_indexes(&db);
+    }
+
+    #[test]
+    fn update_rejects_out_of_domain_value() {
+        let mut db = db();
+        let schema = *db.schema();
+        let probe = db.subdb(0).iter().next().unwrap().key();
+        let txn = Transaction::new(0, vec![(0, probe)]);
+        let foreign = schema.domain_base(1, 1);
+        assert!(db.update_where(&txn, 1, foreign).is_err());
+    }
+
+    #[test]
+    fn delete_removes_and_reindexes() {
+        let mut db = db();
+        let key = db.subdb(1).iter().next().unwrap().key();
+        let freq = db.global_key_frequency(key);
+        assert!(freq > 0);
+        let before = db.total_tuples();
+        let txn = Transaction::new(0, vec![(0, key)]);
+        let removed = db.delete_where(&txn);
+        assert_eq!(removed, freq);
+        assert_eq!(db.total_tuples(), before - removed);
+        assert_eq!(db.global_key_frequency(key), 0);
+        let (checked, matches) = db.execute(&txn);
+        assert_eq!((checked, matches), (0, 0));
+        check_indexes(&db);
+    }
+
+    #[test]
+    fn delete_of_absent_predicate_is_noop() {
+        let mut db = db();
+        let schema = *db.schema();
+        // find an absent key value if any
+        let base = schema.domain_base(0, 0);
+        let absent = (base..base + schema.domain_size())
+            .find(|&k| db.global_key_frequency(k) == 0);
+        if let Some(k) = absent {
+            let before = db.total_tuples();
+            assert_eq!(db.delete_where(&Transaction::new(0, vec![(0, k)])), 0);
+            assert_eq!(db.total_tuples(), before);
+        }
+    }
+
+    #[test]
+    fn mutate_error_displays() {
+        for e in [
+            MutateError::WrongArity { got: 1, expected: 2 },
+            MutateError::ValueOutOfDomain { attr: 0, value: 9 },
+            MutateError::NoSuchPartition(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The relational schema with disjoint per-sub-database attribute domains.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema of the global database.
+///
+/// Every sub-database has the same `attributes` columns. Attribute `a` of
+/// sub-database `s` draws its values from a dedicated block of `domain_size`
+/// integers, so all domains are pairwise disjoint and a value uniquely
+/// identifies both its sub-database and its attribute — mirroring the
+/// paper's "the attributes domains are disjoint from each other among the
+/// sub-databases".
+///
+/// Attribute `0` is the key attribute the sub-databases are indexed on
+/// (the paper's "attribute #1").
+///
+/// # Example
+///
+/// ```
+/// use rtdb::Schema;
+/// let schema = Schema::new(10, 100);
+/// let base = schema.domain_base(3, 2);
+/// assert_eq!(schema.subdb_of_value(base + 50), Some(3));
+/// assert_eq!(schema.attr_of_value(base + 50), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: usize,
+    domain_size: u64,
+}
+
+impl Schema {
+    /// The key attribute's index.
+    pub const KEY_ATTR: usize = 0;
+
+    /// Creates a schema with `attributes` columns, each domain holding
+    /// `domain_size` distinct values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(attributes: usize, domain_size: u64) -> Self {
+        assert!(attributes > 0, "schema needs at least one attribute");
+        assert!(domain_size > 0, "domains must be non-empty");
+        Schema {
+            attributes,
+            domain_size,
+        }
+    }
+
+    /// Number of attributes per tuple.
+    #[must_use]
+    pub fn attributes(&self) -> usize {
+        self.attributes
+    }
+
+    /// Number of distinct values per (sub-database, attribute) domain.
+    #[must_use]
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// First value of the domain of attribute `attr` in sub-database
+    /// `subdb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range.
+    #[must_use]
+    pub fn domain_base(&self, subdb: usize, attr: usize) -> u64 {
+        assert!(attr < self.attributes, "attribute {attr} out of range");
+        (subdb as u64 * self.attributes as u64 + attr as u64) * self.domain_size
+    }
+
+    /// The sub-database whose domains contain `value`.
+    #[must_use]
+    pub fn subdb_of_value(&self, value: u64) -> Option<usize> {
+        Some((value / (self.domain_size * self.attributes as u64)) as usize)
+    }
+
+    /// The attribute whose domain contains `value`.
+    #[must_use]
+    pub fn attr_of_value(&self, value: u64) -> Option<usize> {
+        Some(((value / self.domain_size) % self.attributes as u64) as usize)
+    }
+
+    /// Whether `value` lies in the domain of `(subdb, attr)`.
+    #[must_use]
+    pub fn value_in_domain(&self, value: u64, subdb: usize, attr: usize) -> bool {
+        let base = self.domain_base(subdb, attr);
+        value >= base && value < base + self.domain_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_disjoint_and_invertible() {
+        let s = Schema::new(10, 100);
+        for subdb in 0..5 {
+            for attr in 0..10 {
+                let base = s.domain_base(subdb, attr);
+                for probe in [base, base + 99] {
+                    assert_eq!(s.subdb_of_value(probe), Some(subdb));
+                    assert_eq!(s.attr_of_value(probe), Some(attr));
+                    assert!(s.value_in_domain(probe, subdb, attr));
+                }
+                assert!(!s.value_in_domain(base + 100, subdb, attr));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_domains_do_not_overlap() {
+        let s = Schema::new(3, 10);
+        let end_of_first = s.domain_base(0, 0) + 9;
+        let start_of_second = s.domain_base(0, 1);
+        assert_eq!(start_of_second, end_of_first + 1);
+        // last attr of subdb 0 is followed by first attr of subdb 1
+        assert_eq!(s.domain_base(1, 0), s.domain_base(0, 2) + 10);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Schema::new(7, 42);
+        assert_eq!(s.attributes(), 7);
+        assert_eq!(s.domain_size(), 42);
+        assert_eq!(Schema::KEY_ATTR, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn zero_attributes_rejected() {
+        let _ = Schema::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_rejected() {
+        let _ = Schema::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_attr_rejected() {
+        let _ = Schema::new(2, 10).domain_base(0, 5);
+    }
+}

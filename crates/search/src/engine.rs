@@ -1,0 +1,670 @@
+//! The depth-first candidate-list search engine shared by RT-SADS and
+//! D-COLS.
+//!
+//! One *scheduling phase* (paper, Section 4.1) is one call to
+//! [`search_schedule`]: starting from the root (empty schedule), the current
+//! vertex is expanded, its feasible successors are heuristically ordered and
+//! pushed on the front of the candidate list `CL`, and the next current
+//! vertex is taken from the front of `CL`. The phase ends at a leaf (complete
+//! schedule), at a dead-end (`CL` empty), or when the scheduling-time
+//! quantum is exhausted — in the latter two cases the best (deepest, then
+//! lowest-makespan) feasible partial schedule found so far is returned.
+
+use paragon_des::Time;
+use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
+
+use paragon_platform::SchedulingMeter;
+
+use crate::policy::{Candidate, ChildOrder};
+use crate::repr::Representation;
+use crate::state::{Assignment, PathState};
+
+/// Why a scheduling phase ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// A leaf was reached: the returned schedule is complete.
+    Leaf,
+    /// The candidate list emptied: no feasible extension exists anywhere.
+    DeadEnd,
+    /// The scheduling-time quantum (or vertex cap) ran out.
+    QuantumExhausted,
+    /// A pruning bound (backtrack limit) cut the search short.
+    Pruned,
+}
+
+/// The search-space pruning heuristics Section 3 of the paper lists as what
+/// "dynamic algorithms are forced to use … to reduce the scheduling
+/// complexity": a limit on backtracking and a limit on the depth of search.
+/// The defaults disable both (the quantum is then the only bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pruning {
+    /// Expansions stop below this depth; the tree is explored only down to
+    /// `depth_bound` assignments. `None` = full depth.
+    pub depth_bound: Option<usize>,
+    /// The phase ends ([`Termination::Pruned`]) after this many backtracks.
+    /// `None` = unlimited.
+    pub backtrack_limit: Option<u64>,
+}
+
+/// Diagnostics of one search phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Vertices generated and evaluated (including infeasible ones).
+    pub vertices_generated: u64,
+    /// Vertices expanded (popped from `CL` and given successors).
+    pub expansions: u64,
+    /// Pops that switched to a different branch of `G` (the paper's
+    /// backtracking).
+    pub backtracks: u64,
+    /// Successors that failed the feasibility test.
+    pub infeasible_children: u64,
+    /// Successors that passed it.
+    pub feasible_children: u64,
+    /// The deepest feasible partial schedule seen.
+    pub deepest: usize,
+    /// Skip rounds taken: expansions whose canonical choice (task or, for
+    /// the skipping sequence-oriented variant, processor) admitted no
+    /// feasible successor and moved on to the next choice.
+    pub level_skips: u64,
+}
+
+/// Result of one scheduling phase.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best feasible (partial or complete) schedule found, in path
+    /// order.
+    pub assignments: Vec<Assignment>,
+    /// Why the phase ended.
+    pub termination: Termination,
+    /// Search diagnostics.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Whether the schedule covers the whole batch.
+    #[must_use]
+    pub fn is_complete(&self, batch_len: usize) -> bool {
+        self.assignments.len() == batch_len
+    }
+
+    /// Number of distinct processors the schedule uses.
+    #[must_use]
+    pub fn processors_used(&self) -> usize {
+        let mut procs: Vec<ProcessorId> = self.assignments.iter().map(|a| a.processor).collect();
+        procs.sort();
+        procs.dedup();
+        procs.len()
+    }
+}
+
+/// Inputs of one scheduling phase.
+#[derive(Debug, Clone)]
+pub struct SearchParams<'a> {
+    /// The batch being scheduled.
+    pub tasks: &'a [Task],
+    /// The interconnect cost model.
+    pub comm: &'a CommModel,
+    /// Per-processor earliest start for new work:
+    /// `max(busy_until_k, t_s + Q_s(j))` (see [`PathState::new`]).
+    pub initial_finish: &'a [Time],
+    /// Tree layout (assignment- vs sequence-oriented).
+    pub representation: &'a Representation,
+    /// Heuristic ordering of feasible successors.
+    pub child_order: ChildOrder,
+    /// Reference instant for slack-based task ordering (`t_s`).
+    pub now: Time,
+    /// Hard cap on generated vertices, guarding unbounded searches when the
+    /// host's vertex cost is zero. `None` = rely on the meter alone.
+    pub vertex_cap: Option<u64>,
+    /// Optional Section-3 pruning heuristics (depth bound, backtrack
+    /// limit).
+    pub pruning: Pruning,
+    /// The machine's resource earliest-available times at phase start
+    /// (empty for the paper's independent tasks).
+    pub resources: ResourceEats,
+}
+
+/// Arena node: enough to reconstruct the partial schedule by walking
+/// parents.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parent: Option<usize>,
+    task: usize,
+    processor: ProcessorId,
+}
+
+/// Runs one scheduling phase (see the module docs for the algorithm)
+/// and [`SearchParams`] for the inputs. The `meter` both limits and measures
+/// the scheduling time consumed.
+#[must_use]
+pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -> SearchOutcome {
+    let n = params.tasks.len();
+    let mut stats = SearchStats::default();
+
+    if n == 0 {
+        return SearchOutcome {
+            assignments: Vec::new(),
+            termination: Termination::Leaf,
+            stats,
+        };
+    }
+
+    // Phase-level viability screen: processor finish times only grow along
+    // any path of `G`, so a task that cannot meet its deadline even against
+    // the *initial* finish times is infeasible in the entire phase tree.
+    // Screening it out once keeps expansions from re-evaluating it at every
+    // level. (Like the paper's per-phase batch expiry test, this screen is
+    // not charged against the quantum; screened tasks stay in the batch.)
+    let viable: Vec<bool> = params
+        .tasks
+        .iter()
+        .map(|t| {
+            ProcessorId::all(params.initial_finish.len()).any(|p| {
+                t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
+            })
+        })
+        .collect();
+    let n_viable = viable.iter().filter(|&&v| v).count();
+    if n_viable == 0 {
+        return SearchOutcome {
+            assignments: Vec::new(),
+            termination: Termination::DeadEnd,
+            stats,
+        };
+    }
+
+    let level_task: Vec<usize> = match params.representation {
+        Representation::AssignmentOriented { task_order } => task_order
+            .order(params.tasks, params.now)
+            .into_iter()
+            .filter(|&t| viable[t])
+            .collect(),
+        Representation::SequenceOriented { .. } => Vec::new(),
+    };
+
+    let root_state = || {
+        PathState::with_resources(
+            params.initial_finish.to_vec(),
+            n,
+            params.resources.clone(),
+        )
+    };
+
+    let mut arena: Vec<Node> = Vec::new();
+    let mut cl: Vec<usize> = Vec::new(); // stack: end = front of CL
+    // Best feasible vertex so far: (depth, makespan, id). Root (empty
+    // schedule) is the fallback; `None` id means "deliver nothing".
+    let mut best: (usize, Time, Option<usize>) = (0, root_state().makespan(), None);
+    let mut last_expanded: Option<usize> = None;
+    let termination;
+
+    // Reconstructs the PathState of a vertex by replaying root->vertex.
+    let replay = |arena: &[Node], id: Option<usize>| -> PathState {
+        let mut chain = Vec::new();
+        let mut cursor = id;
+        while let Some(i) = cursor {
+            chain.push(i);
+            cursor = arena[i].parent;
+        }
+        let mut state = root_state();
+        for &i in chain.iter().rev() {
+            let node = &arena[i];
+            state.apply(params.tasks, params.comm, node.task, node.processor);
+        }
+        state
+    };
+
+    // Expands `cv` (None = root): generates, filters, orders and pushes its
+    // successors. Returns Some(leaf id) if a complete schedule was generated.
+    let expand = |cv: Option<usize>,
+                      state: &PathState,
+                      arena: &mut Vec<Node>,
+                      cl: &mut Vec<usize>,
+                      meter: &mut SchedulingMeter,
+                      stats: &mut SearchStats,
+                      best: &mut (usize, Time, Option<usize>)|
+     -> Option<usize> {
+        // Depth bound (Section 3 pruning): do not expand below the bound.
+        if params
+            .pruning
+            .depth_bound
+            .is_some_and(|bound| state.depth() >= bound)
+        {
+            return None;
+        }
+        stats.expansions += 1;
+        let max_skips = params.representation.max_skips(state);
+        let mut children: Vec<Candidate> = Vec::new();
+        'skip_rounds: for skip in 0..=max_skips {
+            let mut raw = params
+                .representation
+                .raw_candidates(state, &level_task, skip);
+            // Screened (phase-infeasible) tasks are invisible to the search
+            // and cost no quantum. An empty round means no viable task is
+            // left at all — skipping further cannot help either layout.
+            raw.retain(|&(t, _)| viable[t]);
+            if raw.is_empty() {
+                break;
+            }
+            for (task, p) in raw {
+                if params
+                    .vertex_cap
+                    .is_some_and(|cap| stats.vertices_generated >= cap)
+                {
+                    break 'skip_rounds; // cap reached mid-expansion
+                }
+                // the meter counts the charge attempt either way, so the
+                // stats stay equal to `meter.vertices()`
+                let charged = meter.charge_vertex();
+                stats.vertices_generated += 1;
+                if !charged {
+                    break 'skip_rounds; // quantum ran out mid-expansion
+                }
+                let completion = state.completion_if(params.tasks, params.comm, task, p);
+                if params.tasks[task].meets_deadline(completion) {
+                    stats.feasible_children += 1;
+                    children.push(Candidate {
+                        task,
+                        processor: p.index(),
+                        completion,
+                        makespan: state.makespan().max(completion),
+                        deadline: params.tasks[task].deadline(),
+                    });
+                } else {
+                    stats.infeasible_children += 1;
+                }
+            }
+            if !children.is_empty() {
+                break;
+            }
+            stats.level_skips += 1;
+        }
+        params.child_order.sort(&mut children);
+        let depth = state.depth() + 1;
+        let mut leaf = None;
+        // Push lowest-priority first so the highest-priority child is popped
+        // next (CL front).
+        for child in children.iter().rev() {
+            let id = arena.len();
+            arena.push(Node {
+                parent: cv,
+                task: child.task,
+                processor: ProcessorId::new(child.processor),
+            });
+            cl.push(id);
+            // Every generated feasible vertex is a candidate "best".
+            let key = (depth, child.makespan);
+            if key.0 > best.0 || (key.0 == best.0 && key.1 < best.1) {
+                *best = (depth, child.makespan, Some(id));
+            }
+            stats.deepest = stats.deepest.max(depth);
+            if depth == n_viable {
+                // Prefer the highest-priority leaf of this expansion: since
+                // we iterate lowest-priority first, keep overwriting.
+                leaf = Some(id);
+            }
+        }
+        leaf
+    };
+
+    // Expand the root.
+    let state = root_state();
+    let leaf = expand(
+        None, &state, &mut arena, &mut cl, meter, &mut stats, &mut best,
+    );
+    if let Some(leaf_id) = leaf {
+        best = (n_viable, Time::ZERO, Some(leaf_id));
+        termination = Termination::Leaf;
+    } else {
+        termination = loop {
+            if meter.exhausted()
+                || params
+                    .vertex_cap
+                    .is_some_and(|cap| stats.vertices_generated >= cap)
+            {
+                break Termination::QuantumExhausted;
+            }
+            let Some(cv) = cl.pop() else {
+                break Termination::DeadEnd;
+            };
+            if arena[cv].parent != last_expanded {
+                stats.backtracks += 1;
+                if params
+                    .pruning
+                    .backtrack_limit
+                    .is_some_and(|limit| stats.backtracks > limit)
+                {
+                    break Termination::Pruned;
+                }
+            }
+            let state = replay(&arena, Some(cv));
+            last_expanded = Some(cv);
+            let leaf = expand(
+                Some(cv), &state, &mut arena, &mut cl, meter, &mut stats, &mut best,
+            );
+            if let Some(leaf_id) = leaf {
+                best = (n_viable, Time::ZERO, Some(leaf_id));
+                break Termination::Leaf;
+            }
+        };
+    }
+
+    let assignments = replay(&arena, best.2).into_assignments();
+    SearchOutcome {
+        assignments,
+        termination,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+    use paragon_platform::HostParams;
+    use rt_task::{AffinitySet, TaskId};
+
+    fn mk_task(id: u64, p_us: u64, d_us: u64, aff: &[usize]) -> Task {
+        Task::builder(TaskId::new(id))
+            .processing_time(Duration::from_micros(p_us))
+            .deadline(Time::from_micros(d_us))
+            .affinity(aff.iter().map(|&k| ProcessorId::new(k)).collect::<AffinitySet>())
+            .build()
+    }
+
+    fn free_meter() -> SchedulingMeter {
+        SchedulingMeter::new(HostParams::free(), Duration::ZERO)
+    }
+
+    fn params<'a>(
+        tasks: &'a [Task],
+        comm: &'a CommModel,
+        initial: &'a [Time],
+        repr: &'a Representation,
+        order: ChildOrder,
+    ) -> SearchParams<'a> {
+        SearchParams {
+            tasks,
+            comm,
+            initial_finish: initial,
+            representation: repr,
+            child_order: order,
+            now: Time::ZERO,
+            vertex_cap: Some(100_000),
+            pruning: Pruning::default(),
+            resources: ResourceEats::new(),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_trivial_leaf() {
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&[], &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(out.assignments.is_empty());
+        assert!(out.is_complete(0));
+    }
+
+    #[test]
+    fn assignment_oriented_schedules_everything_feasible() {
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 3];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(out.is_complete(6));
+        // load balancing spreads 6 equal tasks over 3 processors, 2 each
+        assert_eq!(out.processors_used(), 3);
+        let max_done = out.assignments.iter().map(|a| a.completion).max().unwrap();
+        assert_eq!(max_done, Time::from_micros(200));
+    }
+
+    #[test]
+    fn all_scheduled_tasks_meet_deadlines() {
+        // Mixed feasibility: generous and impossible deadlines.
+        let tasks = vec![
+            mk_task(0, 100, 150, &[]),
+            mk_task(1, 100, 90, &[]), // infeasible: p=100 > d=90
+            mk_task(2, 100, 300, &[]),
+        ];
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        // task 1 can never be scheduled
+        assert!(!out.is_complete(3));
+        assert!(out.assignments.iter().all(|a| a.task != 1));
+        for a in &out.assignments {
+            assert!(tasks[a.task].meets_deadline(a.completion));
+        }
+    }
+
+    #[test]
+    fn quantum_exhaustion_returns_partial_schedule() {
+        let tasks: Vec<Task> = (0..50).map(|i| mk_task(i, 100, 1_000_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 4];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        // 10us quantum at 1us per vertex = 10 vertices = 2.5 expansions of 4
+        let mut meter = SchedulingMeter::new(
+            HostParams::new(Duration::from_micros(1)),
+            Duration::from_micros(10),
+        );
+        let out = search_schedule(&p, &mut meter);
+        assert_eq!(out.termination, Termination::QuantumExhausted);
+        assert!(!out.assignments.is_empty(), "delivers what it found");
+        assert!(out.assignments.len() < 50);
+        assert_eq!(out.stats.vertices_generated, meter.vertices());
+    }
+
+    #[test]
+    fn dead_end_when_nothing_fits() {
+        // Two tasks, each alone feasible, but not both on one processor.
+        let tasks = vec![mk_task(0, 100, 120, &[]), mk_task(1, 100, 120, &[])];
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 1]; // single processor
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::DeadEnd);
+        assert_eq!(out.assignments.len(), 1, "best partial schedule has one task");
+    }
+
+    #[test]
+    fn sequence_oriented_dead_ends_where_assignment_oriented_succeeds() {
+        // The paper's core conjecture, in miniature. Two processors; both
+        // tasks have affinity only with P1 and deadlines too tight to pay
+        // the communication cost. Sequence-oriented must give level 0's
+        // P0 a task (infeasible) -> immediate dead-end. Assignment-oriented
+        // just assigns both tasks to P1.
+        let tasks = vec![mk_task(0, 100, 250, &[1]), mk_task(1, 100, 250, &[1])];
+        let comm = CommModel::constant(Duration::from_micros(1_000));
+        let initial = [Time::ZERO; 2];
+
+        let seq = Representation::sequence_oriented();
+        let p = params(&tasks, &comm, &initial, &seq, ChildOrder::EarliestDeadline);
+        let out_seq = search_schedule(&p, &mut free_meter());
+        assert_eq!(out_seq.termination, Termination::DeadEnd);
+        assert!(out_seq.assignments.is_empty());
+
+        let asg = Representation::assignment_oriented();
+        let p = params(&tasks, &comm, &initial, &asg, ChildOrder::LoadBalance);
+        let out_asg = search_schedule(&p, &mut free_meter());
+        assert_eq!(out_asg.termination, Termination::Leaf);
+        assert!(out_asg.is_complete(2));
+        assert!(out_asg.assignments.iter().all(|a| a.processor.index() == 1));
+    }
+
+    #[test]
+    fn sequence_oriented_completes_balanced_feasible_case() {
+        let tasks: Vec<Task> = (0..4).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::sequence_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::EarliestDeadline);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(out.is_complete(4));
+        // round-robin: levels 0,2 on P0 and 1,3 on P1
+        assert_eq!(out.processors_used(), 2);
+    }
+
+    #[test]
+    fn backtracking_recovers_from_greedy_mistake() {
+        // Task A (earliest deadline, considered first) fits on either
+        // processor; task B only fits on P0 *and only if A is not there*.
+        // Greedy load-balance puts A on P0 first (both empty, tie broken by
+        // processor index), B then fails everywhere, and the search must
+        // backtrack to try A on P1.
+        let tasks = vec![
+            mk_task(0, 100, 150, &[0, 1]), // A: local everywhere, must start immediately
+            mk_task(1, 100, 150, &[0]),    // B: affine P0 only; comm 1000 -> infeasible elsewhere
+        ];
+        let comm = CommModel::constant(Duration::from_micros(1_000));
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(out.is_complete(2));
+        assert!(out.stats.backtracks > 0, "needed at least one backtrack");
+        let a = out.assignments.iter().find(|a| a.task == 0).unwrap();
+        let b = out.assignments.iter().find(|a| a.task == 1).unwrap();
+        assert_eq!(a.processor.index(), 1);
+        assert_eq!(b.processor.index(), 0);
+    }
+
+    #[test]
+    fn vertex_cap_bounds_unbudgeted_search() {
+        // Two processors fit 4 tasks each by the 400us deadline; with 10
+        // tasks the last two are unschedulable and force exponential
+        // backtracking through every arrangement of the first eight.
+        let tasks: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 400, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.vertex_cap = Some(500);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::QuantumExhausted);
+        assert!(out.stats.vertices_generated <= 501);
+    }
+
+    #[test]
+    fn depth_bound_limits_schedule_length() {
+        let tasks: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.pruning = Pruning {
+            depth_bound: Some(4),
+            backtrack_limit: None,
+        };
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.assignments.len(), 4, "bounded at depth 4");
+        assert_ne!(out.termination, Termination::Leaf);
+        for a in &out.assignments {
+            assert!(tasks[a.task].meets_deadline(a.completion));
+        }
+    }
+
+    #[test]
+    fn backtrack_limit_prunes_the_search() {
+        // Force heavy backtracking: 10 equal tasks, capacity for 8.
+        let tasks: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 400, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.pruning = Pruning {
+            depth_bound: None,
+            backtrack_limit: Some(3),
+        };
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Pruned);
+        assert!(out.stats.backtracks <= 4);
+        assert!(!out.assignments.is_empty(), "best partial still delivered");
+    }
+
+    #[test]
+    fn zero_backtrack_limit_is_one_dive() {
+        let tasks: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 400, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.pruning = Pruning {
+            depth_bound: None,
+            backtrack_limit: Some(0),
+        };
+        let out = search_schedule(&p, &mut free_meter());
+        // one straight dive schedules the 8 that fit, then stops at the
+        // first backtrack
+        assert_eq!(out.termination, Termination::Pruned);
+        assert_eq!(out.assignments.len(), 8);
+    }
+
+    #[test]
+    fn pruning_defaults_do_not_bind() {
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        assert_eq!(p.pruning, Pruning::default());
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(
+            out.stats.feasible_children + out.stats.infeasible_children,
+            out.stats.vertices_generated
+        );
+        assert_eq!(out.stats.deepest, 5);
+        assert!(out.stats.expansions >= 5);
+    }
+
+    #[test]
+    fn initial_backlog_delays_completions() {
+        let tasks = vec![mk_task(0, 100, 100_000, &[])];
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        // P0 busy until 5_000, P1 until 200
+        let initial = [Time::from_micros(5_000), Time::from_micros(200)];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.assignments[0].processor.index(), 1);
+        assert_eq!(out.assignments[0].completion, Time::from_micros(300));
+    }
+
+    #[test]
+    fn tight_deadline_respects_phase_end_bound() {
+        // Deadline 500; execution cannot start before the planned phase end
+        // folded into initial_finish = 450; p = 100 -> completion 550 > 500:
+        // infeasible, so nothing is scheduled.
+        let tasks = vec![mk_task(0, 100, 500, &[])];
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::from_micros(450)];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::DeadEnd);
+        assert!(out.assignments.is_empty());
+    }
+}

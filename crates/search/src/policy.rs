@@ -1,0 +1,237 @@
+//! Orderings: which task each level considers, which processor each level
+//! serves, and how feasible successors are prioritized in the candidate list.
+
+use paragon_des::Time;
+use rt_task::Task;
+use serde::{Deserialize, Serialize};
+
+/// How the assignment-oriented representation fixes the task considered at
+/// each tree level (paper: "at each level of G a task `T_i` is selected").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TaskOrder {
+    /// Earliest deadline first — the classical real-time selection heuristic.
+    #[default]
+    EarliestDeadline,
+    /// Smallest slack at a reference instant first.
+    MinSlack,
+    /// Batch (arrival) order, i.e. no heuristic.
+    Arrival,
+    /// Shortest processing time first.
+    ShortestProcessing,
+}
+
+impl TaskOrder {
+    /// Computes the level-to-task ordering for a batch at reference instant
+    /// `now` (used by slack). Returns batch indices, one per level.
+    #[must_use]
+    pub fn order(&self, tasks: &[Task], now: Time) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..tasks.len()).collect();
+        match self {
+            TaskOrder::EarliestDeadline => {
+                idx.sort_by_key(|&i| (tasks[i].deadline(), i));
+            }
+            TaskOrder::MinSlack => {
+                idx.sort_by_key(|&i| (tasks[i].slack(now), i));
+            }
+            TaskOrder::Arrival => {}
+            TaskOrder::ShortestProcessing => {
+                idx.sort_by_key(|&i| (tasks[i].processing_time(), i));
+            }
+        }
+        idx
+    }
+}
+
+/// How the sequence-oriented representation fixes the processor served at
+/// each tree level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ProcessorOrder {
+    /// `P_{l mod m}` at level `l` — the round-robin order shown in the
+    /// paper's Figure 1.
+    #[default]
+    RoundRobin,
+    /// Fill one processor's whole sequence before moving to the next
+    /// ("consecutive sub-problems that deal with one processor at a time"):
+    /// the `n` levels are split into `m` contiguous blocks.
+    FillFirst,
+}
+
+impl ProcessorOrder {
+    /// The processor index served at tree level `level` (0-based), for `m`
+    /// processors and `n` total tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn processor_at(&self, level: usize, m: usize, n: usize) -> usize {
+        assert!(m > 0, "no processors");
+        match self {
+            ProcessorOrder::RoundRobin => level % m,
+            ProcessorOrder::FillFirst => {
+                let block = n.div_ceil(m).max(1);
+                (level / block).min(m - 1)
+            }
+        }
+    }
+}
+
+/// How an expansion's feasible successors are ordered before being pushed on
+/// the front of the candidate list (highest priority first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChildOrder {
+    /// Minimize the resulting partial-schedule execution time `CE` (the
+    /// paper's load-balancing cost function, Section 4.4); ties broken by
+    /// the candidate's own completion time.
+    #[default]
+    LoadBalance,
+    /// Earliest candidate completion first (greedy, no global cost).
+    EarliestCompletion,
+    /// Earliest task deadline first (the EDF-style heuristic sequence-
+    /// oriented schedulers use to pick the next task for a processor).
+    EarliestDeadline,
+    /// Generation order (no heuristic) — the ablation baseline.
+    None,
+}
+
+/// A candidate successor during expansion, with everything needed to order
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Batch index of the task.
+    pub task: usize,
+    /// Processor index it would run on.
+    pub processor: usize,
+    /// Predicted completion instant.
+    pub completion: Time,
+    /// Resulting partial-schedule makespan (`CE` after the assignment).
+    pub makespan: Time,
+    /// The task's deadline (cached for ordering).
+    pub deadline: Time,
+}
+
+impl ChildOrder {
+    /// Sorts candidates so that the highest-priority successor comes first.
+    pub fn sort(&self, candidates: &mut [Candidate]) {
+        match self {
+            ChildOrder::LoadBalance => {
+                candidates.sort_by_key(|c| (c.makespan, c.completion, c.processor, c.task));
+            }
+            ChildOrder::EarliestCompletion => {
+                candidates.sort_by_key(|c| (c.completion, c.processor, c.task));
+            }
+            ChildOrder::EarliestDeadline => {
+                candidates.sort_by_key(|c| (c.deadline, c.completion, c.task, c.processor));
+            }
+            ChildOrder::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+    use rt_task::TaskId;
+
+    fn task(id: u64, p_us: u64, d_us: u64) -> Task {
+        Task::builder(TaskId::new(id))
+            .processing_time(Duration::from_micros(p_us))
+            .deadline(Time::from_micros(d_us))
+            .build()
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let tasks = vec![task(0, 10, 300), task(1, 10, 100), task(2, 10, 200)];
+        let order = TaskOrder::EarliestDeadline.order(&tasks, Time::ZERO);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn min_slack_accounts_for_processing_time() {
+        // d=300 p=250 -> slack 50; d=100 p=10 -> slack 90
+        let tasks = vec![task(0, 250, 300), task(1, 10, 100)];
+        let order = TaskOrder::MinSlack.order(&tasks, Time::ZERO);
+        assert_eq!(order, vec![0, 1]);
+        // EDF would say the opposite
+        assert_eq!(
+            TaskOrder::EarliestDeadline.order(&tasks, Time::ZERO),
+            vec![1, 0]
+        );
+    }
+
+    #[test]
+    fn arrival_and_spt_orders() {
+        let tasks = vec![task(0, 30, 100), task(1, 10, 100), task(2, 20, 100)];
+        assert_eq!(TaskOrder::Arrival.order(&tasks, Time::ZERO), vec![0, 1, 2]);
+        assert_eq!(
+            TaskOrder::ShortestProcessing.order(&tasks, Time::ZERO),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn round_robin_processor_order() {
+        let o = ProcessorOrder::RoundRobin;
+        let got: Vec<usize> = (0..6).map(|l| o.processor_at(l, 3, 6)).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fill_first_processor_order() {
+        let o = ProcessorOrder::FillFirst;
+        // n=6, m=3 -> blocks of 2
+        let got: Vec<usize> = (0..6).map(|l| o.processor_at(l, 3, 6)).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2, 2]);
+        // n=5, m=3 -> blocks of 2, last block short
+        let got: Vec<usize> = (0..5).map(|l| o.processor_at(l, 3, 5)).collect();
+        assert_eq!(got, vec![0, 0, 1, 1, 2]);
+        // levels past n clamp to the last processor
+        assert_eq!(o.processor_at(99, 3, 5), 2);
+    }
+
+    fn cand(task: usize, proc: usize, comp: u64, mk: u64, dl: u64) -> Candidate {
+        Candidate {
+            task,
+            processor: proc,
+            completion: Time::from_micros(comp),
+            makespan: Time::from_micros(mk),
+            deadline: Time::from_micros(dl),
+        }
+    }
+
+    #[test]
+    fn load_balance_prefers_smallest_makespan() {
+        let mut cs = vec![
+            cand(0, 0, 500, 900, 1000),
+            cand(0, 1, 600, 600, 1000),
+            cand(0, 2, 400, 900, 1000),
+        ];
+        ChildOrder::LoadBalance.sort(&mut cs);
+        assert_eq!(cs[0].processor, 1, "smallest resulting makespan first");
+        assert_eq!(cs[1].processor, 2, "tie on makespan broken by completion");
+        assert_eq!(cs[2].processor, 0);
+    }
+
+    #[test]
+    fn earliest_completion_ordering() {
+        let mut cs = vec![cand(0, 0, 500, 900, 1000), cand(0, 1, 300, 950, 1000)];
+        ChildOrder::EarliestCompletion.sort(&mut cs);
+        assert_eq!(cs[0].processor, 1);
+    }
+
+    #[test]
+    fn earliest_deadline_ordering() {
+        let mut cs = vec![cand(0, 0, 500, 900, 2000), cand(1, 0, 600, 950, 1000)];
+        ChildOrder::EarliestDeadline.sort(&mut cs);
+        assert_eq!(cs[0].task, 1);
+    }
+
+    #[test]
+    fn none_keeps_generation_order() {
+        let mut cs = vec![cand(2, 0, 900, 900, 100), cand(1, 0, 100, 100, 50)];
+        ChildOrder::None.sort(&mut cs);
+        assert_eq!(cs[0].task, 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! The two search representations of Section 3.
+
+use rt_task::ProcessorId;
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{ProcessorOrder, TaskOrder};
+use crate::state::PathState;
+
+/// How the scheduling tree `G` is laid out.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Representation {
+    /// Figure 2: at each level a *task* is fixed (by `task_order`) and the
+    /// branches are the processors it could be assigned to. All processors
+    /// are reconsidered at every level, so backtracking "can undo or
+    /// resequence tasks on all processors".
+    AssignmentOriented {
+        /// Which task each level considers.
+        task_order: TaskOrder,
+    },
+    /// Figure 1: at each level a *processor* is fixed (by `processor_order`)
+    /// and the branches are the remaining tasks that could run on it.
+    /// Backtracking at a level can only swap the task given to that level's
+    /// processor.
+    SequenceOriented {
+        /// Which processor each level serves.
+        processor_order: ProcessorOrder,
+        /// Whether a level whose processor accepts no remaining task may
+        /// advance to the next processor instead of dead-ending. The paper's
+        /// D-COLS does *not* do this — its frequent dead-ends are exactly
+        /// the behaviour Section 3 predicts — but the variant is exposed for
+        /// the ablation experiments.
+        skip_processors: bool,
+    },
+}
+
+impl Representation {
+    /// The canonical assignment-oriented representation (EDF task order) —
+    /// what RT-SADS uses.
+    #[must_use]
+    pub fn assignment_oriented() -> Self {
+        Representation::AssignmentOriented {
+            task_order: TaskOrder::EarliestDeadline,
+        }
+    }
+
+    /// The canonical sequence-oriented representation (round-robin
+    /// processors, no processor skipping) — what D-COLS uses.
+    #[must_use]
+    pub fn sequence_oriented() -> Self {
+        Representation::SequenceOriented {
+            processor_order: ProcessorOrder::RoundRobin,
+            skip_processors: false,
+        }
+    }
+
+    /// Whether this is the assignment-oriented layout.
+    #[must_use]
+    pub fn is_assignment_oriented(&self) -> bool {
+        matches!(self, Representation::AssignmentOriented { .. })
+    }
+
+    /// The maximum number of *skip rounds* an expansion may attempt when a
+    /// round yields no feasible successor.
+    ///
+    /// Assignment-oriented search moves on to the next unassigned task (the
+    /// blocked task stays in the batch for a later phase — "the search will
+    /// continue by examining other vertices for inclusion in the
+    /// schedule"). The canonical sequence-oriented search has no such move
+    /// and dead-ends; the `skip_processors` variant may advance through the
+    /// remaining processors once each.
+    #[must_use]
+    pub fn max_skips(&self, state: &PathState) -> usize {
+        match self {
+            Representation::AssignmentOriented { .. } => {
+                (state.n_tasks() - state.depth()).saturating_sub(1)
+            }
+            Representation::SequenceOriented {
+                skip_processors, ..
+            } => {
+                if *skip_processors {
+                    state.processors() - 1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Enumerates the raw (task, processor) successor candidates of a vertex
+    /// whose partial schedule is `state`, **before** feasibility filtering
+    /// and heuristic ordering.
+    ///
+    /// `level_task` is the per-level task ordering precomputed by
+    /// [`TaskOrder::order`] for the assignment-oriented case (ignored
+    /// otherwise). `skip` selects the skip round (0 = the level's canonical
+    /// choice; see [`Representation::max_skips`]).
+    #[must_use]
+    pub fn raw_candidates(
+        &self,
+        state: &PathState,
+        level_task: &[usize],
+        skip: usize,
+    ) -> Vec<(usize, ProcessorId)> {
+        let level = state.depth();
+        match self {
+            Representation::AssignmentOriented { .. } => {
+                // The level's task is the (skip+1)-th *unassigned* task in
+                // the precomputed order: backtracking may have unassigned a
+                // task that an earlier level on another branch consumed.
+                let Some(&task) = level_task
+                    .iter()
+                    .filter(|&&t| !state.is_assigned(t))
+                    .nth(skip)
+                else {
+                    return Vec::new();
+                };
+                ProcessorId::all(state.processors())
+                    .map(|p| (task, p))
+                    .collect()
+            }
+            Representation::SequenceOriented { processor_order, .. } => {
+                let m = state.processors();
+                let base = processor_order.processor_at(level, m, state.n_tasks());
+                let p = ProcessorId::new((base + skip) % m);
+                state.unassigned().map(|t| (t, p)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::{Duration, Time};
+    use rt_task::{CommModel, Task, TaskId};
+
+    fn tasks(n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                Task::builder(TaskId::new(i as u64))
+                    .processing_time(Duration::from_micros(100))
+                    // deadlines descending so EDF order is reversed
+                    .deadline(Time::from_micros(10_000 - i as u64 * 100))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assignment_oriented_branches_over_processors() {
+        let ts = tasks(3);
+        let repr = Representation::assignment_oriented();
+        let order = TaskOrder::EarliestDeadline.order(&ts, Time::ZERO);
+        assert_eq!(order, vec![2, 1, 0]);
+        let state = PathState::new(vec![Time::ZERO; 4], ts.len());
+        let cands = repr.raw_candidates(&state, &order, 0);
+        assert_eq!(cands.len(), 4, "one branch per processor");
+        assert!(cands.iter().all(|&(t, _)| t == 2), "level 0 fixes task 2");
+        let procs: Vec<usize> = cands.iter().map(|&(_, p)| p.index()).collect();
+        assert_eq!(procs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn assignment_oriented_skips_assigned_tasks() {
+        let ts = tasks(3);
+        let repr = Representation::assignment_oriented();
+        let order = vec![2, 1, 0];
+        let comm = CommModel::free();
+        let mut state = PathState::new(vec![Time::ZERO; 2], ts.len());
+        state.apply(&ts, &comm, 2, ProcessorId::new(0));
+        let cands = repr.raw_candidates(&state, &order, 0);
+        assert!(cands.iter().all(|&(t, _)| t == 1), "next unassigned in order");
+    }
+
+    #[test]
+    fn assignment_oriented_empty_when_complete() {
+        let ts = tasks(1);
+        let repr = Representation::assignment_oriented();
+        let comm = CommModel::free();
+        let mut state = PathState::new(vec![Time::ZERO; 2], 1);
+        state.apply(&ts, &comm, 0, ProcessorId::new(1));
+        assert!(repr.raw_candidates(&state, &[0], 0).is_empty());
+    }
+
+    #[test]
+    fn sequence_oriented_branches_over_tasks() {
+        let ts = tasks(3);
+        let repr = Representation::sequence_oriented();
+        let state = PathState::new(vec![Time::ZERO; 2], ts.len());
+        let cands = repr.raw_candidates(&state, &[], 0);
+        assert_eq!(cands.len(), 3, "one branch per remaining task");
+        assert!(cands.iter().all(|&(_, p)| p.index() == 0), "level 0 serves P0");
+    }
+
+    #[test]
+    fn sequence_oriented_round_robins_processors() {
+        let ts = tasks(4);
+        let repr = Representation::sequence_oriented();
+        let comm = CommModel::free();
+        let mut state = PathState::new(vec![Time::ZERO; 2], ts.len());
+        state.apply(&ts, &comm, 0, ProcessorId::new(0));
+        let cands = repr.raw_candidates(&state, &[], 0);
+        assert!(cands.iter().all(|&(_, p)| p.index() == 1), "level 1 serves P1");
+        assert_eq!(cands.len(), 3);
+        state.apply(&ts, &comm, 1, ProcessorId::new(1));
+        let cands = repr.raw_candidates(&state, &[], 0);
+        assert!(cands.iter().all(|&(_, p)| p.index() == 0), "level 2 wraps to P0");
+    }
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Representation::assignment_oriented().is_assignment_oriented());
+        assert!(!Representation::sequence_oriented().is_assignment_oriented());
+    }
+
+    #[test]
+    fn assignment_oriented_skip_rounds_walk_the_task_order() {
+        let ts = tasks(3);
+        let repr = Representation::assignment_oriented();
+        let order = vec![2, 1, 0];
+        let state = PathState::new(vec![Time::ZERO; 2], ts.len());
+        for (skip, expect) in [(0usize, 2usize), (1, 1), (2, 0)] {
+            let cands = repr.raw_candidates(&state, &order, skip);
+            assert!(cands.iter().all(|&(t, _)| t == expect), "skip {skip}");
+        }
+        assert!(repr.raw_candidates(&state, &order, 3).is_empty());
+        assert_eq!(repr.max_skips(&state), 2);
+    }
+
+    #[test]
+    fn sequence_oriented_skip_rounds_advance_the_processor() {
+        let ts = tasks(2);
+        let repr = Representation::SequenceOriented {
+            processor_order: ProcessorOrder::RoundRobin,
+            skip_processors: true,
+        };
+        let state = PathState::new(vec![Time::ZERO; 3], ts.len());
+        for skip in 0..3 {
+            let cands = repr.raw_candidates(&state, &[], skip);
+            assert!(cands.iter().all(|&(_, p)| p.index() == skip));
+        }
+        assert_eq!(repr.max_skips(&state), 2);
+        // the canonical (non-skipping) D-COLS never skips
+        assert_eq!(Representation::sequence_oriented().max_skips(&state), 0);
+    }
+}

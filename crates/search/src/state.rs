@@ -1,0 +1,291 @@
+//! Partial-schedule state along one root-to-vertex path.
+
+use paragon_des::Time;
+use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
+use serde::{Deserialize, Serialize};
+
+/// One committed task-to-processor assignment (a vertex of `G` on the
+/// current path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Index of the task within the batch being scheduled.
+    pub task: usize,
+    /// The processor it is assigned to.
+    pub processor: ProcessorId,
+    /// The predicted completion instant `se_lk` (absolute virtual time,
+    /// already including the phase-end bound `t_c + RQ_s`).
+    pub completion: Time,
+}
+
+/// The partial schedule a root-to-vertex path represents.
+///
+/// Per-processor finish times start from
+/// `max(worker availability, planned execution start)`, which folds the
+/// paper's feasibility test `t_c + RQ_s(j) + se_lk ≤ d_l` into a single
+/// comparison `completion ≤ d_l`: during a phase, `t_c + RQ_s(j)` is the
+/// constant `t_s + Q_s(j)` (the planned phase end).
+///
+/// # Example
+///
+/// ```
+/// use paragon_des::{Duration, Time};
+/// use rt_task::{AffinitySet, CommModel, ProcessorId, Task, TaskId};
+/// use sched_search::PathState;
+///
+/// let tasks = vec![Task::builder(TaskId::new(0))
+///     .processing_time(Duration::from_millis(2))
+///     .deadline(Time::from_millis(30))
+///     .affinity(AffinitySet::from_iter([ProcessorId::new(0)]))
+///     .build()];
+/// let comm = CommModel::constant(Duration::from_millis(1));
+/// // both processors become free at t=10ms (planned execution start)
+/// let mut state = PathState::new(vec![Time::from_millis(10); 2], tasks.len());
+/// let done = state.completion_if(&tasks, &comm, 0, ProcessorId::new(1));
+/// assert_eq!(done, Time::from_millis(13)); // 10 + p(2) + C(1)
+/// state.apply(&tasks, &comm, 0, ProcessorId::new(1));
+/// assert!(state.is_complete());
+/// assert_eq!(state.makespan(), Time::from_millis(13));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathState {
+    assigned: Vec<bool>,
+    n_assigned: usize,
+    finish: Vec<Time>,
+    assignments: Vec<Assignment>,
+    resources: ResourceEats,
+}
+
+impl PathState {
+    /// Creates the root state (empty schedule).
+    ///
+    /// `initial_finish[k]` is the instant processor `P_k` could start new
+    /// work: `max(busy_until_k, t_s + Q_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no processors.
+    #[must_use]
+    pub fn new(initial_finish: Vec<Time>, n_tasks: usize) -> Self {
+        Self::with_resources(initial_finish, n_tasks, ResourceEats::new())
+    }
+
+    /// Creates the root state carrying the machine's current resource
+    /// earliest-available times (for resource-constrained task systems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no processors.
+    #[must_use]
+    pub fn with_resources(
+        initial_finish: Vec<Time>,
+        n_tasks: usize,
+        resources: ResourceEats,
+    ) -> Self {
+        assert!(!initial_finish.is_empty(), "PathState needs processors");
+        PathState {
+            assigned: vec![false; n_tasks],
+            n_assigned: 0,
+            finish: initial_finish,
+            assignments: Vec::new(),
+            resources,
+        }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.finish.len()
+    }
+
+    /// Number of tasks in the batch.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Number of tasks assigned so far (the current depth in `G`).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.n_assigned
+    }
+
+    /// Whether every batch task is assigned (a leaf of `G` — a complete
+    /// schedule).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.n_assigned == self.assigned.len()
+    }
+
+    /// Whether batch task `task` is already in the partial schedule.
+    #[must_use]
+    pub fn is_assigned(&self, task: usize) -> bool {
+        self.assigned[task]
+    }
+
+    /// Indices of tasks not yet assigned, ascending.
+    pub fn unassigned(&self) -> impl Iterator<Item = usize> + '_ {
+        self.assigned
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| !a)
+            .map(|(i, _)| i)
+    }
+
+    /// The current finish time of processor `p` under this partial schedule
+    /// (the paper's `ce_k`, as an absolute instant).
+    #[must_use]
+    pub fn finish_of(&self, p: ProcessorId) -> Time {
+        self.finish[p.index()]
+    }
+
+    /// The completion instant task `task` would have if appended to
+    /// processor `p` now — without mutating the state.
+    #[must_use]
+    pub fn completion_if(
+        &self,
+        tasks: &[Task],
+        comm: &CommModel,
+        task: usize,
+        p: ProcessorId,
+    ) -> Time {
+        let t = &tasks[task];
+        let start = self.finish[p.index()].max(self.resources.earliest_start(t.resources()));
+        start + comm.demand(t, p)
+    }
+
+    /// Commits assignment `(task → p)` and returns its completion instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is already assigned.
+    pub fn apply(&mut self, tasks: &[Task], comm: &CommModel, task: usize, p: ProcessorId) -> Time {
+        assert!(!self.assigned[task], "task index {task} assigned twice");
+        let completion = self.completion_if(tasks, comm, task, p);
+        self.assigned[task] = true;
+        self.n_assigned += 1;
+        self.finish[p.index()] = completion;
+        self.resources.commit(tasks[task].resources(), completion);
+        self.assignments.push(Assignment {
+            task,
+            processor: p,
+            completion,
+        });
+        completion
+    }
+
+    /// The total execution time `CE` of this partial schedule: the latest
+    /// finish time over all processors (paper, Section 4.4).
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        *self.finish.iter().max().expect("at least one processor")
+    }
+
+    /// The committed assignments in path order.
+    #[must_use]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Consumes the state, returning the assignments.
+    #[must_use]
+    pub fn into_assignments(self) -> Vec<Assignment> {
+        self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+    use rt_task::{AffinitySet, TaskId};
+
+    fn mk_tasks(specs: &[(u64, u64, &[usize])]) -> Vec<Task> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (p_us, d_us, aff))| {
+                Task::builder(TaskId::new(i as u64))
+                    .processing_time(Duration::from_micros(*p_us))
+                    .deadline(Time::from_micros(*d_us))
+                    .affinity(aff.iter().map(|&k| ProcessorId::new(k)).collect::<AffinitySet>())
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_state_is_empty() {
+        let s = PathState::new(vec![Time::ZERO; 3], 4);
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.processors(), 3);
+        assert_eq!(s.n_tasks(), 4);
+        assert!(!s.is_complete());
+        assert_eq!(s.unassigned().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(s.makespan(), Time::ZERO);
+    }
+
+    #[test]
+    fn apply_updates_finish_and_assigned() {
+        let tasks = mk_tasks(&[(100, 10_000, &[0]), (200, 10_000, &[1])]);
+        let comm = CommModel::constant(Duration::from_micros(50));
+        let mut s = PathState::new(vec![Time::from_micros(1_000); 2], 2);
+        let c0 = s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        assert_eq!(c0, Time::from_micros(1_100)); // affine, no C
+        let c1 = s.apply(&tasks, &comm, 1, ProcessorId::new(0));
+        assert_eq!(c1, Time::from_micros(1_350)); // 1100 + 200 + 50 (non-affine)
+        assert!(s.is_complete());
+        assert_eq!(s.finish_of(ProcessorId::new(0)), Time::from_micros(1_350));
+        assert_eq!(s.finish_of(ProcessorId::new(1)), Time::from_micros(1_000));
+        assert_eq!(s.makespan(), Time::from_micros(1_350));
+        assert_eq!(s.assignments().len(), 2);
+        assert!(s.is_assigned(0) && s.is_assigned(1));
+    }
+
+    #[test]
+    fn completion_if_does_not_mutate() {
+        let tasks = mk_tasks(&[(100, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let s = PathState::new(vec![Time::ZERO; 2], 1);
+        let c = s.completion_if(&tasks, &comm, 0, ProcessorId::new(1));
+        assert_eq!(c, Time::from_micros(110));
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.finish_of(ProcessorId::new(1)), Time::ZERO);
+    }
+
+    #[test]
+    fn heterogeneous_initial_finish_respected() {
+        let tasks = mk_tasks(&[(100, 10_000, &[1])]);
+        let comm = CommModel::free();
+        let s = PathState::new(
+            vec![Time::from_micros(500), Time::from_micros(2_000)],
+            1,
+        );
+        assert_eq!(
+            s.completion_if(&tasks, &comm, 0, ProcessorId::new(1)),
+            Time::from_micros(2_100)
+        );
+        assert_eq!(s.makespan(), Time::from_micros(2_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn double_apply_panics() {
+        let tasks = mk_tasks(&[(100, 10_000, &[])]);
+        let comm = CommModel::free();
+        let mut s = PathState::new(vec![Time::ZERO], 1);
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+    }
+
+    #[test]
+    fn into_assignments_returns_path_order() {
+        let tasks = mk_tasks(&[(1, 1_000, &[]), (1, 1_000, &[])]);
+        let comm = CommModel::free();
+        let mut s = PathState::new(vec![Time::ZERO], 2);
+        s.apply(&tasks, &comm, 1, ProcessorId::new(0));
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        let asg = s.into_assignments();
+        assert_eq!(asg[0].task, 1);
+        assert_eq!(asg[1].task, 0);
+    }
+}

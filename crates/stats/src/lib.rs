@@ -1,0 +1,29 @@
+//! Statistics for the RT-SADS reproduction.
+//!
+//! The paper reports, for every experiment, the mean of 10 runs and states
+//! that "two-tailed difference-of-means tests indicated a confidence interval
+//! of 99% at a 0.01 significance level". This crate provides exactly that
+//! machinery, implemented from first principles so the workspace needs no
+//! external statistics dependency:
+//!
+//! * [`Summary`] — sample summaries (mean, sample variance, extrema) and
+//!   t-based confidence intervals,
+//! * [`welch_t_test`] — Welch's two-tailed difference-of-means test with the
+//!   Welch–Satterthwaite degrees of freedom,
+//! * [`special`] — log-gamma, the regularized incomplete beta function and
+//!   the Student-t CDF underlying the test,
+//! * [`Series`]/[`Table`] — figure/table assembly and rendering (aligned
+//!   ASCII and CSV) for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod summary;
+mod table;
+mod ttest;
+
+pub mod special;
+
+pub use summary::Summary;
+pub use table::{Series, Table};
+pub use ttest::{welch_t_test, TTestResult};

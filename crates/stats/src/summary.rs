@@ -1,0 +1,186 @@
+//! Sample summaries and t-based confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::t_critical;
+
+/// Summary statistics of one sample (e.g. the 10 runs of one experiment
+/// point).
+///
+/// # Example
+///
+/// ```
+/// use rt_stats::Summary;
+///
+/// let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+/// let (lo, hi) = s.confidence_interval(0.95);
+/// assert!(lo < 5.0 && 5.0 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a non-finite value.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sample contains a non-finite value"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        // Sample (n-1) variance via the two-pass algorithm for stability.
+        let variance = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        }
+    }
+
+    /// Sample size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (zero for singleton samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided t confidence interval for the mean at the given confidence
+    /// level (e.g. `0.99` for the paper's 99%).
+    ///
+    /// For singleton samples the interval degenerates to the point estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    #[must_use]
+    pub fn confidence_interval(&self, confidence: f64) -> (f64, f64) {
+        if self.n < 2 {
+            return (self.mean, self.mean);
+        }
+        let df = (self.n - 1) as f64;
+        let half_width = t_critical(confidence, df) * self.std_error();
+        (self.mean - half_width, self.mean + half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.5).abs() < 1e-12);
+        assert!((s.std_dev() - 2.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = Summary::from_slice(&[7.5]);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.confidence_interval(0.99), (7.5, 7.5));
+    }
+
+    #[test]
+    fn constant_sample_has_zero_variance() {
+        let s = Summary::from_slice(&[4.0; 10]);
+        assert_eq!(s.variance(), 0.0);
+        let (lo, hi) = s.confidence_interval(0.99);
+        assert_eq!((lo, hi), (4.0, 4.0));
+    }
+
+    #[test]
+    fn confidence_interval_known_width() {
+        // n=10, sd=1 => se = 1/sqrt(10); t_{0.975,9} ≈ 2.262
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&values);
+        let (lo, hi) = s.confidence_interval(0.95);
+        let half = (hi - lo) / 2.0;
+        let expect = 2.262 * s.std_error();
+        assert!((half - expect).abs() < 1e-2, "half={half} expect={expect}");
+        assert!((s.mean() - (lo + hi) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let values: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let s = Summary::from_slice(&values);
+        let (l95, h95) = s.confidence_interval(0.95);
+        let (l99, h99) = s.confidence_interval(0.99);
+        assert!(h99 - l99 > h95 - l95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_panics() {
+        let _ = Summary::from_slice(&[1.0, f64::NAN]);
+    }
+}

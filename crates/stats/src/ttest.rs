@@ -1,0 +1,159 @@
+//! Welch's two-tailed difference-of-means test — the significance test the
+//! paper applies to every reported result.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::t_two_tailed_p;
+use crate::summary::Summary;
+
+/// Outcome of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+    /// Difference of sample means (`a − b`).
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at level `alpha` (the paper uses
+    /// `alpha = 0.01`).
+    #[must_use]
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance two-tailed t-test between samples `a` and `b`.
+///
+/// Degenerate case: when both samples have zero variance, the p-value is
+/// defined as `1.0` if the means are equal and `0.0` otherwise (the samples
+/// are deterministic, so any difference is "infinitely" significant).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations while variances
+/// are non-zero comparison is requested, or if a sample is empty.
+///
+/// # Example
+///
+/// ```
+/// use rt_stats::welch_t_test;
+///
+/// let fast = [0.90, 0.92, 0.91, 0.89, 0.93];
+/// let slow = [0.60, 0.62, 0.58, 0.61, 0.59];
+/// let r = welch_t_test(&fast, &slow);
+/// assert!(r.significant_at(0.01));
+/// assert!(r.mean_diff > 0.25);
+/// ```
+#[must_use]
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    let mean_diff = sa.mean() - sb.mean();
+
+    let va = sa.variance() / sa.n() as f64;
+    let vb = sb.variance() / sb.n() as f64;
+    let pooled = va + vb;
+
+    if pooled == 0.0 {
+        // Deterministic samples: equal means are indistinguishable, unequal
+        // means differ with certainty.
+        let p = if mean_diff == 0.0 { 1.0 } else { 0.0 };
+        return TTestResult {
+            t: if mean_diff == 0.0 { 0.0 } else { f64::INFINITY },
+            df: (sa.n() + sb.n()) as f64 - 2.0,
+            p_value: p,
+            mean_diff,
+        };
+    }
+    assert!(
+        sa.n() >= 2 && sb.n() >= 2,
+        "Welch's test needs at least two observations per sample"
+    );
+
+    let t = mean_diff / pooled.sqrt();
+    // Welch–Satterthwaite approximation.
+    let df = pooled.powi(2)
+        / (va.powi(2) / (sa.n() as f64 - 1.0) + vb.powi(2) / (sb.n() as f64 - 1.0));
+    let p_value = t_two_tailed_p(t, df);
+    TTestResult {
+        t,
+        df,
+        p_value,
+        mean_diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(!r.significant_at(0.05));
+        assert_eq!(r.mean_diff, 0.0);
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95, 10.0, 10.1, 9.9, 10.0, 10.0];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95, 5.0, 5.1, 4.9, 5.0, 5.0];
+        let r = welch_t_test(&a, &b);
+        assert!(r.significant_at(0.01));
+        assert!((r.mean_diff - 5.0).abs() < 1e-9);
+        assert!(r.t > 10.0);
+    }
+
+    #[test]
+    fn reference_value_equal_variances() {
+        // Classic textbook case: equal n, equal variance Welch reduces to
+        // pooled t. a = [1..5], b = [2..6]: mean diff = -1,
+        // var = 2.5 each, se = sqrt(2.5/5*2) = 1, t = -1, df = 8.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t + 1.0).abs() < 1e-12);
+        assert!((r.df - 8.0).abs() < 1e-9);
+        // two-tailed p for t=1, df=8 ≈ 0.3466
+        assert!((r.p_value - 0.3466).abs() < 1e-3, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn welch_df_unequal_variances() {
+        // Larger variance in one sample pulls df below n1+n2-2.
+        let a = [1.0, 5.0, 9.0, 13.0, 17.0]; // high variance
+        let b = [3.0, 3.1, 2.9, 3.05, 2.95]; // tiny variance
+        let r = welch_t_test(&a, &b);
+        assert!(r.df < 8.0);
+        assert!(r.df > 3.0);
+    }
+
+    #[test]
+    fn deterministic_samples_edge_case() {
+        let r = welch_t_test(&[2.0, 2.0], &[2.0, 2.0]);
+        assert_eq!(r.p_value, 1.0);
+        let r = welch_t_test(&[2.0, 2.0], &[3.0, 3.0]);
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.significant_at(0.01));
+    }
+
+    #[test]
+    fn symmetry_of_p_value() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.5, 3.5, 4.5, 5.5];
+        let r1 = welch_t_test(&a, &b);
+        let r2 = welch_t_test(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.mean_diff + r2.mean_diff).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a real-time task (`T_i` in the paper).
+///
+/// # Example
+///
+/// ```
+/// use rt_task::TaskId;
+/// let id = TaskId::new(7);
+/// assert_eq!(id.as_u64(), 7);
+/// assert_eq!(id.to_string(), "T7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(u64);
+
+impl TaskId {
+    /// Wraps a raw task number.
+    #[must_use]
+    pub const fn new(id: u64) -> Self {
+        TaskId(id)
+    }
+
+    /// Returns the raw task number.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TaskId {
+    fn from(id: u64) -> Self {
+        TaskId(id)
+    }
+}
+
+/// Identifier of a *working* processor (`P_j` in the paper).
+///
+/// The dedicated scheduling (host) processor is not a `ProcessorId`: tasks are
+/// never assigned to it, so giving it an index would only invite off-by-one
+/// bugs. Working processors are indexed densely from zero.
+///
+/// # Example
+///
+/// ```
+/// use rt_task::ProcessorId;
+/// let p = ProcessorId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessorId(usize);
+
+impl ProcessorId {
+    /// Wraps a dense worker index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ProcessorId(index)
+    }
+
+    /// Returns the dense worker index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Enumerates the first `count` processor ids, `P0..P{count-1}`.
+    pub fn all(count: usize) -> impl Iterator<Item = ProcessorId> {
+        (0..count).map(ProcessorId)
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessorId {
+    fn from(index: usize) -> Self {
+        ProcessorId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_round_trip() {
+        let id = TaskId::new(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(TaskId::from(42u64), id);
+        assert_eq!(id.to_string(), "T42");
+    }
+
+    #[test]
+    fn processor_id_round_trip() {
+        let p = ProcessorId::new(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(ProcessorId::from(5usize), p);
+        assert_eq!(p.to_string(), "P5");
+    }
+
+    #[test]
+    fn processor_all_enumerates_densely() {
+        let ids: Vec<ProcessorId> = ProcessorId::all(3).collect();
+        assert_eq!(
+            ids,
+            vec![ProcessorId::new(0), ProcessorId::new(1), ProcessorId::new(2)]
+        );
+        assert_eq!(ProcessorId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert!(ProcessorId::new(0) < ProcessorId::new(1));
+    }
+}

@@ -1,0 +1,183 @@
+//! A 2D-mesh interconnect model — the Intel Paragon's actual topology.
+//!
+//! The paper models communication as a distance-independent constant `C`,
+//! justified by cut-through (wormhole) routing. This module supplies the
+//! *unabstracted* alternative: processors laid out on a `cols × rows` mesh,
+//! message cost = startup latency + per-hop latency × Manhattan distance.
+//! The experiment harness uses it to validate that the constant-`C`
+//! abstraction does not change the paper's conclusions (DESIGN.md, Ext. I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ProcessorId;
+
+/// Geometry and per-message costs of a 2D mesh.
+///
+/// Working processors are mapped to mesh nodes in row-major order:
+/// `P_k` sits at `(k % cols, k / cols)`.
+///
+/// # Example
+///
+/// ```
+/// use rt_task::{MeshSpec, ProcessorId};
+///
+/// let mesh = MeshSpec::new(5, 2, 500, 125); // 5x2 mesh, 500us + 125us/hop
+/// // P0 at (0,0), P9 at (4,1): distance 5 hops
+/// assert_eq!(mesh.distance(ProcessorId::new(0), ProcessorId::new(9)), 5);
+/// assert_eq!(mesh.hop_cost_micros(5), 500 + 5 * 125);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshSpec {
+    cols: u16,
+    rows: u16,
+    startup_us: u32,
+    per_hop_us: u32,
+}
+
+impl MeshSpec {
+    /// Creates a mesh of `cols × rows` nodes with the given startup and
+    /// per-hop message costs (microseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(cols: u16, rows: u16, startup_us: u32, per_hop_us: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be non-zero");
+        MeshSpec {
+            cols,
+            rows,
+            startup_us,
+            per_hop_us,
+        }
+    }
+
+    /// Number of mesh nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        usize::from(self.cols) * usize::from(self.rows)
+    }
+
+    /// The `(x, y)` coordinate of processor `p` (row-major placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` lies outside the mesh.
+    #[must_use]
+    pub fn coords(&self, p: ProcessorId) -> (u16, u16) {
+        assert!(
+            p.index() < self.nodes(),
+            "processor {p} outside a {}x{} mesh",
+            self.cols,
+            self.rows
+        );
+        (
+            (p.index() % usize::from(self.cols)) as u16,
+            (p.index() / usize::from(self.cols)) as u16,
+        )
+    }
+
+    /// Manhattan (XY-routing) distance between two processors, in hops.
+    #[must_use]
+    pub fn distance(&self, a: ProcessorId, b: ProcessorId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        u32::from(ax.abs_diff(bx)) + u32::from(ay.abs_diff(by))
+    }
+
+    /// Message cost for a path of `hops` hops, in microseconds.
+    #[must_use]
+    pub fn hop_cost_micros(&self, hops: u32) -> u64 {
+        u64::from(self.startup_us) + u64::from(hops) * u64::from(self.per_hop_us)
+    }
+
+    /// The mesh diameter in hops (worst-case distance).
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        u32::from(self.cols - 1) + u32::from(self.rows - 1)
+    }
+
+    /// The mean pairwise cost over all distinct node pairs — useful for
+    /// picking a constant `C` equivalent to this mesh.
+    #[must_use]
+    pub fn mean_pair_cost_micros(&self) -> f64 {
+        let n = self.nodes();
+        if n < 2 {
+            return f64::from(self.startup_us);
+        }
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                total +=
+                    self.hop_cost_micros(self.distance(ProcessorId::new(a), ProcessorId::new(b)));
+                pairs += 1;
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_are_row_major() {
+        let m = MeshSpec::new(4, 2, 100, 10);
+        assert_eq!(m.nodes(), 8);
+        assert_eq!(m.coords(ProcessorId::new(0)), (0, 0));
+        assert_eq!(m.coords(ProcessorId::new(3)), (3, 0));
+        assert_eq!(m.coords(ProcessorId::new(4)), (0, 1));
+        assert_eq!(m.coords(ProcessorId::new(7)), (3, 1));
+    }
+
+    #[test]
+    fn distances_are_manhattan() {
+        let m = MeshSpec::new(4, 2, 100, 10);
+        let d = |a: usize, b: usize| m.distance(ProcessorId::new(a), ProcessorId::new(b));
+        assert_eq!(d(0, 0), 0);
+        assert_eq!(d(0, 1), 1);
+        assert_eq!(d(0, 7), 4); // (0,0) -> (3,1)
+        assert_eq!(d(7, 0), 4, "symmetric");
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn costs_scale_with_hops() {
+        let m = MeshSpec::new(3, 3, 500, 125);
+        assert_eq!(m.hop_cost_micros(0), 500);
+        assert_eq!(m.hop_cost_micros(4), 1_000);
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn mean_pair_cost_between_min_and_max() {
+        let m = MeshSpec::new(5, 2, 500, 125);
+        let mean = m.mean_pair_cost_micros();
+        let min = m.hop_cost_micros(1) as f64;
+        let max = m.hop_cost_micros(m.diameter()) as f64;
+        assert!(mean > min && mean < max, "mean {mean} not in ({min},{max})");
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let m = MeshSpec::new(1, 1, 42, 7);
+        assert_eq!(m.nodes(), 1);
+        assert_eq!(m.mean_pair_cost_micros(), 42.0);
+        assert_eq!(m.diameter(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_mesh_processor_panics() {
+        let m = MeshSpec::new(2, 2, 1, 1);
+        let _ = m.coords(ProcessorId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_rejected() {
+        let _ = MeshSpec::new(0, 3, 1, 1);
+    }
+}

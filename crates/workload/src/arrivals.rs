@@ -1,0 +1,107 @@
+//! Arrival processes: the paper's burst plus a Poisson extension.
+
+use paragon_des::{Duration, SimRng, Time};
+use serde::{Deserialize, Serialize};
+
+/// When the `n` transactions of a run reach the host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Everything arrives simultaneously at `at` — the paper's "bursty
+    /// arrival of 1000 transactions which simultaneously reach the host
+    /// node".
+    Burst {
+        /// The common arrival instant.
+        at: Time,
+    },
+    /// Poisson arrivals: exponential inter-arrival times with the given
+    /// mean, starting at `start`. Used by the open-load extension
+    /// experiments.
+    Poisson {
+        /// First possible arrival instant.
+        start: Time,
+        /// Mean inter-arrival gap.
+        mean_gap: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// A burst at time zero.
+    #[must_use]
+    pub const fn burst_at_zero() -> Self {
+        ArrivalProcess::Burst { at: Time::ZERO }
+    }
+
+    /// Draws `n` arrival instants in non-decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Poisson process is asked for a zero `mean_gap`.
+    #[must_use]
+    pub fn sample(&self, n: usize, rng: &mut SimRng) -> Vec<Time> {
+        match self {
+            ArrivalProcess::Burst { at } => vec![*at; n],
+            ArrivalProcess::Poisson { start, mean_gap } => {
+                assert!(!mean_gap.is_zero(), "Poisson mean gap must be non-zero");
+                let mut t = *start;
+                (0..n)
+                    .map(|_| {
+                        let gap = rng.exponential(mean_gap.as_micros() as f64);
+                        t += Duration::from_micros(gap.round() as u64);
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_simultaneous() {
+        let a = ArrivalProcess::burst_at_zero().sample(5, &mut SimRng::seed_from(1));
+        assert_eq!(a, vec![Time::ZERO; 5]);
+        let b = ArrivalProcess::Burst {
+            at: Time::from_millis(2),
+        }
+        .sample(3, &mut SimRng::seed_from(1));
+        assert_eq!(b, vec![Time::from_millis(2); 3]);
+    }
+
+    #[test]
+    fn poisson_is_sorted_and_roughly_calibrated() {
+        let proc = ArrivalProcess::Poisson {
+            start: Time::ZERO,
+            mean_gap: Duration::from_micros(100),
+        };
+        let arrivals = proc.sample(2_000, &mut SimRng::seed_from(4));
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let span = arrivals.last().unwrap().as_micros() as f64;
+        let mean_gap = span / 2_000.0;
+        assert!(
+            (mean_gap - 100.0).abs() < 10.0,
+            "observed mean gap {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let proc = ArrivalProcess::Poisson {
+            start: Time::from_millis(1),
+            mean_gap: Duration::from_micros(50),
+        };
+        let a = proc.sample(100, &mut SimRng::seed_from(9));
+        let b = proc.sample(100, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+        assert!(a[0] >= Time::from_millis(1));
+    }
+
+    #[test]
+    fn zero_count_yields_empty() {
+        assert!(ArrivalProcess::burst_at_zero()
+            .sample(0, &mut SimRng::seed_from(0))
+            .is_empty());
+    }
+}

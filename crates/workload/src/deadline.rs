@@ -1,0 +1,95 @@
+//! Deadline assignment: `Deadline(q) = SF × 10 × Estimated_Cost(q)`.
+
+use paragon_des::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// The paper's proportional deadline policy: a transaction's deadline is its
+/// arrival plus `SF × multiplier × estimated cost`, where `SF` (the paper's
+/// *slack factor*, plotted as "laxity") ranges over 1–3 — low values mean
+/// tight deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlinePolicy {
+    sf: f64,
+    multiplier: f64,
+}
+
+impl DeadlinePolicy {
+    /// The paper's `×10` base multiplier with the given slack factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sf` is finite and positive.
+    #[must_use]
+    pub fn proportional(sf: f64) -> Self {
+        Self::with_multiplier(sf, 10.0)
+    }
+
+    /// A policy with a custom base multiplier (for sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both factors are finite and positive.
+    #[must_use]
+    pub fn with_multiplier(sf: f64, multiplier: f64) -> Self {
+        assert!(sf.is_finite() && sf > 0.0, "slack factor must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "multiplier must be positive"
+        );
+        DeadlinePolicy { sf, multiplier }
+    }
+
+    /// The slack factor `SF`.
+    #[must_use]
+    pub fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// The absolute deadline of a transaction arriving at `arrival` with
+    /// estimated cost `estimate`.
+    #[must_use]
+    pub fn deadline(&self, arrival: Time, estimate: Duration) -> Time {
+        arrival + estimate.mul_f64(self.sf * self.multiplier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_one_gives_ten_times_cost() {
+        let p = DeadlinePolicy::proportional(1.0);
+        let d = p.deadline(Time::ZERO, Duration::from_micros(100));
+        assert_eq!(d, Time::from_micros(1_000));
+        assert_eq!(p.sf(), 1.0);
+    }
+
+    #[test]
+    fn sf_three_triples_the_laxity() {
+        let p = DeadlinePolicy::proportional(3.0);
+        let d = p.deadline(Time::from_millis(5), Duration::from_micros(100));
+        assert_eq!(d, Time::from_micros(8_000));
+    }
+
+    #[test]
+    fn custom_multiplier() {
+        let p = DeadlinePolicy::with_multiplier(2.0, 5.0);
+        let d = p.deadline(Time::ZERO, Duration::from_micros(10));
+        assert_eq!(d, Time::from_micros(100));
+    }
+
+    #[test]
+    fn deadline_measured_from_arrival() {
+        let p = DeadlinePolicy::proportional(1.0);
+        let d0 = p.deadline(Time::ZERO, Duration::from_micros(50));
+        let d1 = p.deadline(Time::from_millis(1), Duration::from_micros(50));
+        assert_eq!(d1 - d0, Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "slack factor")]
+    fn non_positive_sf_rejected() {
+        let _ = DeadlinePolicy::proportional(0.0);
+    }
+}

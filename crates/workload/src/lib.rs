@@ -1,0 +1,47 @@
+//! Workload generation for the RT-SADS reproduction.
+//!
+//! Builds everything Section 5.1 of the paper describes: the partitioned
+//! database, its replicated placement across processor memories, the stream
+//! of read-only transactions, their estimated costs, deadlines
+//! (`Deadline(q) = SF × 10 × Estimated_Cost(q)`) and arrival pattern (a
+//! burst of 1000 simultaneous transactions in the paper; a Poisson process
+//! is provided for extensions).
+//!
+//! The central type is [`Scenario`]: a declarative parameter set whose
+//! [`Scenario::build`] produces the [`BuiltScenario`] (database, placement,
+//! transactions, and ready-to-schedule [`Task`](rt_task::Task)s) that the
+//! experiment harness feeds to the [`rtsads`-crate driver][driver].
+//!
+//! [driver]: https://docs.rs/rtsads
+//!
+//! # Example
+//!
+//! ```
+//! use rt_workload::Scenario;
+//!
+//! let built = Scenario::paper_defaults()
+//!     .workers(4)
+//!     .replication_rate(0.3)
+//!     .transactions(50)
+//!     .build(42);
+//! assert_eq!(built.tasks.len(), 50);
+//! // low replication: every task is affine to only a few processors
+//! assert!(built.tasks.iter().all(|t| t.affinity().len() <= 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod deadline;
+mod replication;
+mod resources;
+mod scenario;
+mod txgen;
+
+pub use arrivals::ArrivalProcess;
+pub use deadline::DeadlinePolicy;
+pub use replication::ReplicationStrategy;
+pub use resources::ResourceProfile;
+pub use scenario::{BuiltScenario, Scenario};
+pub use txgen::TransactionGenerator;

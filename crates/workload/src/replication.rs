@@ -1,0 +1,133 @@
+//! Replicated placement of sub-databases across processor memories.
+
+use paragon_des::SimRng;
+use paragon_platform::{DataObjectId, Placement};
+use serde::{Deserialize, Serialize};
+
+/// How sub-database copies are spread over the working processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// Copy `c` of sub-database `s` lands on processor
+    /// `(s · copies + c) mod m` — deterministic and evenly spread. With
+    /// `rate = 10%` on the paper's 10×10 configuration this degenerates to
+    /// "each processor holds at most one sub-database", and with `100%`
+    /// every processor holds the whole database, matching the paper's two
+    /// extremes.
+    #[default]
+    Strided,
+    /// Each copy goes to a uniformly random distinct processor.
+    Random,
+}
+
+impl ReplicationStrategy {
+    /// Builds the placement of `d` sub-databases over `workers` processors
+    /// at replication `rate` (fraction of processors holding each
+    /// sub-database, clamped to at least one copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < rate <= 1.0`, `d > 0` and `workers > 0`.
+    #[must_use]
+    pub fn place(&self, d: usize, workers: usize, rate: f64, rng: &mut SimRng) -> Placement {
+        assert!(d > 0, "no sub-databases to place");
+        assert!(workers > 0, "no processors to place on");
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "replication rate must be in (0, 1], got {rate}"
+        );
+        let copies = ((rate * workers as f64).round() as usize).clamp(1, workers);
+        let mut placement = Placement::new(d, workers);
+        for s in 0..d {
+            match self {
+                ReplicationStrategy::Strided => {
+                    for c in 0..copies {
+                        let p = (s * copies + c) % workers;
+                        placement.add_copy(DataObjectId::new(s), p.into());
+                    }
+                }
+                ReplicationStrategy::Random => {
+                    let mut procs: Vec<usize> = (0..workers).collect();
+                    rng.shuffle(&mut procs);
+                    for &p in &procs[..copies] {
+                        placement.add_copy(DataObjectId::new(s), p.into());
+                    }
+                }
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(1)
+    }
+
+    #[test]
+    fn full_replication_puts_everything_everywhere() {
+        let p = ReplicationStrategy::Strided.place(10, 10, 1.0, &mut rng());
+        assert_eq!(p.copy_counts(), vec![10; 10]);
+        assert!((p.replication_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_replication_gives_single_copies() {
+        let p = ReplicationStrategy::Strided.place(10, 10, 0.1, &mut rng());
+        assert_eq!(p.copy_counts(), vec![1; 10]);
+        // each processor holds at most one sub-database (the paper's 10% case)
+        let mut per_proc = [0usize; 10];
+        for s in 0..10 {
+            for proc in p.holders(DataObjectId::new(s)).iter() {
+                per_proc[proc.index()] += 1;
+            }
+        }
+        assert!(per_proc.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn thirty_percent_gives_three_copies() {
+        let p = ReplicationStrategy::Strided.place(10, 10, 0.3, &mut rng());
+        assert_eq!(p.copy_counts(), vec![3; 10]);
+        assert!((p.replication_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copies_are_distinct_processors() {
+        for strategy in [ReplicationStrategy::Strided, ReplicationStrategy::Random] {
+            let p = strategy.place(7, 5, 0.6, &mut rng());
+            for s in 0..7 {
+                // AffinitySet is a set: len == number of distinct holders
+                assert_eq!(p.holders(DataObjectId::new(s)).len(), 3, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_rounds_to_nearest_copy_count() {
+        let p = ReplicationStrategy::Strided.place(4, 6, 0.25, &mut rng());
+        // 0.25 * 6 = 1.5 -> rounds to 2
+        assert_eq!(p.copy_counts(), vec![2; 4]);
+    }
+
+    #[test]
+    fn tiny_rate_clamps_to_one_copy() {
+        let p = ReplicationStrategy::Strided.place(3, 4, 0.01, &mut rng());
+        assert_eq!(p.copy_counts(), vec![1; 3]);
+    }
+
+    #[test]
+    fn random_placement_is_seed_deterministic() {
+        let a = ReplicationStrategy::Random.place(5, 8, 0.5, &mut SimRng::seed_from(9));
+        let b = ReplicationStrategy::Random.place(5, 8, 0.5, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication rate")]
+    fn zero_rate_rejected() {
+        let _ = ReplicationStrategy::Strided.place(1, 1, 0.0, &mut rng());
+    }
+}

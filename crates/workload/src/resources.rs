@@ -1,0 +1,167 @@
+//! Decorating workloads with resource constraints (the references' task
+//! model; the paper's own transactions are independent).
+
+use paragon_des::SimRng;
+use rt_task::{ResourceRequest, Task};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a random resource-usage pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// Number of distinct serially reusable resources in the system.
+    pub resources: usize,
+    /// Probability that a task uses any resources at all.
+    pub participation: f64,
+    /// Probability that a used resource is held exclusively (vs shared).
+    pub exclusive: f64,
+    /// Maximum resources one task holds (drawn uniformly from 1..=max).
+    pub max_per_task: usize,
+}
+
+impl ResourceProfile {
+    /// A contention-free profile (no task touches any resource).
+    #[must_use]
+    pub fn none() -> Self {
+        ResourceProfile {
+            resources: 0,
+            participation: 0.0,
+            exclusive: 0.0,
+            max_per_task: 0,
+        }
+    }
+
+    /// Decorates `tasks` with randomly drawn resource requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]`, or if participation is
+    /// positive while `resources`/`max_per_task` is zero.
+    #[must_use]
+    pub fn decorate(&self, tasks: &[Task], rng: &mut SimRng) -> Vec<Task> {
+        assert!((0.0..=1.0).contains(&self.participation), "bad participation");
+        assert!((0.0..=1.0).contains(&self.exclusive), "bad exclusive share");
+        if self.participation > 0.0 {
+            assert!(
+                self.resources > 0 && self.max_per_task > 0,
+                "participation > 0 needs resources and max_per_task"
+            );
+        }
+        tasks
+            .iter()
+            .map(|t| {
+                if self.participation == 0.0 || !rng.bernoulli(self.participation) {
+                    return t.clone();
+                }
+                let count = rng.uniform_usize(1..self.max_per_task + 1).min(self.resources);
+                let mut ids: Vec<usize> = (0..self.resources).collect();
+                rng.shuffle(&mut ids);
+                let requests: Vec<ResourceRequest> = ids[..count]
+                    .iter()
+                    .map(|&r| {
+                        if rng.bernoulli(self.exclusive) {
+                            ResourceRequest::exclusive(r)
+                        } else {
+                            ResourceRequest::shared(r)
+                        }
+                    })
+                    .collect();
+                t.with_resources(requests)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::{Duration, Time};
+    use rt_task::{AccessMode, TaskId};
+
+    fn tasks(n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                Task::builder(TaskId::new(i as u64))
+                    .processing_time(Duration::from_micros(100))
+                    .deadline(Time::from_millis(10))
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn none_profile_leaves_tasks_untouched() {
+        let ts = tasks(10);
+        let out = ResourceProfile::none().decorate(&ts, &mut SimRng::seed_from(1));
+        assert_eq!(out, ts);
+    }
+
+    #[test]
+    fn full_participation_decorates_everything() {
+        let profile = ResourceProfile {
+            resources: 4,
+            participation: 1.0,
+            exclusive: 1.0,
+            max_per_task: 2,
+        };
+        let out = profile.decorate(&tasks(50), &mut SimRng::seed_from(2));
+        for t in &out {
+            assert!(!t.resources().is_empty());
+            assert!(t.resources().len() <= 2);
+            assert!(t
+                .resources()
+                .iter()
+                .all(|r| r.mode == AccessMode::Exclusive && r.resource.index() < 4));
+            // no duplicate resources per task
+            let mut ids: Vec<usize> = t.resources().iter().map(|r| r.resource.index()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), t.resources().len());
+        }
+    }
+
+    #[test]
+    fn partial_participation_is_roughly_calibrated() {
+        let profile = ResourceProfile {
+            resources: 3,
+            participation: 0.5,
+            exclusive: 0.5,
+            max_per_task: 1,
+        };
+        let out = profile.decorate(&tasks(1_000), &mut SimRng::seed_from(3));
+        let using = out.iter().filter(|t| !t.resources().is_empty()).count();
+        assert!((400..600).contains(&using), "participation {using}/1000");
+        let exclusive = out
+            .iter()
+            .flat_map(|t| t.resources())
+            .filter(|r| r.mode == AccessMode::Exclusive)
+            .count();
+        let total: usize = out.iter().map(|t| t.resources().len()).sum();
+        let share = exclusive as f64 / total as f64;
+        assert!((0.4..0.6).contains(&share), "exclusive share {share}");
+    }
+
+    #[test]
+    fn decoration_is_deterministic() {
+        let profile = ResourceProfile {
+            resources: 2,
+            participation: 0.7,
+            exclusive: 0.3,
+            max_per_task: 2,
+        };
+        let a = profile.decorate(&tasks(30), &mut SimRng::seed_from(9));
+        let b = profile.decorate(&tasks(30), &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs resources")]
+    fn inconsistent_profile_rejected() {
+        let profile = ResourceProfile {
+            resources: 0,
+            participation: 0.5,
+            exclusive: 0.5,
+            max_per_task: 1,
+        };
+        let _ = profile.decorate(&tasks(1), &mut SimRng::seed_from(1));
+    }
+}

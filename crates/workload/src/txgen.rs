@@ -1,0 +1,163 @@
+//! Uniform transaction generation (paper, Section 5.1).
+
+use paragon_des::SimRng;
+use rtdb::{GlobalDatabase, Transaction};
+use serde::{Deserialize, Serialize};
+
+/// Generates the paper's transaction mix: a uniformly distributed number of
+/// given attribute-values, each picked equiprobably from its domain, all
+/// targeting one uniformly chosen sub-database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionGenerator {
+    min_predicates: usize,
+    max_predicates: usize,
+}
+
+impl TransactionGenerator {
+    /// A generator drawing the predicate count uniformly from
+    /// `[min_predicates, max_predicates]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_predicates` is zero or the range is inverted.
+    #[must_use]
+    pub fn new(min_predicates: usize, max_predicates: usize) -> Self {
+        assert!(min_predicates > 0, "transactions need at least one predicate");
+        assert!(
+            min_predicates <= max_predicates,
+            "inverted predicate range [{min_predicates}, {max_predicates}]"
+        );
+        TransactionGenerator {
+            min_predicates,
+            max_predicates,
+        }
+    }
+
+    /// The paper's configuration over `attributes` columns: between 1 and
+    /// all attributes predicated.
+    #[must_use]
+    pub fn uniform_over(attributes: usize) -> Self {
+        TransactionGenerator::new(1, attributes)
+    }
+
+    /// Generates one transaction with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_predicates` exceeds the schema's attribute count.
+    #[must_use]
+    pub fn generate(&self, id: u64, db: &GlobalDatabase, rng: &mut SimRng) -> Transaction {
+        let schema = db.schema();
+        assert!(
+            self.max_predicates <= schema.attributes(),
+            "more predicates requested than attributes exist"
+        );
+        let target = rng.uniform_usize(0..db.partitions());
+        let n_preds = rng.uniform_usize(self.min_predicates..self.max_predicates + 1);
+        let mut attrs: Vec<usize> = (0..schema.attributes()).collect();
+        rng.shuffle(&mut attrs);
+        let mut preds: Vec<(usize, u64)> = attrs[..n_preds]
+            .iter()
+            .map(|&a| {
+                let base = schema.domain_base(target, a);
+                (a, rng.uniform_u64(base..base + schema.domain_size()))
+            })
+            .collect();
+        preds.sort_by_key(|&(a, _)| a);
+        Transaction::new(id, preds)
+    }
+
+    /// Generates a batch of `n` transactions with ids `0..n`.
+    #[must_use]
+    pub fn generate_many(
+        &self,
+        n: usize,
+        db: &GlobalDatabase,
+        rng: &mut SimRng,
+    ) -> Vec<Transaction> {
+        (0..n as u64).map(|id| self.generate(id, db, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb::Schema;
+
+    fn db() -> GlobalDatabase {
+        let mut rng = SimRng::seed_from(2);
+        GlobalDatabase::generate(&Schema::new(10, 50), 10, 200, &mut rng)
+    }
+
+    #[test]
+    fn generated_transactions_are_well_formed() {
+        let db = db();
+        let gen = TransactionGenerator::uniform_over(10);
+        let mut rng = SimRng::seed_from(5);
+        for txn in gen.generate_many(300, &db, &mut rng) {
+            // target_subdb asserts all predicates live in one sub-database
+            let target = db.target_subdb(&txn);
+            assert!(target < db.partitions());
+            assert!(!txn.predicates().is_empty());
+            assert!(txn.predicates().len() <= 10);
+        }
+    }
+
+    #[test]
+    fn predicate_counts_span_the_range() {
+        let db = db();
+        let gen = TransactionGenerator::new(2, 4);
+        let mut rng = SimRng::seed_from(6);
+        let txns = gen.generate_many(500, &db, &mut rng);
+        let counts: Vec<usize> = txns.iter().map(|t| t.predicates().len()).collect();
+        assert!(counts.iter().all(|&c| (2..=4).contains(&c)));
+        for want in 2..=4 {
+            assert!(counts.contains(&want), "predicate count {want} never drawn");
+        }
+    }
+
+    #[test]
+    fn targets_cover_all_partitions() {
+        let db = db();
+        let gen = TransactionGenerator::uniform_over(10);
+        let mut rng = SimRng::seed_from(7);
+        let txns = gen.generate_many(500, &db, &mut rng);
+        let mut seen = vec![false; db.partitions()];
+        for t in &txns {
+            seen[db.target_subdb(t)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some partition never targeted");
+    }
+
+    #[test]
+    fn keyed_and_unkeyed_both_occur() {
+        let db = db();
+        let gen = TransactionGenerator::uniform_over(10);
+        let mut rng = SimRng::seed_from(8);
+        let txns = gen.generate_many(300, &db, &mut rng);
+        let keyed = txns.iter().filter(|t| t.key_value().is_some()).count();
+        assert!(keyed > 50, "keyed share too small: {keyed}");
+        assert!(keyed < 250, "keyed share too large: {keyed}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = db();
+        let gen = TransactionGenerator::uniform_over(10);
+        let a = gen.generate_many(50, &db, &mut SimRng::seed_from(3));
+        let b = gen.generate_many(50, &db, &mut SimRng::seed_from(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn zero_min_predicates_rejected() {
+        let _ = TransactionGenerator::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        let _ = TransactionGenerator::new(4, 2);
+    }
+}

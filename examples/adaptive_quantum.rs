@@ -1,0 +1,57 @@
+//! Watch the self-adjusting scheduling quantum at work: run the same
+//! overloaded workload under the paper's adaptive policy and under fixed
+//! quanta, and print the per-phase quantum trace of the adaptive run.
+//!
+//! ```text
+//! cargo run --release --example adaptive_quantum
+//! ```
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, QuantumPolicy};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::workload::Scenario;
+
+fn run_with(policy: QuantumPolicy, label: &str) -> f64 {
+    let built = Scenario::paper_defaults()
+        .workers(6)
+        .transactions(400)
+        .replication_rate(0.3)
+        .build(7);
+    let config = DriverConfig::new(6, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_millis(2)))
+        .host(HostParams::new(Duration::from_micros(1)))
+        .quantum(policy);
+    let report = Driver::new(config).run(built.tasks);
+
+    println!(
+        "{label:<22} hit ratio {:.4}  ({} phases, {} vertices)",
+        report.hit_ratio(),
+        report.phases.len(),
+        report.total_vertices()
+    );
+
+    if matches!(policy, QuantumPolicy::SelfAdjusting { .. }) {
+        println!("  first phases of the adaptive run (quantum self-adjusts):");
+        for p in report.phases.iter().take(8) {
+            println!(
+                "    phase {:>3} at {:>9}: batch {:>4}, Q_s = {:>8}, used {:>8}, scheduled {:>3} ({:?})",
+                p.phase, p.started, p.batch_len, p.quantum, p.consumed, p.scheduled, p.termination
+            );
+        }
+    }
+    report.hit_ratio()
+}
+
+fn main() {
+    println!("RT-SADS, 6 workers, 400 bursty transactions, R=30%, SF=1\n");
+    let adaptive = run_with(QuantumPolicy::self_adjusting(), "self-adjusting (paper)");
+    for ms in [1u64, 5, 25] {
+        run_with(
+            QuantumPolicy::Fixed(Duration::from_millis(ms)),
+            &format!("fixed {ms} ms"),
+        );
+    }
+    println!("\nthe self-adjusting policy needs no tuning yet stays competitive");
+    assert!(adaptive > 0.0);
+}

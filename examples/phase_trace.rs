@@ -1,0 +1,64 @@
+//! Diagnostic: print the per-phase trace of an RT-SADS run — quantum,
+//! consumption, batch size, deliveries, terminations — to see the
+//! self-adjusting scheduling loop breathe.
+//!
+//! ```text
+//! cargo run --release --example phase_trace [workers] [transactions] [seed]
+//! ```
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::workload::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let transactions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1998);
+
+    let built = Scenario::paper_defaults()
+        .workers(workers)
+        .transactions(transactions)
+        .replication_rate(0.3)
+        .build(seed);
+    let config = DriverConfig::new(workers, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_millis(2)))
+        .host(HostParams::new(Duration::from_micros(1)));
+    let report = Driver::new(config).run(built.tasks);
+
+    println!(
+        "{workers} workers, {transactions} txns, seed {seed}: hit ratio {:.4} ({} phases)",
+        report.hit_ratio(),
+        report.phases.len()
+    );
+    println!(
+        "{:>5} {:>10} {:>5} {:>10} {:>10} {:>6} {:>5} {:>5} {:>9}",
+        "phase", "t_s", "batch", "Q_s", "used", "sched", "drop", "procs", "term"
+    );
+    let mut shown = 0;
+    for p in &report.phases {
+        // show the interesting phases: anything that scheduled or dropped,
+        // plus the first few of each quiet stretch
+        if p.scheduled > 0 || p.dropped > 0 || p.phase < 5 {
+            shown += 1;
+            if shown > 60 {
+                println!("... ({} phases total)", report.phases.len());
+                break;
+            }
+            println!(
+                "{:>5} {:>10} {:>5} {:>10} {:>10} {:>6} {:>5} {:>5} {:>9}",
+                p.phase,
+                p.started.to_string(),
+                p.batch_len,
+                p.quantum.to_string(),
+                p.consumed.to_string(),
+                p.scheduled,
+                p.dropped,
+                p.processors_used,
+                format!("{:?}", p.termination),
+            );
+        }
+    }
+}

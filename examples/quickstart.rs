@@ -1,0 +1,55 @@
+//! Quickstart: schedule a bursty transaction workload with RT-SADS and
+//! print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::workload::Scenario;
+
+fn main() {
+    // The paper's database application, scaled to a laptop-friendly size:
+    // 4 sub-databases replicated on 30% of 4 processors, 200 bursty
+    // read-only transactions with deadlines 10x their estimated cost.
+    let scenario = Scenario::small()
+        .transactions(200)
+        .replication_rate(0.3);
+    let built = scenario.build(42);
+
+    println!(
+        "workload: {} transactions over {} sub-databases ({} tuples), mean cost {}",
+        built.tasks.len(),
+        built.db.partitions(),
+        built.db.total_tuples(),
+        built.mean_processing_time(),
+    );
+
+    // RT-SADS on 4 working processors plus a dedicated scheduling host:
+    // inter-processor communication costs 2 ms, one scheduling-search vertex
+    // costs 1 us of host time.
+    let config = DriverConfig::new(4, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_millis(2)))
+        .host(HostParams::new(Duration::from_micros(1)));
+    let report = Driver::new(config).run(built.tasks);
+
+    println!(
+        "RT-SADS: {}/{} deadlines met ({:.1}%), {} dropped before scheduling",
+        report.hits,
+        report.total_tasks,
+        report.hit_ratio() * 100.0,
+        report.dropped,
+    );
+    println!(
+        "scheduling: {} phases, {} search vertices, {} total scheduling time",
+        report.phases.len(),
+        report.total_vertices(),
+        report.total_scheduling_time(),
+    );
+    // The paper's theorem: a task the scheduler commits never misses.
+    assert_eq!(report.executed_misses, 0);
+    println!("theorem holds: 0 scheduled tasks missed their deadline");
+}

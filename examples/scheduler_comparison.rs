@@ -1,0 +1,68 @@
+//! Compare all four schedulers on the same workload — a miniature of the
+//! paper's Figure 5 experiment, printed as a table.
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison [workers] [transactions]
+//! ```
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::stats::{Series, Summary, Table};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::workload::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let transactions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let runs = 5;
+
+    let algorithms = [
+        Algorithm::rt_sads(),
+        Algorithm::d_cols(),
+        Algorithm::GreedyEdf,
+        Algorithm::myopic(),
+        Algorithm::RandomAssign,
+    ];
+
+    println!(
+        "comparing {} schedulers on {workers} workers, {transactions} bursty transactions, {runs} runs",
+        algorithms.len()
+    );
+
+    let mut series = Vec::new();
+    for algorithm in &algorithms {
+        let mut hit_ratios = Vec::new();
+        let mut s = Series::new(algorithm.name());
+        for run in 0..runs {
+            let built = Scenario::paper_defaults()
+                .workers(workers)
+                .transactions(transactions)
+                .replication_rate(0.3)
+                .build(100 + run);
+            let config = DriverConfig::new(workers, algorithm.clone())
+                .comm(CommModel::constant(Duration::from_millis(2)))
+                .host(HostParams::new(Duration::from_micros(1)))
+                .seed(100 + run);
+            let report = Driver::new(config).run(built.tasks);
+            assert_eq!(report.executed_misses, 0, "theorem violated");
+            hit_ratios.push(report.hit_ratio());
+            s.push(run as f64, report.hit_ratio());
+        }
+        let summary = Summary::from_slice(&hit_ratios);
+        let (lo, hi) = summary.confidence_interval(0.99);
+        println!(
+            "{:<12} mean hit ratio {:.4}  (99% CI [{lo:.4}, {hi:.4}])",
+            algorithm.name(),
+            summary.mean(),
+        );
+        series.push(s);
+    }
+
+    println!();
+    println!(
+        "{}",
+        Table::new("per-run hit ratios", "run", series).render_ascii()
+    );
+}

@@ -1,0 +1,167 @@
+//! `rtsads-sim` — run one simulation of the paper's system from the command
+//! line and print a human-readable report.
+//!
+//! ```text
+//! rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X]
+//!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
+//!            [--comm-us C] [--seed S] [--phases]
+//! ```
+
+use std::process::ExitCode;
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::workload::Scenario;
+
+struct Args {
+    workers: usize,
+    txns: usize,
+    replication: f64,
+    sf: f64,
+    algorithm: Algorithm,
+    comm_us: u64,
+    seed: u64,
+    phases: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args {
+        workers: 10,
+        txns: 1_000,
+        replication: 0.3,
+        sf: 1.0,
+        algorithm: Algorithm::rt_sads(),
+        comm_us: 2_000,
+        seed: 1_998,
+        phases: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--txns" => args.txns = value("--txns")?.parse().map_err(|e| format!("{e}"))?,
+            "--replication" => {
+                let pct: f64 = value("--replication")?.parse().map_err(|e| format!("{e}"))?;
+                args.replication = if pct > 1.0 { pct / 100.0 } else { pct };
+            }
+            "--sf" => args.sf = value("--sf")?.parse().map_err(|e| format!("{e}"))?,
+            "--comm-us" => args.comm_us = value("--comm-us")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--phases" => args.phases = true,
+            "--algorithm" => {
+                args.algorithm = match value("--algorithm")?.as_str() {
+                    "rt-sads" => Algorithm::rt_sads(),
+                    "d-cols" => Algorithm::d_cols(),
+                    "greedy" => Algorithm::GreedyEdf,
+                    "myopic" => Algorithm::myopic(),
+                    "random" => Algorithm::RandomAssign,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                };
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
+                 [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
+                 [--phases]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let built = Scenario::paper_defaults()
+        .workers(args.workers)
+        .transactions(args.txns)
+        .replication_rate(args.replication)
+        .sf(args.sf)
+        .build(args.seed);
+    let config = DriverConfig::new(args.workers, args.algorithm.clone())
+        .comm(CommModel::constant(Duration::from_micros(args.comm_us)))
+        .host(HostParams::new(Duration::from_micros(1)))
+        .seed(args.seed);
+    let report = Driver::new(config).run(built.tasks);
+
+    println!(
+        "{} on {} workers | {} transactions, R={:.0}%, SF={}, C={}us, seed {}",
+        report.algorithm,
+        args.workers,
+        report.total_tasks,
+        args.replication * 100.0,
+        args.sf,
+        args.comm_us,
+        args.seed
+    );
+    println!(
+        "  deadline hits      {:>6} / {} ({:.1}%)",
+        report.hits,
+        report.total_tasks,
+        report.hit_ratio() * 100.0
+    );
+    println!("  dropped (expired)  {:>6}", report.dropped);
+    println!(
+        "  theorem check      {:>6} scheduled tasks missed (must be 0)",
+        report.executed_misses
+    );
+    println!(
+        "  phases             {:>6} ({} dead-ends, {} backtracks, {} vertices)",
+        report.phases.len(),
+        report.dead_end_phases(),
+        report.total_backtracks(),
+        report.total_vertices()
+    );
+    println!(
+        "  scheduling time    {:>6.1} ms virtual",
+        report.total_scheduling_time().as_millis_f64()
+    );
+    if let Some(rt) = report.mean_response_time(true) {
+        println!("  mean response      {:>6.1} ms after delivery", rt.as_millis_f64());
+    }
+    if let Some(imbalance) = report.load_imbalance() {
+        let utils = report.worker_utilizations();
+        let mean_util = utils.iter().sum::<f64>() / utils.len() as f64;
+        println!(
+            "  workers            {:>6} used, mean utilization {:.1}%, imbalance {imbalance:.2}x",
+            report.workers_used,
+            mean_util * 100.0
+        );
+    }
+    println!("  finished at        {}", report.finished_at);
+
+    if args.phases {
+        println!("\n  {:>5} {:>10} {:>6} {:>10} {:>10} {:>6} {:>6}",
+                 "phase", "t_s", "batch", "Q_s", "used", "sched", "drop");
+        for p in report.phases.iter().take(40) {
+            println!(
+                "  {:>5} {:>10} {:>6} {:>10} {:>10} {:>6} {:>6}",
+                p.phase,
+                p.started.to_string(),
+                p.batch_len,
+                p.quantum.to_string(),
+                p.consumed.to_string(),
+                p.scheduled,
+                p.dropped
+            );
+        }
+        if report.phases.len() > 40 {
+            println!("  ... ({} phases total)", report.phases.len());
+        }
+    }
+    if report.executed_misses > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

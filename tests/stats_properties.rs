@@ -1,0 +1,108 @@
+//! Property tests of the statistics crate: distributional identities the
+//! special functions must satisfy, and invariants of the test/summary API.
+
+use proptest::prelude::*;
+
+use rtsads_repro::stats::special::{reg_inc_beta, t_cdf, t_critical, t_two_tailed_p};
+use rtsads_repro::stats::{welch_t_test, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// I_x(a,b) is a CDF in x: bounded, monotone, with exact endpoints.
+    #[test]
+    fn incomplete_beta_is_a_cdf(
+        a in 0.2f64..20.0,
+        b in 0.2f64..20.0,
+        x1 in 0.0f64..=1.0,
+        x2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = reg_inc_beta(lo, a, b);
+        let f_hi = reg_inc_beta(hi, a, b);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_lo <= f_hi + 1e-12, "not monotone: {f_lo} > {f_hi}");
+        prop_assert_eq!(reg_inc_beta(0.0, a, b), 0.0);
+        prop_assert_eq!(reg_inc_beta(1.0, a, b), 1.0);
+    }
+
+    /// I_x(a,b) + I_{1-x}(b,a) = 1.
+    #[test]
+    fn incomplete_beta_reflection(
+        a in 0.2f64..20.0,
+        b in 0.2f64..20.0,
+        x in 0.0f64..=1.0,
+    ) {
+        let s = reg_inc_beta(x, a, b) + reg_inc_beta(1.0 - x, b, a);
+        prop_assert!((s - 1.0).abs() < 1e-9, "reflection broke: {s}");
+    }
+
+    /// The t CDF is symmetric, monotone in t, and p-values match it.
+    #[test]
+    fn t_cdf_properties(
+        df in 1.0f64..200.0,
+        t1 in -30.0f64..30.0,
+        t2 in -30.0f64..30.0,
+    ) {
+        let sym = t_cdf(t1, df) + t_cdf(-t1, df);
+        prop_assert!((sym - 1.0).abs() < 1e-9);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
+        let p = t_two_tailed_p(t1, df);
+        let from_cdf = 2.0 * (1.0 - t_cdf(t1.abs(), df));
+        prop_assert!((p - from_cdf).abs() < 1e-9);
+    }
+
+    /// t_critical inverts the CDF at the requested confidence.
+    #[test]
+    fn t_critical_round_trips(
+        confidence in 0.5f64..0.999,
+        df in 1.0f64..100.0,
+    ) {
+        let t = t_critical(confidence, df);
+        let achieved = t_cdf(t, df) - t_cdf(-t, df);
+        prop_assert!((achieved - confidence).abs() < 1e-6,
+            "critical value {t} gives coverage {achieved} != {confidence}");
+    }
+
+    /// Summary invariants: min <= mean <= max, CI brackets the mean and
+    /// shrinks as confidence drops.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s = Summary::from_slice(&values);
+        prop_assert!(s.min() <= s.mean() + 1e-6 && s.mean() <= s.max() + 1e-6);
+        prop_assert!(s.variance() >= 0.0);
+        let (lo99, hi99) = s.confidence_interval(0.99);
+        let (lo90, hi90) = s.confidence_interval(0.90);
+        prop_assert!(lo99 <= s.mean() && s.mean() <= hi99);
+        prop_assert!(hi90 - lo90 <= hi99 - lo99 + 1e-9);
+    }
+
+    /// Welch's test: p in [0,1], antisymmetric in sample order, and equal
+    /// samples are never significant.
+    #[test]
+    fn welch_test_invariants(
+        a in prop::collection::vec(-100.0f64..100.0, 2..20),
+        b in prop::collection::vec(-100.0f64..100.0, 2..20),
+    ) {
+        let r = welch_t_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        let rev = welch_t_test(&b, &a);
+        prop_assert!((r.p_value - rev.p_value).abs() < 1e-9);
+        prop_assert!((r.mean_diff + rev.mean_diff).abs() < 1e-9);
+        let same = welch_t_test(&a, &a);
+        prop_assert!(same.p_value > 0.999);
+    }
+
+    /// Shifting one sample by a large constant makes the difference
+    /// significant (power sanity check).
+    #[test]
+    fn welch_test_detects_large_shifts(
+        a in prop::collection::vec(0.0f64..1.0, 5..20),
+    ) {
+        let shifted: Vec<f64> = a.iter().map(|v| v + 1_000.0).collect();
+        let r = welch_t_test(&a, &shifted);
+        prop_assert!(r.significant_at(0.01), "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests of the paper's central theorem — "the tasks scheduled by
+//! RT-SADS are guaranteed to meet their deadlines, once executed" — and of
+//! the driver's accounting invariants, over randomized task systems.
+
+use proptest::prelude::*;
+
+use rtsads_repro::des::{Duration, Time};
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::task::{AffinitySet, CommModel, ProcessorId, Task, TaskId};
+
+/// A randomized aperiodic task: processing time, arrival offset, laxity
+/// multiplier and affinity bitmask.
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    p_us: u64,
+    arrival_us: u64,
+    laxity_x10: u64,
+    affinity_mask: u8,
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (1u64..5_000, 0u64..20_000, 10u64..80, 0u8..=255).prop_map(
+        |(p_us, arrival_us, laxity_x10, affinity_mask)| TaskSpec {
+            p_us,
+            arrival_us,
+            laxity_x10,
+            affinity_mask,
+        },
+    )
+}
+
+fn materialize(specs: &[TaskSpec], workers: usize) -> Vec<Task> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let arrival = Time::from_micros(s.arrival_us);
+            let p = Duration::from_micros(s.p_us);
+            let affinity: AffinitySet = (0..workers)
+                .filter(|k| s.affinity_mask & (1 << (k % 8)) != 0)
+                .map(ProcessorId::new)
+                .collect();
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .arrival(arrival)
+                .deadline(arrival + p.mul_f64(s.laxity_x10 as f64 / 10.0))
+                .affinity(affinity)
+                .build()
+        })
+        .collect()
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::rt_sads(),
+        Algorithm::d_cols(),
+        Algorithm::d_cols_skipping(),
+        Algorithm::GreedyEdf,
+        Algorithm::myopic(),
+        Algorithm::RandomAssign,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The theorem, plus conservation of tasks, for every algorithm on
+    /// arbitrary task systems (including heavy overload and empty affinity).
+    #[test]
+    fn no_scheduled_task_ever_misses(
+        specs in prop::collection::vec(task_spec(), 1..60),
+        workers in 1usize..6,
+        comm_us in prop::sample::select(vec![0u64, 100, 2_000]),
+        seed in 0u64..1_000,
+    ) {
+        let tasks = materialize(&specs, workers);
+        for algorithm in all_algorithms() {
+            let config = DriverConfig::new(workers, algorithm)
+                .comm(CommModel::constant(Duration::from_micros(comm_us)))
+                .host(HostParams::new(Duration::from_micros(1)))
+                .seed(seed);
+            let report = Driver::new(config).run(tasks.clone());
+            // Theorem: zero scheduled-but-missed.
+            prop_assert_eq!(report.executed_misses, 0);
+            // Conservation: hits + drops == total.
+            prop_assert!(report.is_consistent());
+            // Every completion's record is internally coherent.
+            for c in &report.completions {
+                prop_assert!(c.start >= c.delivered);
+                prop_assert_eq!(c.completion, c.start + c.service);
+                prop_assert!(c.met_deadline == (c.completion <= c.deadline));
+            }
+        }
+    }
+
+    /// The theorem also holds for resource-constrained tasks: resource
+    /// waits are part of both the feasibility prediction and the actual
+    /// execution, so committed tasks still never miss.
+    #[test]
+    fn theorem_holds_under_resource_contention(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 1usize..5,
+        res_masks in prop::collection::vec(0u8..=255, 1..40),
+        seed in 0u64..200,
+    ) {
+        use rtsads_repro::task::ResourceRequest;
+        let tasks: Vec<_> = materialize(&specs, workers)
+            .into_iter()
+            .zip(res_masks.iter().cycle())
+            .map(|(t, &mask)| {
+                // bits 0-2 pick up to three resources; bit 7 picks the mode
+                let reqs: Vec<ResourceRequest> = (0..3)
+                    .filter(|b| mask & (1 << b) != 0)
+                    .map(|r| {
+                        if mask & 0x80 != 0 {
+                            ResourceRequest::exclusive(r)
+                        } else {
+                            ResourceRequest::shared(r)
+                        }
+                    })
+                    .collect();
+                t.with_resources(reqs)
+            })
+            .collect();
+        for algorithm in all_algorithms() {
+            let config = DriverConfig::new(workers, algorithm)
+                .comm(CommModel::constant(Duration::from_micros(500)))
+                .host(HostParams::new(Duration::from_micros(1)))
+                .seed(seed);
+            let report = Driver::new(config).run(tasks.clone());
+            prop_assert_eq!(report.executed_misses, 0, "theorem with resources");
+            prop_assert!(report.is_consistent());
+        }
+    }
+
+    /// Runs are a pure function of (tasks, config, seed).
+    #[test]
+    fn runs_are_reproducible(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let tasks = materialize(&specs, workers);
+        let config = DriverConfig::new(workers, Algorithm::rt_sads())
+            .host(HostParams::new(Duration::from_micros(1)))
+            .seed(seed);
+        let a = Driver::new(config.clone()).run(tasks.clone());
+        let b = Driver::new(config).run(tasks);
+        prop_assert_eq!(a.hits, b.hits);
+        prop_assert_eq!(a.dropped, b.dropped);
+        prop_assert_eq!(a.completions, b.completions);
+    }
+
+    /// Simulated time only moves forward: phase starts are non-decreasing
+    /// and every delivery happens at its phase's end.
+    #[test]
+    fn phases_progress_monotonically(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 1usize..5,
+    ) {
+        let tasks = materialize(&specs, workers);
+        let config = DriverConfig::new(workers, Algorithm::rt_sads())
+            .host(HostParams::new(Duration::from_micros(1)));
+        let report = Driver::new(config).run(tasks);
+        for w in report.phases.windows(2) {
+            prop_assert!(w[1].started >= w[0].started + w[0].consumed);
+            prop_assert!(w[1].phase > w[0].phase);
+        }
+        for p in &report.phases {
+            prop_assert!(p.consumed <= p.quantum.max(Duration::from_micros(1)));
+        }
+    }
+
+    /// A task that is dropped was genuinely hopeless: its deadline passed
+    /// (relative to its processing time) before some phase could run it.
+    #[test]
+    fn dropped_tasks_are_never_double_counted(
+        specs in prop::collection::vec(task_spec(), 1..50),
+        workers in 1usize..4,
+    ) {
+        let tasks = materialize(&specs, workers);
+        let n = tasks.len();
+        let config = DriverConfig::new(workers, Algorithm::rt_sads())
+            .host(HostParams::new(Duration::from_micros(1)));
+        let report = Driver::new(config).run(tasks);
+        prop_assert_eq!(report.hits + report.dropped, n);
+        // every completed task appears exactly once
+        let mut seen: Vec<u64> = report.completions.iter().map(|c| c.task.as_u64()).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before, "a task executed twice");
+    }
+}
