@@ -26,9 +26,7 @@ fn fig5(c: &mut Criterion) {
                 BenchmarkId::new(algorithm.name(), workers),
                 &workers,
                 |b, &workers| {
-                    b.iter(|| {
-                        black_box(run_once(workers, 0.3, algorithm.clone(), 0).hits)
-                    });
+                    b.iter(|| black_box(run_once(workers, 0.3, algorithm.clone(), 0).hits));
                 },
             );
         }

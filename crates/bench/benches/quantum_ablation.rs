@@ -14,7 +14,10 @@ fn quantum(c: &mut Criterion) {
     let policies: [(&str, QuantumPolicy); 3] = [
         ("self_adjusting", QuantumPolicy::self_adjusting()),
         ("fixed_1ms", QuantumPolicy::Fixed(Duration::from_millis(1))),
-        ("fixed_25ms", QuantumPolicy::Fixed(Duration::from_millis(25))),
+        (
+            "fixed_25ms",
+            QuantumPolicy::Fixed(Duration::from_millis(25)),
+        ),
     ];
     for (label, policy) in policies {
         let built = bench_workload(workers, 0.3, 0);

@@ -24,33 +24,29 @@ fn phase(c: &mut Criterion) {
             Algorithm::d_cols(),
             Algorithm::GreedyEdf,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), n),
-                &tasks,
-                |b, tasks| {
-                    b.iter(|| {
-                        // an effectively unbounded quantum: profile the raw
-                        // search, bounded by the vertex cap
-                        let mut meter = SchedulingMeter::new(
-                            HostParams::new(Duration::from_micros(1)),
-                            Duration::from_secs(10),
-                        );
-                        let mut rng = SimRng::seed_from(7);
-                        let out = algorithm.schedule_phase(
-                            tasks,
-                            &comm,
-                            &initial,
-                            Time::ZERO,
-                            Some(200_000),
-                            Pruning::default(),
-                            &ResourceEats::new(),
-                            &mut meter,
-                            &mut rng,
-                        );
-                        black_box(out.assignments.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &tasks, |b, tasks| {
+                b.iter(|| {
+                    // an effectively unbounded quantum: profile the raw
+                    // search, bounded by the vertex cap
+                    let mut meter = SchedulingMeter::new(
+                        HostParams::new(Duration::from_micros(1)),
+                        Duration::from_secs(10),
+                    );
+                    let mut rng = SimRng::seed_from(7);
+                    let out = algorithm.schedule_phase(
+                        tasks,
+                        &comm,
+                        &initial,
+                        Time::ZERO,
+                        Some(200_000),
+                        Pruning::default(),
+                        &ResourceEats::new(),
+                        &mut meter,
+                        &mut rng,
+                    );
+                    black_box(out.assignments.len())
+                });
+            });
         }
     }
     group.finish();

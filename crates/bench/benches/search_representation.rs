@@ -8,9 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paragon_des::{Duration, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
 use rt_task::{CommModel, ResourceEats};
-use sched_search::{
-    search_schedule, ChildOrder, Pruning, Representation, SearchParams, TaskOrder,
-};
+use sched_search::{search_schedule, ChildOrder, Pruning, Representation, SearchParams, TaskOrder};
 use std::hint::black_box;
 
 fn representations(c: &mut Criterion) {

@@ -1,0 +1,64 @@
+//! Microbenchmark of the tracing seam: a full simulation run through
+//! `Driver::run` vs `Driver::run_traced(&mut Tracer::disabled())`.
+//!
+//! The disabled tracer must be free — every emission site in the driver is
+//! guarded by `tracer.enabled()` and the no-op paths are `#[inline]` — so
+//! besides the two Criterion series this target asserts the disabled-tracer
+//! run is within noise of the plain run (a generous 1.5x bound; the real
+//! ratio is ~1.0).
+
+use bench_support::{bench_driver, bench_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragon_des::trace::Tracer;
+use rtsads::{Algorithm, Driver};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKERS: usize = 8;
+const SEED: u64 = 42;
+
+fn trace_overhead(c: &mut Criterion) {
+    let built = bench_workload(WORKERS, 0.3, SEED);
+    let driver = Driver::new(bench_driver(WORKERS, Algorithm::rt_sads()).seed(SEED));
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("plain_run", |b| {
+        b.iter(|| black_box(driver.run(built.tasks.clone()).hits));
+    });
+    group.bench_function("disabled_tracer_run", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::disabled();
+            black_box(driver.run_traced(built.tasks.clone(), &mut tracer).hits)
+        });
+    });
+    group.finish();
+
+    // Assertion pass: time ROUNDS runs of each flavor back to back and fail
+    // loudly if the disabled tracer costs measurably more than no tracer.
+    const ROUNDS: u32 = 20;
+    let time = |traced: bool| {
+        let started = Instant::now();
+        for _ in 0..ROUNDS {
+            let tasks = built.tasks.clone();
+            let hits = if traced {
+                driver.run_traced(tasks, &mut Tracer::disabled()).hits
+            } else {
+                driver.run(tasks).hits
+            };
+            black_box(hits);
+        }
+        started.elapsed().as_secs_f64()
+    };
+    let plain = time(false);
+    let disabled = time(true);
+    let ratio = disabled / plain;
+    println!("disabled-tracer / plain run time ratio: {ratio:.3}");
+    assert!(
+        ratio < 1.5,
+        "disabled tracer must add no measurable per-event cost \
+         (plain {plain:.4}s, disabled {disabled:.4}s, ratio {ratio:.3})"
+    );
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

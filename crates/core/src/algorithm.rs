@@ -4,8 +4,8 @@ use paragon_des::{SimRng, Time};
 use paragon_platform::SchedulingMeter;
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 use sched_search::{
-    search_schedule, ChildOrder, PathState, ProcessorOrder, Pruning, Representation,
-    SearchOutcome, SearchParams, SearchStats, TaskOrder, Termination,
+    search_schedule, ChildOrder, PathState, ProcessorOrder, Pruning, Representation, SearchOutcome,
+    SearchParams, SearchStats, TaskOrder, Termination,
 };
 use serde::{Deserialize, Serialize};
 
@@ -200,7 +200,9 @@ impl Algorithm {
                 *max_backtracks,
                 meter,
             ),
-            Algorithm::RandomAssign => random_assign(tasks, comm, initial_finish, resources, meter, rng),
+            Algorithm::RandomAssign => {
+                random_assign(tasks, comm, initial_finish, resources, meter, rng)
+            }
         }
     }
 }
@@ -216,9 +218,20 @@ fn greedy_edf(
     meter: &mut SchedulingMeter,
 ) -> SearchOutcome {
     let order = TaskOrder::EarliestDeadline.order(tasks, now);
-    one_pass(tasks, comm, initial_finish, resources, meter, order, |cands| {
-        cands.iter().min_by_key(|&&(_, completion)| completion).copied()
-    })
+    one_pass(
+        tasks,
+        comm,
+        initial_finish,
+        resources,
+        meter,
+        order,
+        |cands| {
+            cands
+                .iter()
+                .min_by_key(|&&(_, completion)| completion)
+                .copied()
+        },
+    )
 }
 
 /// Each task to a uniformly random feasible processor.
@@ -231,13 +244,21 @@ fn random_assign(
     rng: &mut SimRng,
 ) -> SearchOutcome {
     let order: Vec<usize> = (0..tasks.len()).collect();
-    one_pass(tasks, comm, initial_finish, resources, meter, order, |cands| {
-        if cands.is_empty() {
-            None
-        } else {
-            Some(*rng.choose(cands))
-        }
-    })
+    one_pass(
+        tasks,
+        comm,
+        initial_finish,
+        resources,
+        meter,
+        order,
+        |cands| {
+            if cands.is_empty() {
+                None
+            } else {
+                Some(*rng.choose(cands))
+            }
+        },
+    )
 }
 
 /// Shared single-pass (no-backtracking) scheduler skeleton for the two

@@ -188,7 +188,12 @@ impl Driver {
             dropped_total += dropped.len();
             if tracer.enabled() {
                 for t in &dropped.dropped {
-                    tracer.emit(started, TraceEvent::TaskDropped { task: t.id().as_u64() });
+                    tracer.emit(
+                        started,
+                        TraceEvent::TaskDropped {
+                            task: t.id().as_u64(),
+                        },
+                    );
                 }
             }
             if batch.is_empty() {
@@ -240,11 +245,19 @@ impl Driver {
                     processor: a.processor,
                 })
                 .collect();
-            let scheduled_ids: HashSet<TaskId> =
-                dispatches.iter().map(|d| d.task.id()).collect();
+            let scheduled_ids: HashSet<TaskId> = dispatches.iter().map(|d| d.task.id()).collect();
             let scheduled = dispatches.len();
+            let processing_times: Vec<Duration> = dispatches
+                .iter()
+                .map(|d| d.task.processing_time())
+                .collect();
             let records = machine.deliver(dispatches, ended);
             batch.remove_scheduled(&scheduled_ids);
+            // Tasks whose deadline lapsed *while* the phase was computing:
+            // they stay in the batch (and are dropped — and counted — at the
+            // next phase start), but the telemetry layer wants to see the
+            // expiry at the instant it became unavoidable.
+            let expired_mid_phase = batch.iter().filter(|t| t.is_expired(ended)).count();
             if tracer.enabled() {
                 tracer.emit(
                     ended,
@@ -253,9 +266,39 @@ impl Driver {
                         scheduled,
                         consumed,
                         vertices: outcome.stats.vertices_generated,
+                        backtracks: outcome.stats.backtracks,
                     },
                 );
-                for r in &records {
+                for t in batch.iter().filter(|t| t.is_expired(ended)) {
+                    tracer.emit(
+                        ended,
+                        TraceEvent::TaskExpiredMidPhase {
+                            task: t.id().as_u64(),
+                            phase: phase_no,
+                        },
+                    );
+                }
+                for (r, p) in records.iter().zip(&processing_times) {
+                    let slack_us = r.deadline.as_micros() as i64 - r.start.as_micros() as i64;
+                    tracer.emit(
+                        ended,
+                        TraceEvent::TaskDispatched {
+                            task: r.task.as_u64(),
+                            processor: r.processor.index(),
+                            slack_us,
+                        },
+                    );
+                    let comm_delay = r.service.saturating_sub(*p);
+                    if !comm_delay.is_zero() {
+                        tracer.emit(
+                            r.start,
+                            TraceEvent::CommDelay {
+                                task: r.task.as_u64(),
+                                processor: r.processor.index(),
+                                delay_us: comm_delay.as_micros(),
+                            },
+                        );
+                    }
                     tracer.emit(
                         r.start,
                         TraceEvent::TaskStarted {
@@ -263,12 +306,15 @@ impl Driver {
                             processor: r.processor.index(),
                         },
                     );
+                    let lateness_us =
+                        r.completion.as_micros() as i64 - r.deadline.as_micros() as i64;
                     tracer.emit(
                         r.completion,
                         TraceEvent::TaskCompleted {
                             task: r.task.as_u64(),
                             processor: r.processor.index(),
                             met_deadline: r.met_deadline,
+                            lateness_us,
                         },
                     );
                 }
@@ -279,6 +325,7 @@ impl Driver {
                 started,
                 batch_len: batch.len() + scheduled,
                 dropped: dropped.len(),
+                expired_mid_phase,
                 quantum,
                 consumed,
                 vertices: outcome.stats.vertices_generated,
@@ -391,9 +438,8 @@ mod tests {
     #[test]
     fn runs_are_deterministic() {
         let tasks: Vec<Task> = (0..30).map(|i| mk_task(i, 2, i % 7, 60 + i, 3)).collect();
-        let run = || {
-            Driver::new(DriverConfig::new(3, Algorithm::rt_sads()).seed(42)).run(tasks.clone())
-        };
+        let run =
+            || Driver::new(DriverConfig::new(3, Algorithm::rt_sads()).seed(42)).run(tasks.clone());
         let a = run();
         let b = run();
         assert_eq!(a.hits, b.hits);
@@ -454,8 +500,7 @@ mod tests {
     fn greedy_and_random_also_account_consistently() {
         let tasks: Vec<Task> = (0..25).map(|i| mk_task(i, 3, 0, 40, 3)).collect();
         for algorithm in [Algorithm::GreedyEdf, Algorithm::RandomAssign] {
-            let report =
-                Driver::new(DriverConfig::new(3, algorithm).seed(9)).run(tasks.clone());
+            let report = Driver::new(DriverConfig::new(3, algorithm).seed(9)).run(tasks.clone());
             assert!(report.is_consistent());
             assert_eq!(report.executed_misses, 0);
         }
@@ -478,14 +523,10 @@ mod tests {
             })
             .collect();
         let comm = CommModel::constant(Duration::from_millis(50));
-        let sads = Driver::new(
-            DriverConfig::new(workers, Algorithm::rt_sads()).comm(comm),
-        )
-        .run(tasks.clone());
-        let cols = Driver::new(
-            DriverConfig::new(workers, Algorithm::d_cols()).comm(comm),
-        )
-        .run(tasks);
+        let sads = Driver::new(DriverConfig::new(workers, Algorithm::rt_sads()).comm(comm))
+            .run(tasks.clone());
+        let cols =
+            Driver::new(DriverConfig::new(workers, Algorithm::d_cols()).comm(comm)).run(tasks);
         assert!(
             sads.hits >= cols.hits,
             "RT-SADS ({}) should not lose to D-COLS ({})",
@@ -505,15 +546,14 @@ mod tests {
         use paragon_des::trace::{RecordingTracer, TraceEvent};
         let tasks: Vec<Task> = (0..12).map(|i| mk_task(i, 2, 0, 25, 2)).collect();
         let mut tracer = RecordingTracer::new();
-        let report = Driver::new(DriverConfig::new(2, Algorithm::rt_sads()))
-            .run_traced(tasks, &mut tracer);
+        let report =
+            Driver::new(DriverConfig::new(2, Algorithm::rt_sads())).run_traced(tasks, &mut tracer);
 
         let starts = tracer.count_matching(|e| matches!(e, TraceEvent::PhaseStarted { .. }));
         let ends = tracer.count_matching(|e| matches!(e, TraceEvent::PhaseEnded { .. }));
         assert_eq!(starts, report.phases.len());
         assert_eq!(ends, report.phases.len());
-        let completed =
-            tracer.count_matching(|e| matches!(e, TraceEvent::TaskCompleted { .. }));
+        let completed = tracer.count_matching(|e| matches!(e, TraceEvent::TaskCompleted { .. }));
         assert_eq!(completed, report.completions.len());
         let dropped = tracer.count_matching(|e| matches!(e, TraceEvent::TaskDropped { .. }));
         assert_eq!(dropped, report.dropped);

@@ -193,7 +193,11 @@ mod tests {
             .processing_time(Duration::from_micros(p_us))
             .deadline(Time::from_micros(d_us));
         if !aff.is_empty() {
-            builder = builder.affinity(aff.iter().map(|&k| ProcessorId::new(k)).collect::<AffinitySet>());
+            builder = builder.affinity(
+                aff.iter()
+                    .map(|&k| ProcessorId::new(k))
+                    .collect::<AffinitySet>(),
+            );
         } else {
             builder = builder.affinity(AffinitySet::all(8));
         }
@@ -271,13 +275,17 @@ mod tests {
         // and only first. Greedy min-H puts task 0 on P0 (identical
         // completion, lowest index); backtracking must flip it to P1.
         let comm = CommModel::constant(Duration::from_micros(10_000));
-        let tasks = vec![
-            mk_task(0, 100, 150, &[0, 1]),
-            mk_task(1, 100, 150, &[0]),
-        ];
+        let tasks = vec![mk_task(0, 100, 150, &[0, 1]), mk_task(1, 100, 150, &[0])];
         let initial = vec![Time::ZERO; 2];
         let out = myopic_phase(
-            &tasks, &comm, &initial, Time::ZERO, &ResourceEats::new(), 7, 100, 3,
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            &ResourceEats::new(),
+            7,
+            100,
+            3,
             &mut free_meter(),
         );
         assert_eq!(out.termination, Termination::Leaf, "stats: {:?}", out.stats);
@@ -289,13 +297,17 @@ mod tests {
     #[test]
     fn zero_backtracks_degrades_gracefully() {
         let comm = CommModel::constant(Duration::from_micros(10_000));
-        let tasks = vec![
-            mk_task(0, 100, 150, &[0, 1]),
-            mk_task(1, 100, 150, &[0]),
-        ];
+        let tasks = vec![mk_task(0, 100, 150, &[0, 1]), mk_task(1, 100, 150, &[0])];
         let initial = vec![Time::ZERO; 2];
         let out = myopic_phase(
-            &tasks, &comm, &initial, Time::ZERO, &ResourceEats::new(), 7, 100, 0,
+            &tasks,
+            &comm,
+            &initial,
+            Time::ZERO,
+            &ResourceEats::new(),
+            7,
+            100,
+            0,
             &mut free_meter(),
         );
         // without backtracking, task 1 is lost but task 0 still runs

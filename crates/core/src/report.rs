@@ -15,6 +15,12 @@ pub struct PhaseRecord {
     pub batch_len: usize,
     /// Tasks dropped by the expiry filter at phase start.
     pub dropped: usize,
+    /// Tasks still in the batch whose deadline lapsed while this phase was
+    /// computing. They are *not* dropped yet — the next phase's expiry
+    /// filter drops (and counts) them — so this never overlaps `dropped` of
+    /// the same record, but each such task reappears in the next record's
+    /// `dropped`.
+    pub expired_mid_phase: usize,
     /// Allocated quantum `Q_s(j)` (after the driver's floor).
     pub quantum: Duration,
     /// Scheduling time actually consumed.
@@ -91,6 +97,15 @@ impl RunReport {
     #[must_use]
     pub fn total_backtracks(&self) -> u64 {
         self.phases.iter().map(|p| p.backtracks).sum()
+    }
+
+    /// Total tasks observed expiring while a phase was computing, summed
+    /// over phases. Each is also counted once in [`RunReport::dropped`]
+    /// (when the next phase's filter removes it), so this is a breakdown,
+    /// not an addition.
+    #[must_use]
+    pub fn total_expired_mid_phase(&self) -> usize {
+        self.phases.iter().map(|p| p.expired_mid_phase).sum()
     }
 
     /// Number of phases that ended at a dead-end.
@@ -202,6 +217,7 @@ mod tests {
             started: Time::ZERO,
             batch_len: 10,
             dropped: 0,
+            expired_mid_phase: 1,
             quantum: Duration::from_micros(100),
             consumed: Duration::from_micros(60),
             vertices: 12,
@@ -244,6 +260,7 @@ mod tests {
         assert_eq!(r.total_scheduling_time(), Duration::from_micros(180));
         assert_eq!(r.total_vertices(), 36);
         assert_eq!(r.total_backtracks(), 9);
+        assert_eq!(r.total_expired_mid_phase(), 3);
         assert_eq!(r.dead_end_phases(), 2);
         assert_eq!(r.mean_processors_used(), Some(3.0));
     }
@@ -284,10 +301,7 @@ mod tests {
             r.response_times(true),
             vec![Duration::from_millis(4)] // 5 - 1
         );
-        assert_eq!(
-            r.mean_response_time(false),
-            Some(Duration::from_millis(5))
-        );
+        assert_eq!(r.mean_response_time(false), Some(Duration::from_millis(5)));
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
         let mean = total / n as f64;
-        assert!((mean - 5.0).abs() < 0.2, "sample mean {mean} too far from 5");
+        assert!(
+            (mean - 5.0).abs() < 0.2,
+            "sample mean {mean} too far from 5"
+        );
     }
 
     #[test]
@@ -209,7 +212,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
-        assert_ne!(v, (0..32).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..32).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

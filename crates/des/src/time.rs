@@ -26,7 +26,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 3_000);
 /// assert!(t > Time::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(u64);
 
 /// A span of virtual time, counted in integer microseconds.
@@ -40,7 +42,9 @@ pub struct Time(u64);
 /// assert_eq!(d.as_micros(), 1_500);
 /// assert_eq!(d * 2, Duration::from_micros(3_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Time {
@@ -379,10 +383,7 @@ mod tests {
         assert_eq!(d - Duration::from_micros(4), Duration::from_micros(6));
         assert_eq!(d * 3, Duration::from_micros(30));
         assert_eq!(d / 2, Duration::from_micros(5));
-        assert_eq!(
-            d.saturating_sub(Duration::from_micros(20)),
-            Duration::ZERO
-        );
+        assert_eq!(d.saturating_sub(Duration::from_micros(20)), Duration::ZERO);
         assert_eq!(d.max(Duration::from_micros(12)), Duration::from_micros(12));
         assert_eq!(d.min(Duration::from_micros(12)), d);
     }

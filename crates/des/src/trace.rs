@@ -5,13 +5,19 @@
 //! decides what to do with them. The default is [`Tracer::disabled`], which
 //! costs one branch per emission; [`RecordingTracer`] collects events for
 //! assertions in tests and for the experiment harness's overhead reports.
+//!
+//! Every event derives `Serialize`/`Deserialize`, so structured sinks (the
+//! telemetry crate's JSONL writer, the Perfetto exporter) can stream them
+//! without a parallel schema.
 
 use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use crate::time::{Duration, Time};
 
 /// One trace record emitted by the simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// A scheduling phase started with the given batch size and allocated
     /// quantum.
@@ -33,6 +39,29 @@ pub enum TraceEvent {
         consumed: Duration,
         /// Number of search vertices generated during the phase.
         vertices: u64,
+        /// Number of backtracks the search performed during the phase.
+        backtracks: u64,
+    },
+    /// A task was assigned to a processor by the scheduling phase that just
+    /// ended; its execution (and any data shipping) begins after delivery.
+    TaskDispatched {
+        /// The task's identifier.
+        task: u64,
+        /// The target processor's index.
+        processor: usize,
+        /// Slack at dispatch: `deadline - execution_start`, in microseconds
+        /// (negative when the task starts past its deadline).
+        slack_us: i64,
+    },
+    /// Communication delay paid before a dispatched task could start: the
+    /// portion of its service time spent shipping remote data.
+    CommDelay {
+        /// The task's identifier.
+        task: u64,
+        /// The executing processor's index.
+        processor: usize,
+        /// The delay in microseconds.
+        delay_us: u64,
     },
     /// A task began executing on a worker processor.
     TaskStarted {
@@ -49,12 +78,24 @@ pub enum TraceEvent {
         processor: usize,
         /// Whether it completed by its deadline.
         met_deadline: bool,
+        /// `completion - deadline` in microseconds: positive for misses,
+        /// zero or negative for hits.
+        lateness_us: i64,
     },
     /// A task was dropped from a batch because its deadline had already
     /// passed (or could no longer be met) before it was ever scheduled.
     TaskDropped {
         /// The task's identifier.
         task: u64,
+    },
+    /// A task still waiting in the batch saw its deadline expire while a
+    /// scheduling phase was running; it will be filtered (and counted
+    /// dropped) at the start of the next phase.
+    TaskExpiredMidPhase {
+        /// The task's identifier.
+        task: u64,
+        /// The phase during which the deadline expired.
+        phase: u64,
     },
     /// Free-form annotation.
     Note(String),
@@ -67,16 +108,34 @@ impl fmt::Display for TraceEvent {
                 phase,
                 batch_len,
                 quantum,
-            } => write!(f, "phase {phase} start: batch={batch_len} quantum={quantum}"),
+            } => write!(
+                f,
+                "phase {phase} start: batch={batch_len} quantum={quantum}"
+            ),
             TraceEvent::PhaseEnded {
                 phase,
                 scheduled,
                 consumed,
                 vertices,
+                backtracks,
             } => write!(
                 f,
-                "phase {phase} end: scheduled={scheduled} consumed={consumed} vertices={vertices}"
+                "phase {phase} end: scheduled={scheduled} consumed={consumed} \
+                 vertices={vertices} backtracks={backtracks}"
             ),
+            TraceEvent::TaskDispatched {
+                task,
+                processor,
+                slack_us,
+            } => write!(
+                f,
+                "task {task} dispatched to P{processor} slack={slack_us}us"
+            ),
+            TraceEvent::CommDelay {
+                task,
+                processor,
+                delay_us,
+            } => write!(f, "task {task} comm delay {delay_us}us to P{processor}"),
             TraceEvent::TaskStarted { task, processor } => {
                 write!(f, "task {task} started on P{processor}")
             }
@@ -84,12 +143,16 @@ impl fmt::Display for TraceEvent {
                 task,
                 processor,
                 met_deadline,
+                lateness_us,
             } => write!(
                 f,
-                "task {task} completed on P{processor} ({})",
+                "task {task} completed on P{processor} ({}, lateness={lateness_us}us)",
                 if *met_deadline { "hit" } else { "miss" }
             ),
             TraceEvent::TaskDropped { task } => write!(f, "task {task} dropped (deadline passed)"),
+            TraceEvent::TaskExpiredMidPhase { task, phase } => {
+                write!(f, "task {task} expired during phase {phase}")
+            }
             TraceEvent::Note(s) => write!(f, "note: {s}"),
         }
     }
@@ -126,6 +189,7 @@ pub struct Tracer {
 
 impl Tracer {
     /// A tracer that drops every event.
+    #[inline]
     #[must_use]
     pub fn disabled() -> Self {
         Tracer { print: false }
@@ -139,12 +203,14 @@ impl Tracer {
 }
 
 impl TraceSink for Tracer {
+    #[inline]
     fn emit(&mut self, now: Time, event: TraceEvent) {
         if self.print {
             eprintln!("[{now}] {event}");
         }
     }
 
+    #[inline]
     fn enabled(&self) -> bool {
         self.print
     }
@@ -191,13 +257,62 @@ impl TraceSink for RecordingTracer {
 mod tests {
     use super::*;
 
+    fn all_variants() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PhaseStarted {
+                phase: 1,
+                batch_len: 10,
+                quantum: Duration::from_micros(100),
+            },
+            TraceEvent::PhaseEnded {
+                phase: 1,
+                scheduled: 4,
+                consumed: Duration::from_micros(80),
+                vertices: 40,
+                backtracks: 3,
+            },
+            TraceEvent::TaskDispatched {
+                task: 3,
+                processor: 2,
+                slack_us: -17,
+            },
+            TraceEvent::CommDelay {
+                task: 3,
+                processor: 2,
+                delay_us: 2_000,
+            },
+            TraceEvent::TaskStarted {
+                task: 3,
+                processor: 2,
+            },
+            TraceEvent::TaskCompleted {
+                task: 3,
+                processor: 2,
+                met_deadline: true,
+                lateness_us: -50,
+            },
+            TraceEvent::TaskCompleted {
+                task: 4,
+                processor: 1,
+                met_deadline: false,
+                lateness_us: 120,
+            },
+            TraceEvent::TaskDropped { task: 5 },
+            TraceEvent::TaskExpiredMidPhase { task: 6, phase: 2 },
+            TraceEvent::Note("hi".into()),
+        ]
+    }
+
     #[test]
     fn recording_tracer_collects_in_order() {
         let mut rec = RecordingTracer::new();
         rec.emit(Time::from_micros(1), TraceEvent::TaskDropped { task: 9 });
         rec.emit(
             Time::from_micros(2),
-            TraceEvent::TaskStarted { task: 9, processor: 0 },
+            TraceEvent::TaskStarted {
+                task: 9,
+                processor: 0,
+            },
         );
         assert_eq!(rec.events().len(), 2);
         assert_eq!(rec.events()[0].0, Time::from_micros(1));
@@ -219,34 +334,17 @@ mod tests {
 
     #[test]
     fn display_covers_all_variants() {
-        let samples = vec![
-            TraceEvent::PhaseStarted {
-                phase: 1,
-                batch_len: 10,
-                quantum: Duration::from_micros(100),
-            },
-            TraceEvent::PhaseEnded {
-                phase: 1,
-                scheduled: 4,
-                consumed: Duration::from_micros(80),
-                vertices: 40,
-            },
-            TraceEvent::TaskStarted { task: 3, processor: 2 },
-            TraceEvent::TaskCompleted {
-                task: 3,
-                processor: 2,
-                met_deadline: true,
-            },
-            TraceEvent::TaskCompleted {
-                task: 4,
-                processor: 1,
-                met_deadline: false,
-            },
-            TraceEvent::TaskDropped { task: 5 },
-            TraceEvent::Note("hi".into()),
-        ];
-        for s in samples {
+        for s in all_variants() {
             assert!(!s.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_all_variants() {
+        for event in all_variants() {
+            let value = event.to_value();
+            let back = TraceEvent::from_value(&value).expect("deserializes");
+            assert_eq!(back, event);
         }
     }
 

@@ -71,8 +71,7 @@ impl ExperimentConfig {
     /// `--dump-scenario`).
     #[must_use]
     pub fn scenario_json(&self) -> String {
-        serde_json::to_string_pretty(&self.base_scenario())
-            .expect("scenario serializes infallibly")
+        serde_json::to_string_pretty(&self.base_scenario()).expect("scenario serializes infallibly")
     }
 }
 
@@ -122,7 +121,9 @@ mod tests {
         assert_eq!(loaded.base_scenario(), config.base_scenario());
         // overrides survive: change a field in the JSON and see it land
         let tweaked = json.replace("\"partitions\": 10", "\"partitions\": 5");
-        let loaded = ExperimentConfig::quick().with_scenario_json(&tweaked).unwrap();
+        let loaded = ExperimentConfig::quick()
+            .with_scenario_json(&tweaked)
+            .unwrap();
         assert_eq!(loaded.base_scenario().partitions, 5);
         assert!(ExperimentConfig::quick()
             .with_scenario_json("not json")

@@ -90,7 +90,10 @@ pub fn quantum(config: &ExperimentConfig) -> FigureOutput {
         ),
         ("fixed 1ms", QuantumPolicy::Fixed(Duration::from_millis(1))),
         ("fixed 5ms", QuantumPolicy::Fixed(Duration::from_millis(5))),
-        ("fixed 25ms", QuantumPolicy::Fixed(Duration::from_millis(25))),
+        (
+            "fixed 25ms",
+            QuantumPolicy::Fixed(Duration::from_millis(25)),
+        ),
     ];
     let mut series = Vec::new();
     for (label, policy) in policies {
@@ -112,7 +115,11 @@ pub fn quantum(config: &ExperimentConfig) -> FigureOutput {
         format!(
             "at P=10: self-adjusting {adaptive:.4} vs best fixed {best_fixed:.4} \
              (adaptive {} the hand-tuned quanta)",
-            if adaptive >= best_fixed { "matches or beats" } else { "trails" }
+            if adaptive >= best_fixed {
+                "matches or beats"
+            } else {
+                "trails"
+            }
         ),
         format!(
             "capping the criterion at 5ms (still within Figure 3's `Q_s <= max(...)`) \
@@ -150,7 +157,13 @@ pub fn cost(config: &ExperimentConfig) -> FigureOutput {
         };
         let mut s = Series::new(label);
         for &r in &RATES {
-            let p = point(config, workers, r, 1.0, default_driver(workers, alg.clone()));
+            let p = point(
+                config,
+                workers,
+                r,
+                1.0,
+                default_driver(workers, alg.clone()),
+            );
             s.push(r, p.mean_hit_ratio());
         }
         series.push(s);
@@ -221,7 +234,13 @@ pub fn deadends(config: &ExperimentConfig) -> FigureOutput {
         let mut dead = Series::new(format!("{} dead-ends", alg.name()));
         let mut coverage = Vec::new();
         for &r in &RATES {
-            let p = point(config, workers, r, 1.0, default_driver(workers, alg.clone()));
+            let p = point(
+                config,
+                workers,
+                r,
+                1.0,
+                default_driver(workers, alg.clone()),
+            );
             dead.push(
                 r,
                 p.dead_ends.iter().sum::<f64>() / p.dead_ends.len() as f64,
@@ -231,7 +250,10 @@ pub fn deadends(config: &ExperimentConfig) -> FigureOutput {
         notes.push(format!(
             "{}: mean processors used per delivering phase over R sweep: {:?}",
             alg.name(),
-            coverage.iter().map(|c| (c * 10.0).round() / 10.0).collect::<Vec<_>>()
+            coverage
+                .iter()
+                .map(|c| (c * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         ));
         series.push(dead);
     }
@@ -305,7 +327,11 @@ pub fn open_load(config: &ExperimentConfig) -> FigureOutput {
     let gaps_us: [u64; 5] = [2_000, 1_000, 600, 430, 300]; // rho ~ 0.22..1.4
     let mut series = Vec::new();
     let mut notes = Vec::new();
-    for alg in [Algorithm::rt_sads(), Algorithm::d_cols(), Algorithm::GreedyEdf] {
+    for alg in [
+        Algorithm::rt_sads(),
+        Algorithm::d_cols(),
+        Algorithm::GreedyEdf,
+    ] {
         let mut s = Series::new(alg.name());
         for &gap in &gaps_us {
             let rho = 4_300.0 / (workers as f64 * gap as f64);
@@ -348,8 +374,12 @@ pub fn pruning(config: &ExperimentConfig) -> FigureOutput {
     use sched_search::Pruning;
 
     let workers = 10;
-    let limits: [(f64, Option<u64>); 4] =
-        [(0.0, Some(0)), (10.0, Some(10)), (100.0, Some(100)), (1e6, None)];
+    let limits: [(f64, Option<u64>); 4] = [
+        (0.0, Some(0)),
+        (10.0, Some(10)),
+        (100.0, Some(100)),
+        (1e6, None),
+    ];
     let mut series = Vec::new();
     for alg in [Algorithm::rt_sads(), Algorithm::d_cols()] {
         let mut s = Series::new(alg.name());
@@ -444,7 +474,11 @@ pub fn mesh(config: &ExperimentConfig) -> FigureOutput {
     notes.push(format!(
         "largest |constant - mesh| difference for RT-SADS across the sweep: {sads_gap:.4} \
          — the constant-C abstraction {} the paper's conclusions",
-        if sads_gap < 0.05 { "preserves" } else { "MATERIALLY CHANGES" }
+        if sads_gap < 0.05 {
+            "preserves"
+        } else {
+            "MATERIALLY CHANGES"
+        }
     ));
     FigureOutput {
         id: "ext-mesh",
@@ -470,7 +504,11 @@ pub fn resources(config: &ExperimentConfig) -> FigureOutput {
     let workers = 10;
     let participations = [0.0, 0.25, 0.5, 0.75, 1.0];
     let mut series = Vec::new();
-    for alg in [Algorithm::rt_sads(), Algorithm::GreedyEdf, Algorithm::myopic()] {
+    for alg in [
+        Algorithm::rt_sads(),
+        Algorithm::GreedyEdf,
+        Algorithm::myopic(),
+    ] {
         let mut s = Series::new(alg.name());
         for &participation in &participations {
             let profile = if participation == 0.0 {
@@ -491,14 +529,16 @@ pub fn resources(config: &ExperimentConfig) -> FigureOutput {
                     .workers(workers)
                     .replication_rate(0.3)
                     .build(seed);
-                let tasks =
-                    profile.decorate(&built.tasks, &mut SimRng::seed_from(seed ^ 0xABCD));
+                let tasks = profile.decorate(&built.tasks, &mut SimRng::seed_from(seed ^ 0xABCD));
                 let driver = default_driver(workers, alg.clone()).seed(seed);
                 let report = Driver::new(driver).run(tasks);
                 assert_eq!(report.executed_misses, 0, "theorem with resources");
                 ratios.push(report.hit_ratio());
             }
-            s.push(participation, ratios.iter().sum::<f64>() / ratios.len() as f64);
+            s.push(
+                participation,
+                ratios.iter().sum::<f64>() / ratios.len() as f64,
+            );
         }
         series.push(s);
     }

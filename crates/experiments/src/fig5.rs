@@ -93,7 +93,10 @@ pub fn run(config: &ExperimentConfig) -> FigureOutput {
     notes.push(format!(
         "zero-overhead oracle capacity across the sweep: {:?} — RT-SADS \
          reaches {:.0}% of it at P=10",
-        oracle.iter().map(|o| (o * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+        oracle
+            .iter()
+            .map(|o| (o * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
         100.0 * sads_last / oracle.last().copied().unwrap_or(1.0)
     ));
     // theorem audit across all runs of both sweeps

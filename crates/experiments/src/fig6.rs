@@ -23,10 +23,7 @@ pub fn sweep(config: &ExperimentConfig, algorithm: &Algorithm) -> Vec<PointResul
     RATES
         .iter()
         .map(|&r| {
-            let scenario = config
-                .base_scenario()
-                .workers(WORKERS)
-                .replication_rate(r);
+            let scenario = config.base_scenario().workers(WORKERS).replication_rate(r);
             let driver = DriverConfig::new(WORKERS, algorithm.clone())
                 .comm(comm_model())
                 .host(host_params());

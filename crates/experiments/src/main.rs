@@ -5,20 +5,35 @@
 //!              ext-deadends|ext-baselines|ext-openload|ext-pruning]
 //!             [--quick] [--runs N] [--txns N] [--out DIR]
 //!             [--scenario FILE.json] [--dump-scenario FILE.json]
+//!             [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+//!             [--perfetto-out FILE.trace.json]
 //! ```
 //!
 //! Prints each figure as an aligned table (plus significance notes) and, if
-//! `--out` is given, writes one CSV per figure.
+//! `--out` is given, writes one CSV per figure, each with a
+//! `*.manifest.json` sibling recording the seed base, calibration constants
+//! and source revision that produced it.
+//!
+//! The three `--*-out` flags additionally run one instrumented RT-SADS
+//! simulation of the base scenario (at `seed_base`) and export its JSONL
+//! trace, metrics summary and/or Perfetto timeline — handy for inspecting
+//! exactly what the figures aggregate over.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use experiments::config::{comm_model, host_params};
 use experiments::{config::ExperimentConfig, ext, fig5, fig6, FigureOutput};
+use rt_telemetry::{RunManifest, TelemetrySession};
+use rtsads::{Algorithm, Driver, DriverConfig};
 
 struct Cli {
     which: Vec<String>,
     config: ExperimentConfig,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    perfetto_out: Option<PathBuf>,
 }
 
 const ALL: [&str; 12] = [
@@ -40,6 +55,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     let mut which = Vec::new();
     let mut config = ExperimentConfig::paper();
     let mut out = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut perfetto_out = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,10 +77,23 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("--txns: {e}"))?;
             }
             "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            "--perfetto-out" => {
+                perfetto_out = Some(PathBuf::from(
+                    it.next().ok_or("--perfetto-out needs a value")?,
+                ));
+            }
             "--scenario" => {
                 let path = it.next().ok_or("--scenario needs a file path")?;
-                let json = std::fs::read_to_string(path)
-                    .map_err(|e| format!("--scenario {path}: {e}"))?;
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("--scenario {path}: {e}"))?;
                 config = config
                     .with_scenario_json(&json)
                     .map_err(|e| format!("--scenario {path}: {e}"))?;
@@ -81,7 +112,59 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     if which.is_empty() {
         which.extend(ALL.iter().map(|s| s.to_string()));
     }
-    Ok(Cli { which, config, out })
+    Ok(Cli {
+        which,
+        config,
+        out,
+        trace_out,
+        metrics_out,
+        perfetto_out,
+    })
+}
+
+/// The manifest describing one figure produced by this invocation: seed
+/// base, worker count and the calibration constants every figure shares.
+fn manifest_for(fig_id: &str, config: &ExperimentConfig) -> RunManifest {
+    let scenario = config.base_scenario();
+    RunManifest::new("rt-sads vs d-cols", config.seed_base, scenario.workers)
+        .calibration(
+            host_params().vertex_eval_cost.as_micros(),
+            Some(comm_model().constant_cost().as_micros()),
+        )
+        .with("figure", fig_id)
+        .with("runs", config.runs.to_string())
+        .with("transactions", config.transactions.to_string())
+}
+
+/// Runs one instrumented RT-SADS simulation of the base scenario and writes
+/// whichever of the three telemetry outputs were requested.
+fn run_instrumented(cli: &Cli) -> Result<(), String> {
+    let mut session = TelemetrySession::create(
+        cli.trace_out.as_deref(),
+        cli.metrics_out.as_deref(),
+        cli.perfetto_out.as_deref(),
+    )
+    .map_err(|e| format!("cannot open telemetry output: {e}"))?;
+    let scenario = cli.config.base_scenario();
+    let built = scenario.build(cli.config.seed_base);
+    let driver = DriverConfig::new(scenario.workers, Algorithm::rt_sads())
+        .comm(comm_model())
+        .host(host_params())
+        .seed(cli.config.seed_base);
+    let report = Driver::new(driver).run_traced(built.tasks, &mut session.sink());
+    eprintln!(
+        "# instrumented run: {} hit ratio {:.3} over {} phases",
+        report.algorithm,
+        report.hit_ratio(),
+        report.phases.len()
+    );
+    for path in session
+        .finish(scenario.workers)
+        .map_err(|e| format!("cannot write telemetry output: {e}"))?
+    {
+        eprintln!("# wrote {}", path.display());
+    }
+    Ok(())
 }
 
 fn run_one(name: &str, config: &ExperimentConfig) -> FigureOutput {
@@ -110,7 +193,8 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: experiments [{}|all] [--quick] [--runs N] [--txns N] [--out DIR] \
-                 [--scenario FILE.json] [--dump-scenario FILE.json]",
+                 [--scenario FILE.json] [--dump-scenario FILE.json] [--trace-out FILE.jsonl] \
+                 [--metrics-out FILE.json] [--perfetto-out FILE.trace.json]",
                 ALL.join("|")
             );
             return ExitCode::FAILURE;
@@ -140,6 +224,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("# wrote {}", path.display());
+            match manifest_for(fig.id, &cli.config).write_beside(&path) {
+                Ok(manifest_path) => eprintln!("# wrote {}", manifest_path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write manifest for {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if cli.trace_out.is_some() || cli.metrics_out.is_some() || cli.perfetto_out.is_some() {
+        if let Err(msg) = run_instrumented(&cli) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

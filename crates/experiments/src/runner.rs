@@ -47,10 +47,7 @@ impl PointResult {
                 .iter()
                 .map(|r| r.mean_processors_used().unwrap_or(0.0))
                 .collect(),
-            executed_misses: reports
-                .iter()
-                .map(|r| r.executed_misses as f64)
-                .collect(),
+            executed_misses: reports.iter().map(|r| r.executed_misses as f64).collect(),
         }
     }
 

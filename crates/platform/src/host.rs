@@ -152,7 +152,11 @@ mod tests {
         assert_eq!(m.consumed(), Duration::from_micros(30));
         assert_eq!(m.remaining(), Duration::from_micros(5));
         assert!(!m.charge_vertex(), "fourth vertex exceeds 35us");
-        assert_eq!(m.consumed(), Duration::from_micros(35), "clamped to quantum");
+        assert_eq!(
+            m.consumed(),
+            Duration::from_micros(35),
+            "clamped to quantum"
+        );
         assert_eq!(m.remaining(), Duration::ZERO);
         assert!(m.exhausted());
         assert_eq!(m.vertices(), 4);
@@ -192,6 +196,9 @@ mod tests {
 
     #[test]
     fn default_params_are_calibrated() {
-        assert_eq!(HostParams::default().vertex_eval_cost, Duration::from_micros(5));
+        assert_eq!(
+            HostParams::default().vertex_eval_cost,
+            Duration::from_micros(5)
+        );
     }
 }

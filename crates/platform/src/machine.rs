@@ -215,7 +215,12 @@ mod tests {
         Task::builder(TaskId::new(id))
             .processing_time(Duration::from_micros(p_us))
             .deadline(Time::from_micros(d_us))
-            .affinity(affine.iter().map(|&i| ProcessorId::new(i)).collect::<AffinitySet>())
+            .affinity(
+                affine
+                    .iter()
+                    .map(|&i| ProcessorId::new(i))
+                    .collect::<AffinitySet>(),
+            )
             .build()
     }
 
@@ -284,13 +289,15 @@ mod tests {
             Time::ZERO,
         );
         let now = Time::from_micros(1_000);
-        assert_eq!(m.load(ProcessorId::new(1), now), Duration::from_micros(3_000));
+        assert_eq!(
+            m.load(ProcessorId::new(1), now),
+            Duration::from_micros(3_000)
+        );
         assert_eq!(m.load(ProcessorId::new(0), now), Duration::ZERO);
-        assert_eq!(m.loads(now), vec![
-            Duration::ZERO,
-            Duration::from_micros(3_000),
-            Duration::ZERO
-        ]);
+        assert_eq!(
+            m.loads(now),
+            vec![Duration::ZERO, Duration::from_micros(3_000), Duration::ZERO]
+        );
         assert_eq!(m.min_load(now), Duration::ZERO);
         assert_eq!(m.all_idle_at(), Time::from_micros(4_000));
     }
@@ -339,14 +346,20 @@ mod tests {
     fn resource_holds_serialize_across_processors() {
         use rt_task::ResourceRequest;
         let mut m = machine(2, 0);
-        let writer = task(0, 5_000, 1_000_000, &[0])
-            .with_resources(vec![ResourceRequest::exclusive(0)]);
-        let reader = task(1, 1_000, 1_000_000, &[1])
-            .with_resources(vec![ResourceRequest::shared(0)]);
+        let writer =
+            task(0, 5_000, 1_000_000, &[0]).with_resources(vec![ResourceRequest::exclusive(0)]);
+        let reader =
+            task(1, 1_000, 1_000_000, &[1]).with_resources(vec![ResourceRequest::shared(0)]);
         let recs = m.deliver(
             vec![
-                Dispatch { task: writer, processor: ProcessorId::new(0) },
-                Dispatch { task: reader, processor: ProcessorId::new(1) },
+                Dispatch {
+                    task: writer,
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: reader,
+                    processor: ProcessorId::new(1),
+                },
             ],
             Time::ZERO,
         );
@@ -356,7 +369,8 @@ mod tests {
         assert_eq!(recs[1].start, Time::from_micros(5_000));
         assert_eq!(recs[1].completion, Time::from_micros(6_000));
         assert_eq!(
-            m.resource_eats().earliest_start(&[ResourceRequest::exclusive(0)]),
+            m.resource_eats()
+                .earliest_start(&[ResourceRequest::exclusive(0)]),
             Time::from_micros(6_000),
             "a future writer waits for the reader too"
         );
@@ -367,9 +381,7 @@ mod tests {
         use rt_task::ResourceRequest;
         let mut m = machine(2, 0);
         let mk_reader = |id: u64, p: usize| Dispatch {
-            task: task(id, 2_000, 1_000_000, &[p]).with_resources(vec![
-                ResourceRequest::shared(3),
-            ]),
+            task: task(id, 2_000, 1_000_000, &[p]).with_resources(vec![ResourceRequest::shared(3)]),
             processor: ProcessorId::new(p),
         };
         let recs = m.deliver(vec![mk_reader(0, 0), mk_reader(1, 1)], Time::ZERO);

@@ -170,7 +170,10 @@ mod tests {
         p.add_copy(DataObjectId::new(1), ProcessorId::new(1));
         p.add_copy(DataObjectId::new(1), ProcessorId::new(2));
         let aff = p.affinity_for([DataObjectId::new(0), DataObjectId::new(1)]);
-        assert_eq!(aff.iter().map(ProcessorId::index).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            aff.iter().map(ProcessorId::index).collect::<Vec<_>>(),
+            vec![1]
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl Worker {
     /// start work in the past relative to `busy_until` bookkeeping — i.e.
     /// `service` must be non-zero.
     pub fn admit(&mut self, at: Time, service: Duration) -> Time {
-        assert!(!service.is_zero(), "zero-length work admitted to {}", self.id);
+        assert!(
+            !service.is_zero(),
+            "zero-length work admitted to {}",
+            self.id
+        );
         let start = self.busy_until.max(at);
         self.busy_until = start + service;
         self.busy_time += service;
@@ -98,6 +102,16 @@ impl Worker {
         self.executed
     }
 
+    /// Idle time over the window `[0, horizon]`: the horizon minus the
+    /// service time executed, saturating at zero when the worker was busy
+    /// the whole window (or beyond it).
+    #[must_use]
+    pub fn idle_time(&self, horizon: Time) -> Duration {
+        horizon
+            .saturating_since(Time::ZERO)
+            .saturating_sub(self.busy_time)
+    }
+
     /// Utilization over the window `[0, horizon]`, in `[0, 1]`.
     ///
     /// # Panics
@@ -129,7 +143,11 @@ mod tests {
         let mut w = Worker::new(ProcessorId::new(0));
         w.admit(Time::ZERO, Duration::from_millis(10));
         let start = w.admit(Time::from_millis(1), Duration::from_millis(5));
-        assert_eq!(start, Time::from_millis(10), "second item waits for the first");
+        assert_eq!(
+            start,
+            Time::from_millis(10),
+            "second item waits for the first"
+        );
         assert_eq!(w.busy_until(), Time::from_millis(15));
     }
 
@@ -152,6 +170,19 @@ mod tests {
         assert_eq!(w.busy_time(), Duration::from_millis(2));
         let u = w.utilization(Time::from_millis(200));
         assert!((u - 0.01).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn idle_time_complements_busy_time() {
+        let mut w = Worker::new(ProcessorId::new(0));
+        assert_eq!(
+            w.idle_time(Time::from_millis(10)),
+            Duration::from_millis(10)
+        );
+        w.admit(Time::ZERO, Duration::from_millis(4));
+        assert_eq!(w.idle_time(Time::from_millis(10)), Duration::from_millis(6));
+        // busy beyond the horizon saturates at zero idle
+        assert_eq!(w.idle_time(Time::from_millis(2)), Duration::ZERO);
     }
 
     #[test]

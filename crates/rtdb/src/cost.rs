@@ -135,8 +135,8 @@ mod tests {
         // a value outside the generated range is not in-domain, so probe all
         // domain values and accept the test trivially if all are present).
         let base = db.schema().domain_base(0, 0);
-        let absent = (base..base + db.schema().domain_size())
-            .find(|&k| db.global_key_frequency(k) == 0);
+        let absent =
+            (base..base + db.schema().domain_size()).find(|&k| db.global_key_frequency(k) == 0);
         if let Some(k) = absent {
             let txn = Transaction::new(0, vec![(0, k)]);
             assert_eq!(cost.estimate(&db, &txn), Duration::from_micros(1));

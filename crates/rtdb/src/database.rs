@@ -148,7 +148,10 @@ impl GlobalDatabase {
     /// Panics if `subdbs` is empty.
     #[must_use]
     pub fn new(schema: Schema, subdbs: Vec<SubDatabase>) -> Self {
-        assert!(!subdbs.is_empty(), "a database needs at least one partition");
+        assert!(
+            !subdbs.is_empty(),
+            "a database needs at least one partition"
+        );
         let mut global_key_index = HashMap::new();
         for sdb in &subdbs {
             for t in sdb.iter() {
@@ -277,7 +280,10 @@ mod tests {
         for s in 0..4 {
             for t in db.subdb(s).iter() {
                 for (a, &v) in t.values().iter().enumerate() {
-                    assert!(db.schema().value_in_domain(v, s, a), "value {v} escaped domain");
+                    assert!(
+                        db.schema().value_in_domain(v, s, a),
+                        "value {v} escaped domain"
+                    );
                 }
             }
         }
@@ -310,7 +316,10 @@ mod tests {
         let txn = Transaction::new(0, vec![(0, key)]);
         let (checked, matches) = db.execute(&txn);
         assert_eq!(checked, db.subdb(s).key_frequency(key));
-        assert_eq!(matches, checked, "key-only predicate matches all candidates");
+        assert_eq!(
+            matches, checked,
+            "key-only predicate matches all candidates"
+        );
         assert!(checked < db.subdb(s).len(), "index avoids the full scan");
     }
 

@@ -60,11 +60,8 @@ impl SubDatabase {
 
     /// Rebuilds the key index from scratch (after updates/deletes).
     pub(crate) fn reindex(&mut self) {
-        let entries: Vec<(u64, usize)> = self
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.key(), i))
-            .collect();
+        let entries: Vec<(u64, usize)> =
+            self.iter().enumerate().map(|(i, t)| (t.key(), i)).collect();
         let index = self.key_index_mut();
         index.clear();
         for (key, i) in entries {
@@ -229,7 +226,10 @@ mod tests {
         let schema = *db.schema();
         assert!(matches!(
             db.insert(1, vec![schema.domain_base(1, 0)]),
-            Err(MutateError::WrongArity { got: 1, expected: 3 })
+            Err(MutateError::WrongArity {
+                got: 1,
+                expected: 3
+            })
         ));
         // value from partition 0's domain inserted into partition 1
         let bad: Vec<u64> = (0..3).map(|a| schema.domain_base(0, a)).collect();
@@ -249,7 +249,11 @@ mod tests {
         let schema = *db.schema();
         let probe = db.subdb(0).iter().next().unwrap().values()[1];
         let txn = Transaction::new(0, vec![(1, probe)]);
-        let expected = db.subdb(0).iter().filter(|t| t.values()[1] == probe).count();
+        let expected = db
+            .subdb(0)
+            .iter()
+            .filter(|t| t.values()[1] == probe)
+            .count();
         let new_value = schema.domain_base(0, 2) + 9;
         // update attr 2 of all matching tuples
         let changed = db.update_where(&txn, 2, new_value).unwrap();
@@ -312,8 +316,7 @@ mod tests {
         let schema = *db.schema();
         // find an absent key value if any
         let base = schema.domain_base(0, 0);
-        let absent = (base..base + schema.domain_size())
-            .find(|&k| db.global_key_frequency(k) == 0);
+        let absent = (base..base + schema.domain_size()).find(|&k| db.global_key_frequency(k) == 0);
         if let Some(k) = absent {
             let before = db.total_tuples();
             assert_eq!(db.delete_where(&Transaction::new(0, vec![(0, k)])), 0);
@@ -324,7 +327,10 @@ mod tests {
     #[test]
     fn mutate_error_displays() {
         for e in [
-            MutateError::WrongArity { got: 1, expected: 2 },
+            MutateError::WrongArity {
+                got: 1,
+                expected: 2,
+            },
             MutateError::ValueOutOfDomain { attr: 0, value: 9 },
             MutateError::NoSuchPartition(3),
         ] {

@@ -136,10 +136,7 @@ mod tests {
     #[should_panic(expected = "not in sub-database")]
     fn cross_subdb_predicates_panic() {
         let s = schema();
-        let txn = Transaction::new(
-            0,
-            vec![(0, s.domain_base(0, 0)), (1, s.domain_base(1, 1))],
-        );
+        let txn = Transaction::new(0, vec![(0, s.domain_base(0, 0)), (1, s.domain_base(1, 1))]);
         let _ = txn.target_subdb(&s);
     }
 

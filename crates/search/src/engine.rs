@@ -66,6 +66,12 @@ pub struct SearchStats {
     /// the skipping sequence-oriented variant, processor) admitted no
     /// feasible successor and moved on to the next choice.
     pub level_skips: u64,
+    /// Expansion attempts refused by the Section-3 depth bound.
+    pub depth_prunes: u64,
+    /// Batch tasks screened out by the phase-level viability test (they can
+    /// meet their deadline on no processor even against the initial finish
+    /// times, so the whole phase tree excludes them).
+    pub screened_tasks: u64,
 }
 
 /// Result of one scheduling phase.
@@ -165,6 +171,7 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
         })
         .collect();
     let n_viable = viable.iter().filter(|&&v| v).count();
+    stats.screened_tasks = (n - n_viable) as u64;
     if n_viable == 0 {
         return SearchOutcome {
             assignments: Vec::new(),
@@ -182,18 +189,13 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
         Representation::SequenceOriented { .. } => Vec::new(),
     };
 
-    let root_state = || {
-        PathState::with_resources(
-            params.initial_finish.to_vec(),
-            n,
-            params.resources.clone(),
-        )
-    };
+    let root_state =
+        || PathState::with_resources(params.initial_finish.to_vec(), n, params.resources.clone());
 
     let mut arena: Vec<Node> = Vec::new();
     let mut cl: Vec<usize> = Vec::new(); // stack: end = front of CL
-    // Best feasible vertex so far: (depth, makespan, id). Root (empty
-    // schedule) is the fallback; `None` id means "deliver nothing".
+                                         // Best feasible vertex so far: (depth, makespan, id). Root (empty
+                                         // schedule) is the fallback; `None` id means "deliver nothing".
     let mut best: (usize, Time, Option<usize>) = (0, root_state().makespan(), None);
     let mut last_expanded: Option<usize> = None;
     let termination;
@@ -217,12 +219,12 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
     // Expands `cv` (None = root): generates, filters, orders and pushes its
     // successors. Returns Some(leaf id) if a complete schedule was generated.
     let expand = |cv: Option<usize>,
-                      state: &PathState,
-                      arena: &mut Vec<Node>,
-                      cl: &mut Vec<usize>,
-                      meter: &mut SchedulingMeter,
-                      stats: &mut SearchStats,
-                      best: &mut (usize, Time, Option<usize>)|
+                  state: &PathState,
+                  arena: &mut Vec<Node>,
+                  cl: &mut Vec<usize>,
+                  meter: &mut SchedulingMeter,
+                  stats: &mut SearchStats,
+                  best: &mut (usize, Time, Option<usize>)|
      -> Option<usize> {
         // Depth bound (Section 3 pruning): do not expand below the bound.
         if params
@@ -230,6 +232,7 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
             .depth_bound
             .is_some_and(|bound| state.depth() >= bound)
         {
+            stats.depth_prunes += 1;
             return None;
         }
         stats.expansions += 1;
@@ -340,7 +343,13 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
             let state = replay(&arena, Some(cv));
             last_expanded = Some(cv);
             let leaf = expand(
-                Some(cv), &state, &mut arena, &mut cl, meter, &mut stats, &mut best,
+                Some(cv),
+                &state,
+                &mut arena,
+                &mut cl,
+                meter,
+                &mut stats,
+                &mut best,
             );
             if let Some(leaf_id) = leaf {
                 best = (n_viable, Time::ZERO, Some(leaf_id));
@@ -368,7 +377,11 @@ mod tests {
         Task::builder(TaskId::new(id))
             .processing_time(Duration::from_micros(p_us))
             .deadline(Time::from_micros(d_us))
-            .affinity(aff.iter().map(|&k| ProcessorId::new(k)).collect::<AffinitySet>())
+            .affinity(
+                aff.iter()
+                    .map(|&k| ProcessorId::new(k))
+                    .collect::<AffinitySet>(),
+            )
             .build()
     }
 
@@ -439,6 +452,10 @@ mod tests {
         let out = search_schedule(&p, &mut free_meter());
         // task 1 can never be scheduled
         assert!(!out.is_complete(3));
+        assert_eq!(
+            out.stats.screened_tasks, 1,
+            "task 1 screened at phase level"
+        );
         assert!(out.assignments.iter().all(|a| a.task != 1));
         for a in &out.assignments {
             assert!(tasks[a.task].meets_deadline(a.completion));
@@ -474,7 +491,11 @@ mod tests {
         let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
         let out = search_schedule(&p, &mut free_meter());
         assert_eq!(out.termination, Termination::DeadEnd);
-        assert_eq!(out.assignments.len(), 1, "best partial schedule has one task");
+        assert_eq!(
+            out.assignments.len(),
+            1,
+            "best partial schedule has one task"
+        );
     }
 
     #[test]
@@ -570,6 +591,10 @@ mod tests {
         };
         let out = search_schedule(&p, &mut free_meter());
         assert_eq!(out.assignments.len(), 4, "bounded at depth 4");
+        assert!(
+            out.stats.depth_prunes > 0,
+            "the bound actually refused expansions"
+        );
         assert_ne!(out.termination, Termination::Leaf);
         for a in &out.assignments {
             assert!(tasks[a.task].meets_deadline(a.completion));

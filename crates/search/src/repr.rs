@@ -118,7 +118,9 @@ impl Representation {
                     .map(|p| (task, p))
                     .collect()
             }
-            Representation::SequenceOriented { processor_order, .. } => {
+            Representation::SequenceOriented {
+                processor_order, ..
+            } => {
                 let m = state.processors();
                 let base = processor_order.processor_at(level, m, state.n_tasks());
                 let p = ProcessorId::new((base + skip) % m);
@@ -169,7 +171,10 @@ mod tests {
         let mut state = PathState::new(vec![Time::ZERO; 2], ts.len());
         state.apply(&ts, &comm, 2, ProcessorId::new(0));
         let cands = repr.raw_candidates(&state, &order, 0);
-        assert!(cands.iter().all(|&(t, _)| t == 1), "next unassigned in order");
+        assert!(
+            cands.iter().all(|&(t, _)| t == 1),
+            "next unassigned in order"
+        );
     }
 
     #[test]
@@ -189,7 +194,10 @@ mod tests {
         let state = PathState::new(vec![Time::ZERO; 2], ts.len());
         let cands = repr.raw_candidates(&state, &[], 0);
         assert_eq!(cands.len(), 3, "one branch per remaining task");
-        assert!(cands.iter().all(|&(_, p)| p.index() == 0), "level 0 serves P0");
+        assert!(
+            cands.iter().all(|&(_, p)| p.index() == 0),
+            "level 0 serves P0"
+        );
     }
 
     #[test]
@@ -200,11 +208,17 @@ mod tests {
         let mut state = PathState::new(vec![Time::ZERO; 2], ts.len());
         state.apply(&ts, &comm, 0, ProcessorId::new(0));
         let cands = repr.raw_candidates(&state, &[], 0);
-        assert!(cands.iter().all(|&(_, p)| p.index() == 1), "level 1 serves P1");
+        assert!(
+            cands.iter().all(|&(_, p)| p.index() == 1),
+            "level 1 serves P1"
+        );
         assert_eq!(cands.len(), 3);
         state.apply(&ts, &comm, 1, ProcessorId::new(1));
         let cands = repr.raw_candidates(&state, &[], 0);
-        assert!(cands.iter().all(|&(_, p)| p.index() == 0), "level 2 wraps to P0");
+        assert!(
+            cands.iter().all(|&(_, p)| p.index() == 0),
+            "level 2 wraps to P0"
+        );
     }
 
     #[test]

@@ -207,7 +207,11 @@ mod tests {
                 Task::builder(TaskId::new(i as u64))
                     .processing_time(Duration::from_micros(*p_us))
                     .deadline(Time::from_micros(*d_us))
-                    .affinity(aff.iter().map(|&k| ProcessorId::new(k)).collect::<AffinitySet>())
+                    .affinity(
+                        aff.iter()
+                            .map(|&k| ProcessorId::new(k))
+                            .collect::<AffinitySet>(),
+                    )
                     .build()
             })
             .collect()
@@ -256,10 +260,7 @@ mod tests {
     fn heterogeneous_initial_finish_respected() {
         let tasks = mk_tasks(&[(100, 10_000, &[1])]);
         let comm = CommModel::free();
-        let s = PathState::new(
-            vec![Time::from_micros(500), Time::from_micros(2_000)],
-            1,
-        );
+        let s = PathState::new(vec![Time::from_micros(500), Time::from_micros(2_000)], 1);
         assert_eq!(
             s.completion_if(&tasks, &comm, 0, ProcessorId::new(1)),
             Time::from_micros(2_100)

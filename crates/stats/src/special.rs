@@ -65,7 +65,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 #[must_use]
 pub fn reg_inc_beta(x: f64, a: f64, b: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a,b > 0");
-    assert!((0.0..=1.0).contains(&x), "reg_inc_beta requires 0 <= x <= 1");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_inc_beta requires 0 <= x <= 1"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -253,11 +256,7 @@ mod tests {
 
     #[test]
     fn t_critical_inverts_cdf() {
-        for &(conf, df, expect) in &[
-            (0.95, 10.0, 2.228),
-            (0.99, 18.0, 2.878),
-            (0.99, 9.0, 3.250),
-        ] {
+        for &(conf, df, expect) in &[(0.95, 10.0, 2.228), (0.99, 18.0, 2.878), (0.99, 9.0, 3.250)] {
             let t = t_critical(conf, df);
             assert!((t - expect).abs() < 2e-3, "t_critical({conf},{df}) = {t}");
         }

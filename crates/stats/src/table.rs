@@ -50,9 +50,7 @@ impl Series {
     /// `tolerance` allows small dips (e.g. 0.02 = two percentage points).
     #[must_use]
     pub fn is_non_decreasing(&self, tolerance: f64) -> bool {
-        self.points
-            .windows(2)
-            .all(|w| w[1].1 >= w[0].1 - tolerance)
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tolerance)
     }
 }
 

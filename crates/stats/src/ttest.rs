@@ -78,8 +78,8 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
 
     let t = mean_diff / pooled.sqrt();
     // Welch–Satterthwaite approximation.
-    let df = pooled.powi(2)
-        / (va.powi(2) / (sa.n() as f64 - 1.0) + vb.powi(2) / (sb.n() as f64 - 1.0));
+    let df =
+        pooled.powi(2) / (va.powi(2) / (sa.n() as f64 - 1.0) + vb.powi(2) / (sb.n() as f64 - 1.0));
     let p_value = t_two_tailed_p(t, df);
     TTestResult {
         t,

@@ -192,7 +192,10 @@ mod tests {
         let mut s = AffinitySet::new();
         assert!(s.is_empty());
         assert!(s.insert(ProcessorId::new(3)));
-        assert!(!s.insert(ProcessorId::new(3)), "double insert reports false");
+        assert!(
+            !s.insert(ProcessorId::new(3)),
+            "double insert reports false"
+        );
         assert!(s.contains(ProcessorId::new(3)));
         assert!(!s.contains(ProcessorId::new(2)));
         assert_eq!(s.len(), 1);
@@ -258,7 +261,10 @@ mod tests {
         let a: AffinitySet = [0usize, 1, 70].into_iter().map(ProcessorId::new).collect();
         let b: AffinitySet = [1usize, 2].into_iter().map(ProcessorId::new).collect();
         let i = a.intersection(&b);
-        assert_eq!(i.iter().map(ProcessorId::index).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            i.iter().map(ProcessorId::index).collect::<Vec<_>>(),
+            vec![1]
+        );
         let u = a.union(&b);
         assert_eq!(
             u.iter().map(ProcessorId::index).collect::<Vec<_>>(),

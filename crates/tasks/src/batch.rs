@@ -318,10 +318,7 @@ mod tests {
         b.push(mk(1, 1, 5)); // slack 4ms at t=0
         assert_eq!(b.min_slack(Time::ZERO), Some(Duration::from_millis(4)));
         assert_eq!(b.earliest_deadline(), Some(Time::from_millis(5)));
-        assert_eq!(
-            b.min_slack(Time::from_millis(4)),
-            Some(Duration::ZERO)
-        );
+        assert_eq!(b.min_slack(Time::from_millis(4)), Some(Duration::ZERO));
     }
 
     #[test]

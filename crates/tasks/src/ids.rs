@@ -116,7 +116,11 @@ mod tests {
         let ids: Vec<ProcessorId> = ProcessorId::all(3).collect();
         assert_eq!(
             ids,
-            vec![ProcessorId::new(0), ProcessorId::new(1), ProcessorId::new(2)]
+            vec![
+                ProcessorId::new(0),
+                ProcessorId::new(1),
+                ProcessorId::new(2)
+            ]
         );
         assert_eq!(ProcessorId::all(0).count(), 0);
     }

@@ -130,9 +130,7 @@ impl ResourceEats {
                 let i = req.resource.index();
                 match req.mode {
                     AccessMode::Shared => self.shared.get(i).copied().unwrap_or(Time::ZERO),
-                    AccessMode::Exclusive => {
-                        self.exclusive.get(i).copied().unwrap_or(Time::ZERO)
-                    }
+                    AccessMode::Exclusive => self.exclusive.get(i).copied().unwrap_or(Time::ZERO),
                 }
             })
             .max()
@@ -224,7 +222,10 @@ mod tests {
     fn untouched_resources_are_free() {
         let eats = ResourceEats::new();
         assert!(eats.is_empty());
-        assert_eq!(eats.earliest_start(&[ResourceRequest::exclusive(99)]), Time::ZERO);
+        assert_eq!(
+            eats.earliest_start(&[ResourceRequest::exclusive(99)]),
+            Time::ZERO
+        );
         assert_eq!(eats.earliest_start(&[]), Time::ZERO);
     }
 }

@@ -129,11 +129,7 @@ impl fmt::Display for Task {
         write!(
             f,
             "{}(p={}, a={}, d={}, aff={})",
-            self.id,
-            self.processing_time,
-            self.arrival,
-            self.deadline,
-            self.affinity
+            self.id, self.processing_time, self.arrival, self.deadline, self.affinity
         )
     }
 }
@@ -430,13 +426,22 @@ mod tests {
             .build();
         let comm = CommModel::constant(Duration::from_micros(250));
         assert_eq!(comm.cost(&t, ProcessorId::new(0)), Duration::ZERO);
-        assert_eq!(comm.cost(&t, ProcessorId::new(1)), Duration::from_micros(250));
-        assert_eq!(comm.demand(&t, ProcessorId::new(0)), Duration::from_millis(1));
+        assert_eq!(
+            comm.cost(&t, ProcessorId::new(1)),
+            Duration::from_micros(250)
+        );
+        assert_eq!(
+            comm.demand(&t, ProcessorId::new(0)),
+            Duration::from_millis(1)
+        );
         assert_eq!(
             comm.demand(&t, ProcessorId::new(1)),
             Duration::from_micros(1_250)
         );
-        assert_eq!(CommModel::free().cost(&t, ProcessorId::new(9)), Duration::ZERO);
+        assert_eq!(
+            CommModel::free().cost(&t, ProcessorId::new(9)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -461,9 +466,15 @@ mod tests {
         assert_eq!(comm.cost(&t, ProcessorId::new(0)), Duration::ZERO);
         assert_eq!(comm.cost(&t, ProcessorId::new(3)), Duration::ZERO);
         // P1 is 1 hop from P0 (and 2 from P3): 100 + 10
-        assert_eq!(comm.cost(&t, ProcessorId::new(1)), Duration::from_micros(110));
+        assert_eq!(
+            comm.cost(&t, ProcessorId::new(1)),
+            Duration::from_micros(110)
+        );
         // P2 is 1 hop from P3
-        assert_eq!(comm.cost(&t, ProcessorId::new(2)), Duration::from_micros(110));
+        assert_eq!(
+            comm.cost(&t, ProcessorId::new(2)),
+            Duration::from_micros(110)
+        );
     }
 
     #[test]
@@ -475,7 +486,10 @@ mod tests {
             .build();
         let comm = CommModel::mesh(MeshSpec::new(3, 3, 100, 10));
         // diameter 4 hops
-        assert_eq!(comm.cost(&t, ProcessorId::new(4)), Duration::from_micros(140));
+        assert_eq!(
+            comm.cost(&t, ProcessorId::new(4)),
+            Duration::from_micros(140)
+        );
         assert_eq!(comm.constant_cost(), Duration::from_micros(140));
     }
 }

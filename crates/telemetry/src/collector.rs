@@ -1,0 +1,213 @@
+//! Turns the trace-event stream into metrics.
+//!
+//! [`MetricsCollector`] is a [`TraceSink`] that folds every event into a
+//! [`MetricsRegistry`] under a fixed naming scheme, shared by RT-SADS and
+//! D-COLS runs so their result files stay directly comparable:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `phase.count` | counter | scheduling phases run |
+//! | `phase.batch_len` | histogram | batch size at phase start |
+//! | `phase.quantum_us` | histogram | allocated `Q_s(j)` |
+//! | `phase.consumed_us` | histogram | scheduling time actually used |
+//! | `phase.vertices` | histogram | search vertices per phase |
+//! | `phase.backtracks` | histogram | backtracks per phase |
+//! | `phase.scheduled` | histogram | tasks dispatched per phase |
+//! | `task.slack_at_dispatch_us` | histogram | `deadline − start` at dispatch |
+//! | `task.lateness_us` | histogram | `completion − deadline` |
+//! | `comm.delay_us` | histogram | data-shipping delay per remote task |
+//! | `task.started` / `task.completed` | counter | execution lifecycle |
+//! | `task.deadline_hits` / `task.deadline_misses` | counter | outcome split |
+//! | `task.dropped_at_phase_start` | counter | expiry-filtered at `t_s` |
+//! | `task.expired_mid_phase` | counter | deadline lapsed during a phase |
+//! | `sim.finished_at_us` | gauge | largest event timestamp seen |
+
+use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::Time;
+
+use crate::metrics::MetricsRegistry;
+
+/// A [`TraceSink`] that aggregates events into a [`MetricsRegistry`].
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    registry: MetricsRegistry,
+}
+
+/// Clamps a `u64` into the histogram's signed sample domain.
+fn as_sample(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+impl MetricsCollector {
+    /// A collector with an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the aggregated metrics.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable access, for folding in metrics that do not come from events
+    /// (per-worker busy/idle times from the final report, for example).
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Consumes the collector and returns the registry.
+    #[must_use]
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+}
+
+impl TraceSink for MetricsCollector {
+    fn emit(&mut self, now: Time, event: TraceEvent) {
+        let r = &mut self.registry;
+        let finished = r.gauge("sim.finished_at_us").unwrap_or(0.0);
+        r.set_gauge("sim.finished_at_us", finished.max(now.as_micros() as f64));
+        match event {
+            TraceEvent::PhaseStarted {
+                batch_len, quantum, ..
+            } => {
+                r.inc("phase.count", 1);
+                r.record("phase.batch_len", as_sample(batch_len as u64));
+                r.record("phase.quantum_us", as_sample(quantum.as_micros()));
+            }
+            TraceEvent::PhaseEnded {
+                scheduled,
+                consumed,
+                vertices,
+                backtracks,
+                ..
+            } => {
+                r.record("phase.consumed_us", as_sample(consumed.as_micros()));
+                r.record("phase.vertices", as_sample(vertices));
+                r.record("phase.backtracks", as_sample(backtracks));
+                r.record("phase.scheduled", as_sample(scheduled as u64));
+            }
+            TraceEvent::TaskDispatched { slack_us, .. } => {
+                r.record("task.slack_at_dispatch_us", slack_us);
+            }
+            TraceEvent::CommDelay { delay_us, .. } => {
+                r.record("comm.delay_us", as_sample(delay_us));
+            }
+            TraceEvent::TaskStarted { .. } => {
+                r.inc("task.started", 1);
+            }
+            TraceEvent::TaskCompleted {
+                met_deadline,
+                lateness_us,
+                ..
+            } => {
+                r.inc("task.completed", 1);
+                r.inc(
+                    if met_deadline {
+                        "task.deadline_hits"
+                    } else {
+                        "task.deadline_misses"
+                    },
+                    1,
+                );
+                r.record("task.lateness_us", lateness_us);
+            }
+            TraceEvent::TaskDropped { .. } => {
+                r.inc("task.dropped_at_phase_start", 1);
+            }
+            TraceEvent::TaskExpiredMidPhase { .. } => {
+                r.inc("task.expired_mid_phase", 1);
+            }
+            TraceEvent::Note(_) => {
+                r.inc("note.count", 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+
+    #[test]
+    fn events_land_under_the_documented_names() {
+        let mut c = MetricsCollector::new();
+        c.emit(
+            Time::from_micros(0),
+            TraceEvent::PhaseStarted {
+                phase: 0,
+                batch_len: 5,
+                quantum: Duration::from_micros(100),
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::PhaseEnded {
+                phase: 0,
+                scheduled: 3,
+                consumed: Duration::from_micros(90),
+                vertices: 12,
+                backtracks: 2,
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskDispatched {
+                task: 1,
+                processor: 0,
+                slack_us: 40,
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::CommDelay {
+                task: 1,
+                processor: 0,
+                delay_us: 7,
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskStarted {
+                task: 1,
+                processor: 0,
+            },
+        );
+        c.emit(
+            Time::from_micros(150),
+            TraceEvent::TaskCompleted {
+                task: 1,
+                processor: 0,
+                met_deadline: true,
+                lateness_us: -10,
+            },
+        );
+        c.emit(Time::from_micros(150), TraceEvent::TaskDropped { task: 2 });
+        c.emit(
+            Time::from_micros(150),
+            TraceEvent::TaskExpiredMidPhase { task: 3, phase: 0 },
+        );
+
+        let r = c.registry();
+        assert_eq!(r.counter("phase.count"), 1);
+        assert_eq!(r.counter("task.started"), 1);
+        assert_eq!(r.counter("task.completed"), 1);
+        assert_eq!(r.counter("task.deadline_hits"), 1);
+        assert_eq!(r.counter("task.deadline_misses"), 0);
+        assert_eq!(r.counter("task.dropped_at_phase_start"), 1);
+        assert_eq!(r.counter("task.expired_mid_phase"), 1);
+        assert_eq!(r.histogram("phase.quantum_us").unwrap().p50(), Some(100));
+        assert_eq!(
+            r.histogram("task.slack_at_dispatch_us").unwrap().p50(),
+            Some(40)
+        );
+        assert_eq!(r.histogram("task.lateness_us").unwrap().p50(), Some(-10));
+        assert_eq!(r.histogram("comm.delay_us").unwrap().count(), 1);
+        assert_eq!(r.gauge("sim.finished_at_us"), Some(150.0));
+        let snap = c.into_registry().snapshot();
+        assert!(snap.histograms.contains_key("phase.consumed_us"));
+    }
+}

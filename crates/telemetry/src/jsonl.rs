@@ -1,0 +1,163 @@
+//! Structured JSONL trace export: one JSON object per line, one line per
+//! [`TraceEvent`].
+//!
+//! The line schema is [`TraceLine`]: `{"t_us": <u64>, "event": {...}}`,
+//! where `event` uses serde's externally-tagged enum encoding (e.g.
+//! `{"TaskStarted": {"task": 3, "processor": 1}}`). Every line parses back
+//! into the same event, so traces double as machine-readable logs.
+
+use std::io::Write;
+
+use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::Time;
+use serde::{Deserialize, Serialize};
+
+/// One line of a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLine {
+    /// Simulation timestamp of the event, in microseconds.
+    pub t_us: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A [`TraceSink`] streaming events to a writer as JSONL.
+///
+/// Write errors are sticky: the first one is kept and all further events
+/// are dropped; [`JsonlTracer::finish`] surfaces it. This keeps `emit`
+/// infallible, as the `TraceSink` seam requires.
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wraps a writer. Buffering is the caller's choice (pass a
+    /// `BufWriter` for files).
+    pub fn new(out: W) -> Self {
+        JsonlTracer {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Number of lines successfully written.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTracer<W> {
+    fn emit(&mut self, now: Time, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = TraceLine {
+            t_us: now.as_micros(),
+            event,
+        };
+        let json = serde_json::to_string(&line).expect("trace events serialize");
+        if let Err(e) = writeln!(self.out, "{json}") {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+}
+
+/// Parses a JSONL trace back into `(time, event)` pairs. Blank lines are
+/// skipped; any malformed line is an error naming its line number.
+pub fn parse_trace(input: &str) -> Result<Vec<(Time, TraceEvent)>, String> {
+    let mut events = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line: TraceLine =
+            serde_json::from_str(raw).map_err(|e| format!("line {}: {e:?}", idx + 1))?;
+        events.push((Time::from_micros(line.t_us), line.event));
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+
+    #[test]
+    fn events_stream_one_line_each_and_parse_back() {
+        let mut sink = JsonlTracer::new(Vec::new());
+        sink.emit(
+            Time::from_micros(5),
+            TraceEvent::PhaseStarted {
+                phase: 0,
+                batch_len: 3,
+                quantum: Duration::from_micros(40),
+            },
+        );
+        sink.emit(
+            Time::from_micros(45),
+            TraceEvent::TaskDispatched {
+                task: 7,
+                processor: 1,
+                slack_us: -3,
+            },
+        );
+        assert_eq!(sink.lines(), 2);
+        let buf = sink.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(
+                serde_json::from_str::<TraceLine>(line).is_ok(),
+                "bad line: {line}"
+            );
+        }
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, Time::from_micros(5));
+        assert!(matches!(
+            parsed[1].1,
+            TraceEvent::TaskDispatched { task: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_their_number() {
+        let text = "{\"t_us\": 1, \"event\": \"nonsense\"}\n";
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.starts_with("line 1"), "got: {err}");
+    }
+
+    #[test]
+    fn write_errors_are_sticky_and_surfaced() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTracer::new(Failing);
+        sink.emit(Time::ZERO, TraceEvent::Note("x".into()));
+        sink.emit(Time::ZERO, TraceEvent::Note("y".into()));
+        assert_eq!(sink.lines(), 0);
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Observability for the RT-SADS reproduction.
+//!
+//! Four pieces, all driven by the [`TraceSink`] seam the simulator already
+//! has, so enabling any of them cannot change simulation results:
+//!
+//! * [`metrics`] — a dependency-light registry of named counters, gauges and
+//!   log-linear quantile histograms ([`MetricsRegistry`]).
+//! * [`jsonl`] — a [`JsonlTracer`] that streams every [`TraceEvent`] as one
+//!   JSON object per line.
+//! * [`perfetto`] — a [`PerfettoTracer`] that buffers events and exports a
+//!   Chrome trace-event (`chrome://tracing` / Perfetto) timeline: one track
+//!   per processor plus a scheduler track of phase spans annotated with
+//!   `Q_s(j)`.
+//! * [`manifest`] — a [`RunManifest`] recording seed, calibration constants
+//!   and the source revision next to every result file.
+//!
+//! [`MetricsCollector`] turns the event stream into metrics, and
+//! [`MultiSink`] fans one stream out to several sinks, so a run can produce
+//! a JSONL trace, a Perfetto timeline and a metrics summary in one pass.
+
+pub mod collector;
+pub mod jsonl;
+pub mod manifest;
+pub mod metrics;
+pub mod perfetto;
+pub mod session;
+pub mod sink;
+
+pub use collector::MetricsCollector;
+pub use jsonl::{JsonlTracer, TraceLine};
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use perfetto::PerfettoTracer;
+pub use session::TelemetrySession;
+pub use sink::MultiSink;
+
+// Re-exported so downstream callers don't need a direct paragon-des path
+// just to name the seam they are plugging into.
+pub use paragon_des::trace::{TraceEvent, TraceSink};

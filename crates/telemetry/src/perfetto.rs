@@ -1,0 +1,337 @@
+//! Chrome trace-event (Perfetto / `chrome://tracing`) timeline export.
+//!
+//! [`PerfettoTracer`] buffers the run's events and renders a JSON object
+//! with a `traceEvents` array:
+//!
+//! * tid 0 — the **scheduler** (host) track: one complete (`"ph": "X"`)
+//!   span per scheduling phase `j`, from `t_s` to `t_e`, with `Q_s(j)`,
+//!   the batch size and the search counters in `args`; drops and mid-phase
+//!   expiries appear as instant events.
+//! * tid `k + 1` — one track per processor `P_k`: one span per task
+//!   execution (start to completion), with slack, lateness and the
+//!   communication delay in `args`.
+//!
+//! All timestamps are microseconds, which is exactly the simulator's
+//! resolution, so the timeline is tick-accurate.
+
+use std::io::Write;
+
+use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::Time;
+
+/// Process id used for every track (one simulated machine = one process).
+const PID: u64 = 1;
+
+/// A buffering [`TraceSink`] that renders a Chrome trace-event JSON file.
+#[derive(Debug, Default)]
+pub struct PerfettoTracer {
+    events: Vec<(Time, TraceEvent)>,
+}
+
+/// A task execution being assembled from its dispatch/start/completion
+/// events.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenTask {
+    start_us: u64,
+    slack_us: Option<i64>,
+    comm_delay_us: Option<u64>,
+}
+
+impl PerfettoTracer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the buffered events as Chrome trace-event JSON.
+    ///
+    /// `workers` fixes how many processor tracks to name; processors only
+    /// seen in events beyond that count still get spans (Perfetto shows
+    /// them with numeric tids).
+    pub fn write_chrome_trace<W: Write>(&self, mut out: W, workers: usize) -> std::io::Result<()> {
+        let mut rows: Vec<String> = Vec::new();
+
+        // Track naming metadata.
+        rows.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"args\":{{\"name\":\"rtsads simulation\"}}}}"
+        ));
+        rows.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"args\":{{\"name\":\"scheduler (host)\"}}}}"
+        ));
+        for k in 0..workers {
+            rows.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"args\":{{\"name\":\"P{k}\"}}}}",
+                k + 1
+            ));
+        }
+
+        // Pair phase starts with ends and task starts with completions.
+        let mut open_phase: Option<(u64, u64, usize, u64)> = None; // (phase, ts, batch, quantum)
+        let mut open_tasks: Vec<(u64, usize, OpenTask)> = Vec::new(); // (task, processor, data)
+        let mut pending: Vec<(u64, usize, OpenTask)> = Vec::new(); // dispatched, not started
+
+        for (t, event) in &self.events {
+            let ts = t.as_micros();
+            match event {
+                TraceEvent::PhaseStarted {
+                    phase,
+                    batch_len,
+                    quantum,
+                } => {
+                    open_phase = Some((*phase, ts, *batch_len, quantum.as_micros()));
+                }
+                TraceEvent::PhaseEnded {
+                    phase,
+                    scheduled,
+                    consumed,
+                    vertices,
+                    backtracks,
+                } => {
+                    let (start_ts, batch, quantum) = match open_phase.take() {
+                        Some((p, s, b, q)) if p == *phase => (s, b, q),
+                        _ => (ts.saturating_sub(consumed.as_micros()), 0, 0),
+                    };
+                    rows.push(format!(
+                        "{{\"name\":\"phase {phase}\",\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\
+                         \"ts\":{start_ts},\"dur\":{},\"args\":{{\"quantum_us\":{quantum},\
+                         \"batch_len\":{batch},\"scheduled\":{scheduled},\
+                         \"consumed_us\":{},\"vertices\":{vertices},\"backtracks\":{backtracks}}}}}",
+                        ts - start_ts,
+                        consumed.as_micros(),
+                    ));
+                }
+                TraceEvent::TaskDispatched {
+                    task,
+                    processor,
+                    slack_us,
+                } => {
+                    pending.push((
+                        *task,
+                        *processor,
+                        OpenTask {
+                            start_us: ts,
+                            slack_us: Some(*slack_us),
+                            comm_delay_us: None,
+                        },
+                    ));
+                }
+                TraceEvent::CommDelay {
+                    task,
+                    processor,
+                    delay_us,
+                } => {
+                    if let Some((.., open)) = pending
+                        .iter_mut()
+                        .find(|(t2, p2, _)| t2 == task && p2 == processor)
+                    {
+                        open.comm_delay_us = Some(*delay_us);
+                    }
+                }
+                TraceEvent::TaskStarted { task, processor } => {
+                    let mut open = pending
+                        .iter()
+                        .position(|(t2, p2, _)| t2 == task && p2 == processor)
+                        .map(|i| pending.remove(i).2)
+                        .unwrap_or_default();
+                    open.start_us = ts;
+                    open_tasks.push((*task, *processor, open));
+                }
+                TraceEvent::TaskCompleted {
+                    task,
+                    processor,
+                    met_deadline,
+                    lateness_us,
+                } => {
+                    let open = open_tasks
+                        .iter()
+                        .position(|(t2, p2, _)| t2 == task && p2 == processor)
+                        .map(|i| open_tasks.remove(i).2)
+                        .unwrap_or_else(|| OpenTask {
+                            start_us: ts,
+                            ..OpenTask::default()
+                        });
+                    let mut args =
+                        format!("\"met_deadline\":{met_deadline},\"lateness_us\":{lateness_us}");
+                    if let Some(s) = open.slack_us {
+                        args.push_str(&format!(",\"slack_at_dispatch_us\":{s}"));
+                    }
+                    if let Some(c) = open.comm_delay_us {
+                        args.push_str(&format!(",\"comm_delay_us\":{c}"));
+                    }
+                    rows.push(format!(
+                        "{{\"name\":\"task {task}\",\"ph\":\"X\",\"pid\":{PID},\"tid\":{},\
+                         \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                        processor + 1,
+                        open.start_us,
+                        ts.saturating_sub(open.start_us),
+                    ));
+                }
+                TraceEvent::TaskDropped { task } => {
+                    rows.push(format!(
+                        "{{\"name\":\"drop task {task}\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":0,\"ts\":{ts}}}"
+                    ));
+                }
+                TraceEvent::TaskExpiredMidPhase { task, phase } => {
+                    rows.push(format!(
+                        "{{\"name\":\"task {task} expired (phase {phase})\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"pid\":{PID},\"tid\":0,\"ts\":{ts}}}"
+                    ));
+                }
+                TraceEvent::Note(note) => {
+                    // Reuse the serializer for correct string escaping.
+                    let name =
+                        serde_json::to_string(&format!("note: {note}")).expect("strings serialize");
+                    rows.push(format!(
+                        "{{\"name\":{name},\"ph\":\"i\",\"s\":\"g\",\"pid\":{PID},\
+                         \"tid\":0,\"ts\":{ts}}}"
+                    ));
+                }
+            }
+        }
+
+        writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        for (i, row) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            writeln!(out, "{row}{sep}")?;
+        }
+        writeln!(out, "]}}")?;
+        out.flush()
+    }
+}
+
+impl TraceSink for PerfettoTracer {
+    fn emit(&mut self, now: Time, event: TraceEvent) {
+        self.events.push((now, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+
+    fn sample_run() -> PerfettoTracer {
+        let mut p = PerfettoTracer::new();
+        p.emit(
+            Time::from_micros(0),
+            TraceEvent::PhaseStarted {
+                phase: 0,
+                batch_len: 2,
+                quantum: Duration::from_micros(30),
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::PhaseEnded {
+                phase: 0,
+                scheduled: 1,
+                consumed: Duration::from_micros(30),
+                vertices: 7,
+                backtracks: 1,
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::TaskDispatched {
+                task: 4,
+                processor: 1,
+                slack_us: 70,
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::CommDelay {
+                task: 4,
+                processor: 1,
+                delay_us: 10,
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::TaskStarted {
+                task: 4,
+                processor: 1,
+            },
+        );
+        p.emit(
+            Time::from_micros(90),
+            TraceEvent::TaskCompleted {
+                task: 4,
+                processor: 1,
+                met_deadline: true,
+                lateness_us: -10,
+            },
+        );
+        p.emit(Time::from_micros(95), TraceEvent::TaskDropped { task: 5 });
+        p
+    }
+
+    #[test]
+    fn renders_valid_json_with_both_track_kinds() {
+        let p = sample_run();
+        assert_eq!(p.len(), 7);
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 2).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let value = serde_json::from_str::<serde::Value>(&text).expect("whole file is JSON");
+        let events = value
+            .get("traceEvents")
+            .and_then(serde::Value::as_array)
+            .expect("traceEvents array");
+        // 1 process_name + 3 thread_name + 1 phase span + 1 task span + 1 drop
+        assert_eq!(events.len(), 7);
+        assert!(text.contains("\"scheduler (host)\""));
+        assert!(text.contains("\"P1\""));
+        assert!(text.contains("\"quantum_us\":30"));
+        assert!(text.contains("\"slack_at_dispatch_us\":70"));
+        assert!(text.contains("\"comm_delay_us\":10"));
+        // The task span sits on P1's track (tid 2) and lasts 60us.
+        assert!(text.contains("\"tid\":2,\"ts\":30,\"dur\":60"));
+    }
+
+    #[test]
+    fn unpaired_completion_still_renders() {
+        let mut p = PerfettoTracer::new();
+        p.emit(
+            Time::from_micros(10),
+            TraceEvent::TaskCompleted {
+                task: 1,
+                processor: 0,
+                met_deadline: false,
+                lateness_us: 5,
+            },
+        );
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(serde_json::from_str::<serde::Value>(&text).is_ok());
+        assert!(text.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn note_strings_are_escaped() {
+        let mut p = PerfettoTracer::new();
+        p.emit(Time::ZERO, TraceEvent::Note("with \"quotes\"".into()));
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_ok(),
+            "bad JSON: {text}"
+        );
+    }
+}

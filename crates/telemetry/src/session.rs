@@ -1,0 +1,147 @@
+//! One-stop wiring for a fully instrumented run: open the requested output
+//! files, hand the simulator a single fan-out sink, then write everything
+//! on [`TelemetrySession::finish`]. Used by both the `rtsads_sim` binary
+//! and the experiments runner so their flags behave identically.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::collector::MetricsCollector;
+use crate::jsonl::JsonlTracer;
+use crate::metrics::MetricsRegistry;
+use crate::perfetto::PerfettoTracer;
+use crate::sink::MultiSink;
+
+/// The telemetry outputs of one simulation run.
+///
+/// Create with [`TelemetrySession::create`], pass [`TelemetrySession::sink`]
+/// to `Driver::run_traced`, optionally fold report-level metrics in via
+/// [`TelemetrySession::registry_mut`], then call
+/// [`TelemetrySession::finish`] to flush the files.
+#[derive(Debug)]
+pub struct TelemetrySession {
+    jsonl: Option<(PathBuf, JsonlTracer<BufWriter<File>>)>,
+    perfetto: Option<(PathBuf, PerfettoTracer)>,
+    metrics_out: Option<PathBuf>,
+    collector: MetricsCollector,
+}
+
+impl TelemetrySession {
+    /// Opens the requested outputs. Metrics are always collected (they are
+    /// cheap); `metrics_out` only controls whether they are written.
+    pub fn create(
+        trace_out: Option<&Path>,
+        metrics_out: Option<&Path>,
+        perfetto_out: Option<&Path>,
+    ) -> std::io::Result<Self> {
+        let jsonl = match trace_out {
+            Some(p) => {
+                let file = File::create(p)?;
+                Some((p.to_path_buf(), JsonlTracer::new(BufWriter::new(file))))
+            }
+            None => None,
+        };
+        Ok(TelemetrySession {
+            jsonl,
+            perfetto: perfetto_out.map(|p| (p.to_path_buf(), PerfettoTracer::new())),
+            metrics_out: metrics_out.map(Path::to_path_buf),
+            collector: MetricsCollector::new(),
+        })
+    }
+
+    /// The combined sink to run the simulation against.
+    pub fn sink(&mut self) -> MultiSink<'_> {
+        let mut multi = MultiSink::new().with(&mut self.collector);
+        if let Some((_, j)) = self.jsonl.as_mut() {
+            multi = multi.with(j);
+        }
+        if let Some((_, p)) = self.perfetto.as_mut() {
+            multi = multi.with(p);
+        }
+        multi
+    }
+
+    /// The metrics aggregated so far — for folding in values that live in
+    /// the final report rather than the event stream (worker busy/idle).
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        self.collector.registry_mut()
+    }
+
+    /// Read access to the aggregated metrics.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        self.collector.registry()
+    }
+
+    /// Flushes every requested output; `workers` names the processor tracks
+    /// in the Perfetto file. Returns the paths written.
+    pub fn finish(self, workers: usize) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        if let Some((path, sink)) = self.jsonl {
+            sink.finish()?;
+            written.push(path);
+        }
+        if let Some((path, buffer)) = self.perfetto {
+            let file = File::create(&path)?;
+            buffer.write_chrome_trace(BufWriter::new(file), workers)?;
+            written.push(path);
+        }
+        if let Some(path) = self.metrics_out {
+            let mut f = File::create(&path)?;
+            f.write_all(self.collector.registry().to_json().as_bytes())?;
+            f.write_all(b"\n")?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::trace::{TraceEvent, TraceSink};
+    use paragon_des::Time;
+
+    #[test]
+    fn session_writes_all_requested_outputs() {
+        let dir = std::env::temp_dir().join("rt-telemetry-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (trace, metrics, perfetto) = (
+            dir.join("t.jsonl"),
+            dir.join("m.json"),
+            dir.join("p.trace.json"),
+        );
+        let mut session =
+            TelemetrySession::create(Some(&trace), Some(&metrics), Some(&perfetto)).unwrap();
+        {
+            let mut sink = session.sink();
+            assert!(sink.enabled());
+            sink.emit(Time::from_micros(1), TraceEvent::TaskDropped { task: 1 });
+        }
+        session.registry_mut().set_gauge("worker.0.busy_us", 5.0);
+        let written = session.finish(1).unwrap();
+        assert_eq!(written.len(), 3);
+        assert!(std::fs::read_to_string(&trace)
+            .unwrap()
+            .contains("TaskDropped"));
+        assert!(std::fs::read_to_string(&metrics)
+            .unwrap()
+            .contains("task.dropped_at_phase_start"));
+        assert!(std::fs::read_to_string(&perfetto)
+            .unwrap()
+            .contains("traceEvents"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_outputs_means_metrics_only_in_memory() {
+        let mut session = TelemetrySession::create(None, None, None).unwrap();
+        {
+            let mut sink = session.sink();
+            sink.emit(Time::ZERO, TraceEvent::Note("x".into()));
+        }
+        assert_eq!(session.registry().counter("note.count"), 1);
+        assert!(session.finish(1).unwrap().is_empty());
+    }
+}

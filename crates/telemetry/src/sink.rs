@@ -1,0 +1,90 @@
+//! Fan-out: one event stream, several sinks.
+
+use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::Time;
+
+/// A [`TraceSink`] that forwards every event to each wrapped sink, so one
+/// simulation pass can feed a JSONL file, a Perfetto buffer and a metrics
+/// collector at once.
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out (disabled until a sink is added).
+    #[must_use]
+    pub fn new() -> Self {
+        MultiSink { sinks: Vec::new() }
+    }
+
+    /// Adds a sink.
+    #[must_use]
+    pub fn with(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of wrapped sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is attached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Default for MultiSink<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for MultiSink<'_> {
+    fn emit(&mut self, now: Time, event: TraceEvent) {
+        if let Some((last, rest)) = self.sinks.split_last_mut() {
+            for sink in rest {
+                sink.emit(now, event.clone());
+            }
+            last.emit(now, event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::trace::{RecordingTracer, Tracer};
+
+    #[test]
+    fn forwards_to_every_sink() {
+        let mut a = RecordingTracer::new();
+        let mut b = RecordingTracer::new();
+        {
+            let mut multi = MultiSink::new().with(&mut a).with(&mut b);
+            assert_eq!(multi.len(), 2);
+            assert!(multi.enabled());
+            multi.emit(Time::from_micros(3), TraceEvent::Note("x".into()));
+        }
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.events()[0], b.events()[0]);
+    }
+
+    #[test]
+    fn empty_or_all_disabled_reports_disabled() {
+        let empty = MultiSink::new();
+        assert!(empty.is_empty());
+        assert!(!empty.enabled());
+        let mut off = Tracer::disabled();
+        let multi = MultiSink::new().with(&mut off);
+        assert!(!multi.enabled());
+    }
+}

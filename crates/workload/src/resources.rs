@@ -38,7 +38,10 @@ impl ResourceProfile {
     /// positive while `resources`/`max_per_task` is zero.
     #[must_use]
     pub fn decorate(&self, tasks: &[Task], rng: &mut SimRng) -> Vec<Task> {
-        assert!((0.0..=1.0).contains(&self.participation), "bad participation");
+        assert!(
+            (0.0..=1.0).contains(&self.participation),
+            "bad participation"
+        );
         assert!((0.0..=1.0).contains(&self.exclusive), "bad exclusive share");
         if self.participation > 0.0 {
             assert!(
@@ -52,7 +55,9 @@ impl ResourceProfile {
                 if self.participation == 0.0 || !rng.bernoulli(self.participation) {
                     return t.clone();
                 }
-                let count = rng.uniform_usize(1..self.max_per_task + 1).min(self.resources);
+                let count = rng
+                    .uniform_usize(1..self.max_per_task + 1)
+                    .min(self.resources);
                 let mut ids: Vec<usize> = (0..self.resources).collect();
                 rng.shuffle(&mut ids);
                 let requests: Vec<ResourceRequest> = ids[..count]

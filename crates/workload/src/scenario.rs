@@ -140,8 +140,7 @@ impl Scenario {
             &mut root.child(1),
         );
         let generator = TransactionGenerator::uniform_over(self.attributes);
-        let transactions =
-            generator.generate_many(self.transactions, &db, &mut root.child(2));
+        let transactions = generator.generate_many(self.transactions, &db, &mut root.child(2));
         let arrivals = self.arrivals.sample(self.transactions, &mut root.child(3));
 
         let cost = CostModel::new(self.per_tuple_cost);
@@ -235,13 +234,9 @@ mod tests {
         for (task, txn) in built.tasks.iter().zip(&built.transactions) {
             assert_eq!(task.id().as_u64(), txn.id());
             // processing time equals the worst-case estimate
-            assert_eq!(
-                task.processing_time(),
-                built.cost.estimate(&built.db, txn)
-            );
+            assert_eq!(task.processing_time(), built.cost.estimate(&built.db, txn));
             // deadline = arrival + SF * 10 * estimate
-            let expect = task.arrival()
-                + task.processing_time().mul_f64(10.0 * built.scenario.sf);
+            let expect = task.arrival() + task.processing_time().mul_f64(10.0 * built.scenario.sf);
             assert_eq!(task.deadline(), expect);
         }
     }
@@ -276,8 +271,7 @@ mod tests {
     #[test]
     fn keyed_transactions_are_cheaper_than_scans() {
         let built = Scenario::small().build(4);
-        let scan_cost = built.scenario.per_tuple_cost
-            * built.scenario.tuples_per_partition as u64;
+        let scan_cost = built.scenario.per_tuple_cost * built.scenario.tuples_per_partition as u64;
         let mut keyed_cheaper = 0;
         for (task, txn) in built.tasks.iter().zip(&built.transactions) {
             if txn.key_value().is_some() {

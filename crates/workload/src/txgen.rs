@@ -22,7 +22,10 @@ impl TransactionGenerator {
     /// Panics if `min_predicates` is zero or the range is inverted.
     #[must_use]
     pub fn new(min_predicates: usize, max_predicates: usize) -> Self {
-        assert!(min_predicates > 0, "transactions need at least one predicate");
+        assert!(
+            min_predicates > 0,
+            "transactions need at least one predicate"
+        );
         assert!(
             min_predicates <= max_predicates,
             "inverted predicate range [{min_predicates}, {max_predicates}]"

@@ -9,9 +9,7 @@
 //! cargo run --release --example des_queue [rho]
 //! ```
 
-use rtsads_repro::des::{
-    Duration, EventQueue, HandlerFlow, SimRng, Simulation, Time,
-};
+use rtsads_repro::des::{Duration, EventQueue, HandlerFlow, SimRng, Simulation, Time};
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -80,7 +78,10 @@ fn main() {
 
     // analytic M/M/1: W = E[S] / (1 - rho)
     let analytic_w = service_mean_us / (1.0 - rho);
-    println!("M/M/1 at rho = {rho}: served {served} customers, {} events", sim.events_processed());
+    println!(
+        "M/M/1 at rho = {rho}: served {served} customers, {} events",
+        sim.events_processed()
+    );
     println!("  mean sojourn:   measured {mean_sojourn:.1} us, analytic {analytic_w:.1} us");
     println!(
         "  Little's law:   L = {mean_n:.3} vs lambda*W = {:.3}",

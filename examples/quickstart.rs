@@ -15,9 +15,7 @@ fn main() {
     // The paper's database application, scaled to a laptop-friendly size:
     // 4 sub-databases replicated on 30% of 4 processors, 200 bursty
     // read-only transactions with deadlines 10x their estimated cost.
-    let scenario = Scenario::small()
-        .transactions(200)
-        .replication_rate(0.3);
+    let scenario = Scenario::small().transactions(200).replication_rate(0.3);
     let built = scenario.build(42);
 
     println!(

@@ -5,14 +5,24 @@
 //! rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X]
 //!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
 //!            [--comm-us C] [--seed S] [--phases]
+//!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
+//!            [--perfetto-out FILE.trace.json]
 //! ```
+//!
+//! The three `--*-out` flags enable telemetry: a structured JSONL event
+//! trace, a metrics summary (counters + p50/p90/p99 histograms), and a
+//! Chrome trace-event timeline loadable in Perfetto (`ui.perfetto.dev`).
+//! Telemetry rides the driver's trace seam, so enabling it never changes
+//! simulation results.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rtsads_repro::des::Duration;
+use rtsads_repro::des::{Duration, Time};
 use rtsads_repro::platform::HostParams;
-use rtsads_repro::sads::{Algorithm, Driver, DriverConfig};
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
 use rtsads_repro::task::CommModel;
+use rtsads_repro::telemetry::{MetricsRegistry, TelemetrySession};
 use rtsads_repro::workload::Scenario;
 
 struct Args {
@@ -24,6 +34,9 @@ struct Args {
     comm_us: u64,
     seed: u64,
     phases: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    perfetto_out: Option<PathBuf>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -36,23 +49,33 @@ fn parse() -> Result<Args, String> {
         comm_us: 2_000,
         seed: 1_998,
         phases: false,
+        trace_out: None,
+        metrics_out: None,
+        perfetto_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--workers" => args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => {
+                args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--txns" => args.txns = value("--txns")?.parse().map_err(|e| format!("{e}"))?,
             "--replication" => {
-                let pct: f64 = value("--replication")?.parse().map_err(|e| format!("{e}"))?;
+                let pct: f64 = value("--replication")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
                 args.replication = if pct > 1.0 { pct / 100.0 } else { pct };
             }
             "--sf" => args.sf = value("--sf")?.parse().map_err(|e| format!("{e}"))?,
-            "--comm-us" => args.comm_us = value("--comm-us")?.parse().map_err(|e| format!("{e}"))?,
+            "--comm-us" => {
+                args.comm_us = value("--comm-us")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--phases" => args.phases = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--perfetto-out" => args.perfetto_out = Some(PathBuf::from(value("--perfetto-out")?)),
             "--algorithm" => {
                 args.algorithm = match value("--algorithm")?.as_str() {
                     "rt-sads" => Algorithm::rt_sads(),
@@ -69,6 +92,41 @@ fn parse() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Folds per-worker busy/idle times — which live in the final report, not
+/// the event stream — into the metrics registry under stable names.
+fn record_worker_metrics(registry: &mut MetricsRegistry, report: &RunReport) {
+    let horizon = report.finished_at.saturating_since(Time::ZERO);
+    for (k, busy) in report.worker_busy.iter().enumerate() {
+        registry.set_gauge(&format!("worker.{k}.busy_us"), busy.as_micros() as f64);
+        let idle = horizon.saturating_sub(*busy);
+        registry.set_gauge(&format!("worker.{k}.idle_us"), idle.as_micros() as f64);
+    }
+}
+
+/// Runs the simulation with the requested telemetry sinks attached and
+/// writes the output files.
+fn run_with_telemetry(
+    args: &Args,
+    config: DriverConfig,
+    tasks: Vec<rtsads_repro::task::Task>,
+) -> Result<RunReport, String> {
+    let mut session = TelemetrySession::create(
+        args.trace_out.as_deref(),
+        args.metrics_out.as_deref(),
+        args.perfetto_out.as_deref(),
+    )
+    .map_err(|e| format!("cannot open telemetry output: {e}"))?;
+    let report = Driver::new(config).run_traced(tasks, &mut session.sink());
+    record_worker_metrics(session.registry_mut(), &report);
+    let written = session
+        .finish(args.workers)
+        .map_err(|e| format!("cannot write telemetry output: {e}"))?;
+    for path in written {
+        eprintln!("# wrote {}", path.display());
+    }
+    Ok(report)
+}
+
 fn main() -> ExitCode {
     let args = match parse() {
         Ok(a) => a,
@@ -77,7 +135,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
                  [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
-                 [--phases]"
+                 [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
+                 [--perfetto-out FILE.trace.json]"
             );
             return ExitCode::FAILURE;
         }
@@ -93,7 +152,20 @@ fn main() -> ExitCode {
         .comm(CommModel::constant(Duration::from_micros(args.comm_us)))
         .host(HostParams::new(Duration::from_micros(1)))
         .seed(args.seed);
-    let report = Driver::new(config).run(built.tasks);
+
+    let telemetry_on =
+        args.trace_out.is_some() || args.metrics_out.is_some() || args.perfetto_out.is_some();
+    let report = if telemetry_on {
+        match run_with_telemetry(&args, config, built.tasks) {
+            Ok(report) => report,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Driver::new(config).run(built.tasks)
+    };
 
     println!(
         "{} on {} workers | {} transactions, R={:.0}%, SF={}, C={}us, seed {}",
@@ -128,7 +200,10 @@ fn main() -> ExitCode {
         report.total_scheduling_time().as_millis_f64()
     );
     if let Some(rt) = report.mean_response_time(true) {
-        println!("  mean response      {:>6.1} ms after delivery", rt.as_millis_f64());
+        println!(
+            "  mean response      {:>6.1} ms after delivery",
+            rt.as_millis_f64()
+        );
     }
     if let Some(imbalance) = report.load_imbalance() {
         let utils = report.worker_utilizations();
@@ -142,8 +217,10 @@ fn main() -> ExitCode {
     println!("  finished at        {}", report.finished_at);
 
     if args.phases {
-        println!("\n  {:>5} {:>10} {:>6} {:>10} {:>10} {:>6} {:>6}",
-                 "phase", "t_s", "batch", "Q_s", "used", "sched", "drop");
+        println!(
+            "\n  {:>5} {:>10} {:>6} {:>10} {:>10} {:>6} {:>6}",
+            "phase", "t_s", "batch", "Q_s", "used", "sched", "drop"
+        );
         for p in report.phases.iter().take(40) {
             println!(
                 "  {:>5} {:>10} {:>6} {:>10} {:>10} {:>6} {:>6}",

@@ -9,7 +9,9 @@
 //! * [`sads`] — RT-SADS, D-COLS and the baselines, plus the run driver,
 //! * [`db`] — the distributed real-time database substrate,
 //! * [`workload`] — scenario/workload generation,
-//! * [`stats`] — summaries, Welch tests and table rendering.
+//! * [`stats`] — summaries, Welch tests and table rendering,
+//! * [`telemetry`] — metrics registry, JSONL trace export, Perfetto
+//!   timelines and run manifests.
 //!
 //! # Quickstart
 //!
@@ -30,6 +32,7 @@ pub use paragon_des as des;
 pub use paragon_platform as platform;
 pub use rt_stats as stats;
 pub use rt_task as task;
+pub use rt_telemetry as telemetry;
 pub use rt_workload as workload;
 pub use rtdb as db;
 pub use rtsads as sads;

@@ -8,7 +8,9 @@ use rtsads_repro::des::{Duration, SimRng, Time};
 use rtsads_repro::platform::{HostParams, SchedulingMeter};
 use rtsads_repro::sads::Algorithm;
 use rtsads_repro::search::Pruning;
-use rtsads_repro::task::{AffinitySet, CommModel, MeshSpec, ProcessorId, ResourceEats, Task, TaskId};
+use rtsads_repro::task::{
+    AffinitySet, CommModel, MeshSpec, ProcessorId, ResourceEats, Task, TaskId,
+};
 
 #[derive(Debug, Clone)]
 struct Spec {

@@ -37,10 +37,7 @@ fn figure5_shape_rt_sads_scales_d_cols_does_not() {
         }
     }
     // RT-SADS gains substantially from 2 -> 10 processors...
-    assert!(
-        sads[1] > sads[0] * 1.5,
-        "RT-SADS should scale: {sads:?}"
-    );
+    assert!(sads[1] > sads[0] * 1.5, "RT-SADS should scale: {sads:?}");
     // ...and beats D-COLS at the high end by a wide margin.
     assert!(
         sads[1] > cols[1] + 0.1,
@@ -93,10 +90,10 @@ fn deadline_guarantee_theorem_holds_for_every_algorithm() {
         Algorithm::myopic(),
         Algorithm::RandomAssign,
     ] {
-        let report =
-            Driver::new(driver(6, algorithm.clone()).seed(99)).run(built.tasks.clone());
+        let report = Driver::new(driver(6, algorithm.clone()).seed(99)).run(built.tasks.clone());
         assert_eq!(
-            report.executed_misses, 0,
+            report.executed_misses,
+            0,
             "{} broke the theorem",
             algorithm.name()
         );
@@ -177,8 +174,8 @@ fn fixed_quantum_policies_run_to_completion() {
             max: Some(Duration::from_millis(5)),
         },
     ] {
-        let report = Driver::new(driver(4, Algorithm::rt_sads()).quantum(policy))
-            .run(built.tasks.clone());
+        let report =
+            Driver::new(driver(4, Algorithm::rt_sads()).quantum(policy)).run(built.tasks.clone());
         assert!(report.is_consistent(), "{policy:?}");
         assert_eq!(report.executed_misses, 0, "{policy:?}");
     }

@@ -1,0 +1,146 @@
+//! Telemetry must be a pure observer: attaching every sink at once to a run
+//! changes nothing about the simulation outcome, and the outputs themselves
+//! are well-formed (parseable JSONL, quantile-bearing metrics, a Perfetto
+//! trace with a scheduler track and one track per processor).
+
+use rtsads_repro::des::Duration;
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
+use rtsads_repro::task::CommModel;
+use rtsads_repro::telemetry::{
+    jsonl::parse_trace, JsonlTracer, MetricsCollector, MultiSink, PerfettoTracer, TraceEvent,
+};
+use rtsads_repro::workload::Scenario;
+
+const WORKERS: usize = 4;
+const SEED: u64 = 1_998;
+
+fn driver() -> Driver {
+    Driver::new(
+        DriverConfig::new(WORKERS, Algorithm::rt_sads())
+            .comm(CommModel::constant(Duration::from_millis(2)))
+            .host(HostParams::new(Duration::from_micros(1)))
+            .seed(SEED),
+    )
+}
+
+fn workload() -> Vec<rtsads_repro::task::Task> {
+    Scenario::paper_defaults()
+        .workers(WORKERS)
+        .transactions(150)
+        .build(SEED)
+        .tasks
+}
+
+fn assert_same_outcome(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.hits, b.hits, "hit count must not change under tracing");
+    assert_eq!(a.total_tasks, b.total_tasks);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.executed_misses, b.executed_misses);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.phases.len(), b.phases.len());
+    assert_eq!(a.worker_busy, b.worker_busy);
+    assert!((a.hit_ratio() - b.hit_ratio()).abs() == 0.0);
+}
+
+#[test]
+fn full_telemetry_changes_results_by_exactly_zero() {
+    let untraced = driver().run(workload());
+
+    let mut jsonl = JsonlTracer::new(Vec::new());
+    let mut perfetto = PerfettoTracer::new();
+    let mut collector = MetricsCollector::new();
+    let traced = {
+        let mut sink = MultiSink::new()
+            .with(&mut collector)
+            .with(&mut jsonl)
+            .with(&mut perfetto);
+        driver().run_traced(workload(), &mut sink)
+    };
+
+    assert_same_outcome(&untraced, &traced);
+
+    // The trace stream must agree with the report it rode along with.
+    let raw = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+    let events = parse_trace(&raw).unwrap();
+    let completed = events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::TaskCompleted { .. }))
+        .count();
+    let hits = events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                TraceEvent::TaskCompleted {
+                    met_deadline: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(hits, traced.hits);
+    assert_eq!(completed + traced.dropped, traced.total_tasks);
+
+    // And the metrics with both of them.
+    let registry = collector.registry();
+    assert_eq!(registry.counter("task.completed"), completed as u64);
+    assert_eq!(registry.counter("task.deadline_hits"), traced.hits as u64);
+    assert_eq!(registry.counter("phase.count"), traced.phases.len() as u64);
+    let lateness = registry
+        .histogram("task.lateness_us")
+        .expect("lateness recorded");
+    assert!(lateness.p50().is_some() && lateness.p99().is_some());
+
+    // The Perfetto export names the scheduler track and every processor.
+    let mut out = Vec::new();
+    perfetto.write_chrome_trace(&mut out, WORKERS).unwrap();
+    let chrome = String::from_utf8(out).unwrap();
+    assert!(chrome.contains("scheduler (host)"));
+    for k in 0..WORKERS {
+        assert!(
+            chrome.contains(&format!("\"P{k}\"")),
+            "missing processor track P{k}"
+        );
+    }
+}
+
+#[test]
+fn traced_runs_are_reproducible_event_for_event() {
+    let run = |_: u32| {
+        let mut jsonl = JsonlTracer::new(Vec::new());
+        let report = driver().run_traced(workload(), &mut jsonl);
+        (
+            report.hits,
+            String::from_utf8(jsonl.finish().unwrap()).unwrap(),
+        )
+    };
+    let (hits_a, trace_a) = run(0);
+    let (hits_b, trace_b) = run(1);
+    assert_eq!(hits_a, hits_b);
+    assert_eq!(
+        trace_a, trace_b,
+        "same seed must yield a byte-identical trace"
+    );
+
+    // Events are emitted as each phase is processed, and completions can
+    // outlast the phase that scheduled them, so the stream is only ordered
+    // at phase granularity: phase boundaries must be monotone.
+    let events = parse_trace(&trace_a).unwrap();
+    assert!(!events.is_empty());
+    let boundaries: Vec<_> = events
+        .iter()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                TraceEvent::PhaseStarted { .. } | TraceEvent::PhaseEnded { .. }
+            )
+        })
+        .map(|(t, _)| *t)
+        .collect();
+    assert!(boundaries.len() >= 2);
+    assert!(
+        boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "phase boundaries must be monotone in simulation time"
+    );
+}
