@@ -6,9 +6,11 @@ use bench_support::synthetic_batch;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
-use rt_task::{CommModel, ResourceEats};
+use rt_task::{CommModel, ResourceEats, Task, TaskId};
 use rtsads::Algorithm;
-use sched_search::Pruning;
+use sched_search::{
+    search_schedule, search_schedule_replay, ChildOrder, Pruning, Representation, SearchParams,
+};
 use std::hint::black_box;
 
 fn phase(c: &mut Criterion) {
@@ -52,5 +54,54 @@ fn phase(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, phase);
+/// The tentpole scenario for the incremental engine: a straight dive of
+/// depth `n` with every task feasible, so the search expands root-to-leaf
+/// without backtracking. The incremental engine applies each assignment
+/// exactly once (O(n) state work for the whole phase); the replay oracle
+/// rebuilds the full root-to-vertex prefix on every pop (O(n²)), so its
+/// per-vertex cost grows with depth.
+fn deep_dive(c: &mut Criterion) {
+    let workers = 2;
+    let comm = CommModel::free();
+    let repr = Representation::assignment_oriented();
+    let mut group = c.benchmark_group("scheduling_phase_deep_dive");
+    for n in [64usize, 128, 256] {
+        let tasks: Vec<Task> = (0..n as u64)
+            .map(|i| {
+                Task::builder(TaskId::new(i))
+                    .processing_time(Duration::from_micros(100))
+                    .deadline(Time::from_millis(100_000))
+                    .build()
+            })
+            .collect();
+        let initial = vec![Time::ZERO; workers];
+        let params = SearchParams {
+            tasks: &tasks,
+            comm: &comm,
+            initial_finish: &initial,
+            representation: &repr,
+            child_order: ChildOrder::LoadBalance,
+            now: Time::ZERO,
+            vertex_cap: None,
+            pruning: Pruning::default(),
+            resources: ResourceEats::new(),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &params, |b, p| {
+            b.iter(|| {
+                let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
+                black_box(search_schedule(p, &mut meter).assignments.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("replay", n), &params, |b, p| {
+            b.iter(|| {
+                let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
+                black_box(search_schedule_replay(p, &mut meter).assignments.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase, deep_dive);
 criterion_main!(benches);

@@ -312,9 +312,14 @@ fn one_pass(
     } else {
         Termination::Leaf
     };
+    // One-pass baselines do not screen: the whole batch counts as viable,
+    // so `Leaf` only when every batch task was placed.
+    let makespan = state.makespan();
     SearchOutcome {
         assignments: state.into_assignments(),
         termination,
+        n_viable: tasks.len(),
+        makespan,
         stats,
     }
 }

@@ -267,6 +267,8 @@ impl Driver {
                         consumed,
                         vertices: outcome.stats.vertices_generated,
                         backtracks: outcome.stats.backtracks,
+                        undos: outcome.stats.undos,
+                        replay_avoided: outcome.stats.replay_avoided,
                     },
                 );
                 for t in batch.iter().filter(|t| t.is_expired(ended)) {
@@ -330,6 +332,8 @@ impl Driver {
                 consumed,
                 vertices: outcome.stats.vertices_generated,
                 backtracks: outcome.stats.backtracks,
+                undos: outcome.stats.undos,
+                replay_avoided: outcome.stats.replay_avoided,
                 deepest: outcome.stats.deepest,
                 scheduled,
                 processors_used: outcome.processors_used(),
@@ -346,12 +350,17 @@ impl Driver {
             // `min(d_l − t − p_l)` and `min(busy_k − t)`, so `t + Q_s` is
             // `max(min(d_l − p_l), min busy_k)`), hence the deterministic
             // search repeats its outcome exactly. Jump to the next event
-            // that changes the problem: an arrival or a task expiry.
+            // that changes the problem: an arrival or a *future* task
+            // expiry. Tasks already expired at `now` (they lapsed mid-phase
+            // and will be dropped at the next phase start) must not anchor
+            // the jump, or the target lands at or before `now` and the
+            // driver grinds through a no-op phase instead of skipping ahead.
             if scheduled == 0 {
                 let next_arrival = tasks.get(cursor).map(|t| t.arrival());
                 let next_expiry = batch
                     .iter()
                     .map(|t| (t.deadline() - t.processing_time()) + Duration::from_micros(1))
+                    .filter(|&e| e > now)
                     .min();
                 let jump = match (next_arrival, next_expiry) {
                     (Some(a), Some(e)) => Some(a.min(e)),
@@ -539,6 +548,37 @@ mod tests {
     #[should_panic(expected = "at least one working processor")]
     fn zero_workers_rejected() {
         let _ = DriverConfig::new(0, Algorithm::rt_sads());
+    }
+
+    #[test]
+    fn idle_fast_forward_skips_past_mid_phase_expired_stragglers() {
+        // One worker, 5ms per-vertex cost, so the quantum floor is 10ms and
+        // the first phase's execution bound starts at 10ms: both early tasks
+        // are screened and nothing is scheduled. Task 0 (start by 1ms)
+        // lapses *during* that phase and stays in the batch; task 1 (start
+        // by 7ms) expires later; task 2 arrives at 50ms and is easy.
+        //
+        // The fast-forward must anchor on task 1's future expiry, not task
+        // 0's past one — with the stale anchor the jump target lies before
+        // `now` and the driver runs a wasted no-op phase against {task 1}
+        // before time can advance.
+        let tasks = vec![
+            mk_task(0, 1, 0, 2, 1),
+            mk_task(1, 1, 0, 8, 1),
+            mk_task(2, 1, 50, 200, 1),
+        ];
+        let config = DriverConfig::new(1, Algorithm::rt_sads())
+            .host(HostParams::new(Duration::from_millis(5)));
+        let report = Driver::new(config).run(tasks);
+        assert!(report.is_consistent());
+        assert_eq!(report.dropped, 2, "both early tasks expire");
+        assert_eq!(report.hits, 1, "the late arrival is scheduled");
+        assert_eq!(
+            report.phases.len(),
+            2,
+            "one screened phase, one for the late arrival — no wasted \
+             no-op phase between them"
+        );
     }
 
     #[test]

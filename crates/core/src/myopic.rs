@@ -59,6 +59,8 @@ pub(crate) fn myopic_phase(
         return SearchOutcome {
             assignments: Vec::new(),
             termination: Termination::Leaf,
+            n_viable: 0,
+            makespan: initial_finish.iter().copied().max().unwrap_or(Time::ZERO),
             stats,
         };
     }
@@ -174,9 +176,14 @@ pub(crate) fn myopic_phase(
     } else {
         Termination::DeadEnd
     };
+    // Myopic does not screen: every batch task counts as viable, so `Leaf`
+    // here means the full batch is covered (see `SearchOutcome::n_viable`).
+    let makespan = state.makespan();
     SearchOutcome {
         assignments: state.into_assignments(),
         termination,
+        n_viable: tasks.len(),
+        makespan,
         stats,
     }
 }

@@ -29,6 +29,12 @@ pub struct PhaseRecord {
     pub vertices: u64,
     /// Backtracks performed.
     pub backtracks: u64,
+    /// Assignments the incremental engine reverted while switching branches
+    /// (O(1) each).
+    pub undos: u64,
+    /// Apply steps a per-pop root replay would have redone that the
+    /// incremental engine skipped.
+    pub replay_avoided: u64,
     /// Deepest feasible partial schedule reached.
     pub deepest: usize,
     /// Tasks scheduled (dispatched) by the phase.
@@ -68,14 +74,13 @@ pub struct RunReport {
 
 impl RunReport {
     /// The paper's headline metric: fraction of tasks that completed by
-    /// their deadline.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the run had no tasks.
+    /// their deadline. An empty run (no tasks submitted) vacuously hit
+    /// every deadline, so this returns `1.0` rather than `0/0 = NaN`.
     #[must_use]
     pub fn hit_ratio(&self) -> f64 {
-        assert!(self.total_tasks > 0, "hit ratio of an empty run");
+        if self.total_tasks == 0 {
+            return 1.0;
+        }
         self.hits as f64 / self.total_tasks as f64
     }
 
@@ -97,6 +102,18 @@ impl RunReport {
     #[must_use]
     pub fn total_backtracks(&self) -> u64 {
         self.phases.iter().map(|p| p.backtracks).sum()
+    }
+
+    /// Total incremental-engine undo steps across phases.
+    #[must_use]
+    pub fn total_undos(&self) -> u64 {
+        self.phases.iter().map(|p| p.undos).sum()
+    }
+
+    /// Total replay applies avoided by the incremental engine across phases.
+    #[must_use]
+    pub fn total_replay_avoided(&self) -> u64 {
+        self.phases.iter().map(|p| p.replay_avoided).sum()
     }
 
     /// Total tasks observed expiring while a phase was computing, summed
@@ -199,11 +216,16 @@ impl RunReport {
         Some(max / mean)
     }
 
-    /// Internal consistency: every task is accounted for exactly once.
+    /// Internal consistency: every task is accounted for exactly once, and
+    /// the headline ratio is a well-defined probability (in particular not
+    /// `NaN` for an empty run).
     #[must_use]
     pub fn is_consistent(&self) -> bool {
+        let ratio = self.hit_ratio();
         self.hits + self.executed_misses + self.dropped == self.total_tasks
             && self.completions.len() == self.hits + self.executed_misses
+            && ratio.is_finite()
+            && (0.0..=1.0).contains(&ratio)
     }
 }
 
@@ -222,6 +244,8 @@ mod tests {
             consumed: Duration::from_micros(60),
             vertices: 12,
             backtracks: 3,
+            undos: 5,
+            replay_avoided: 8,
             deepest: scheduled,
             scheduled,
             processors_used: procs,
@@ -260,6 +284,8 @@ mod tests {
         assert_eq!(r.total_scheduling_time(), Duration::from_micros(180));
         assert_eq!(r.total_vertices(), 36);
         assert_eq!(r.total_backtracks(), 9);
+        assert_eq!(r.total_undos(), 15);
+        assert_eq!(r.total_replay_avoided(), 24);
         assert_eq!(r.total_expired_mid_phase(), 3);
         assert_eq!(r.dead_end_phases(), 2);
         assert_eq!(r.mean_processors_used(), Some(3.0));
@@ -319,10 +345,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty run")]
-    fn hit_ratio_of_empty_run_panics() {
+    fn hit_ratio_of_empty_run_is_vacuously_one() {
         let mut r = report(vec![]);
         r.total_tasks = 0;
-        let _ = r.hit_ratio();
+        r.hits = 0;
+        r.dropped = 0;
+        let ratio = r.hit_ratio();
+        assert!(ratio.is_finite(), "no NaN from 0/0");
+        assert!((ratio - 1.0).abs() < 1e-12);
+        assert!(r.is_consistent());
     }
 }

@@ -41,6 +41,13 @@ pub enum TraceEvent {
         vertices: u64,
         /// Number of backtracks the search performed during the phase.
         backtracks: u64,
+        /// Assignments reverted by the incremental engine while switching
+        /// branches (each an O(1) `PathState::undo`).
+        undos: u64,
+        /// Apply steps a per-pop root replay would have performed that the
+        /// incremental engine skipped (shared path prefixes, summed over
+        /// pops).
+        replay_avoided: u64,
     },
     /// A task was assigned to a processor by the scheduling phase that just
     /// ended; its execution (and any data shipping) begins after delivery.
@@ -118,10 +125,13 @@ impl fmt::Display for TraceEvent {
                 consumed,
                 vertices,
                 backtracks,
+                undos,
+                replay_avoided,
             } => write!(
                 f,
                 "phase {phase} end: scheduled={scheduled} consumed={consumed} \
-                 vertices={vertices} backtracks={backtracks}"
+                 vertices={vertices} backtracks={backtracks} undos={undos} \
+                 replay_avoided={replay_avoided}"
             ),
             TraceEvent::TaskDispatched {
                 task,
@@ -270,6 +280,8 @@ mod tests {
                 consumed: Duration::from_micros(80),
                 vertices: 40,
                 backtracks: 3,
+                undos: 7,
+                replay_avoided: 21,
             },
             TraceEvent::TaskDispatched {
                 task: 3,

@@ -22,7 +22,10 @@ use crate::state::{Assignment, PathState};
 /// Why a scheduling phase ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Termination {
-    /// A leaf was reached: the returned schedule is complete.
+    /// A leaf was reached: every *viable* task is assigned. Under the
+    /// phase-level viability screen this is weaker than "the whole batch is
+    /// scheduled" — compare [`SearchOutcome::is_complete`] (full batch) with
+    /// [`SearchOutcome::covers_viable`] (this condition).
     Leaf,
     /// The candidate list emptied: no feasible extension exists anywhere.
     DeadEnd,
@@ -72,6 +75,14 @@ pub struct SearchStats {
     /// meet their deadline on no processor even against the initial finish
     /// times, so the whole phase tree excludes them).
     pub screened_tasks: u64,
+    /// Assignments reverted by the incremental engine while switching
+    /// between branches (each costs O(1); see [`crate::PathState::undo`]).
+    pub undos: u64,
+    /// Apply steps a per-pop root replay would have performed that the
+    /// incremental engine skipped: the length of the path prefix shared
+    /// between consecutive vertices, summed over pops. The old engine paid
+    /// exactly `undos + replay_avoided` extra applies per phase.
+    pub replay_avoided: u64,
 }
 
 /// Result of one scheduling phase.
@@ -82,6 +93,15 @@ pub struct SearchOutcome {
     pub assignments: Vec<Assignment>,
     /// Why the phase ended.
     pub termination: Termination,
+    /// Batch tasks that survived the phase-level viability screen — the
+    /// depth of a leaf of this phase's tree. One-pass schedulers that do not
+    /// screen report the full batch size here.
+    pub n_viable: usize,
+    /// Makespan (the paper's `CE`: latest processor finish time, including
+    /// the initial finish times) of the delivered schedule — the tie-break
+    /// key the search used when picking "best". At a leaf this is the leaf's
+    /// real makespan, not a sentinel.
+    pub makespan: Time,
     /// Search diagnostics.
     pub stats: SearchStats,
 }
@@ -91,6 +111,21 @@ impl SearchOutcome {
     #[must_use]
     pub fn is_complete(&self, batch_len: usize) -> bool {
         self.assignments.len() == batch_len
+    }
+
+    /// Whether the schedule covers every *viable* task — the
+    /// [`Termination::Leaf`] condition. Under screening this can hold while
+    /// [`SearchOutcome::is_complete`] is false: the screened tasks stay in
+    /// the batch for a later phase (or expiry).
+    #[must_use]
+    pub fn covers_viable(&self) -> bool {
+        self.assignments.len() == self.n_viable
+    }
+
+    /// Batch tasks screened out by the phase-level viability test.
+    #[must_use]
+    pub fn screened(&self) -> u64 {
+        self.stats.screened_tasks
     }
 
     /// Number of distinct processors the schedule uses.
@@ -131,10 +166,13 @@ pub struct SearchParams<'a> {
 }
 
 /// Arena node: enough to reconstruct the partial schedule by walking
-/// parents.
+/// parents, plus its depth so the incremental engine can find the common
+/// ancestor of two vertices in O(branch distance).
 #[derive(Debug, Clone, Copy)]
 struct Node {
     parent: Option<usize>,
+    /// 1-based: the number of assignments on the root-to-here path.
+    depth: usize,
     task: usize,
     processor: ProcessorId,
 }
@@ -142,15 +180,53 @@ struct Node {
 /// Runs one scheduling phase (see the module docs for the algorithm)
 /// and [`SearchParams`] for the inputs. The `meter` both limits and measures
 /// the scheduling time consumed.
+///
+/// The engine maintains a single incremental [`PathState`]: on each pop it
+/// undoes assignments up to the deepest common ancestor of the previous and
+/// next vertex and applies back down — O(branch distance) per pop instead of
+/// the O(depth) per-pop root replay, so a straight dive is O(depth) overall
+/// rather than O(depth²). The paper charges only vertex evaluations against
+/// the quantum; this keeps the engine's own bookkeeping within that budget.
 #[must_use]
 pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -> SearchOutcome {
+    search_core(params, meter, false)
+}
+
+/// The pre-incremental engine, kept as a differential oracle: identical
+/// search order and bookkeeping, but every pop rebuilds the vertex's
+/// [`PathState`] by replaying the whole root-to-vertex path (O(depth) per
+/// pop). Used by the differential property tests and the deep-dive
+/// benchmark; never by the production schedulers.
+#[cfg(any(test, feature = "replay-oracle"))]
+#[must_use]
+pub fn search_schedule_replay(
+    params: &SearchParams<'_>,
+    meter: &mut SchedulingMeter,
+) -> SearchOutcome {
+    search_core(params, meter, true)
+}
+
+fn search_core(
+    params: &SearchParams<'_>,
+    meter: &mut SchedulingMeter,
+    use_replay: bool,
+) -> SearchOutcome {
     let n = params.tasks.len();
     let mut stats = SearchStats::default();
+    // Root makespan: the latest initial finish time (the empty schedule's CE).
+    let root_makespan = params
+        .initial_finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Time::ZERO);
 
     if n == 0 {
         return SearchOutcome {
             assignments: Vec::new(),
             termination: Termination::Leaf,
+            n_viable: 0,
+            makespan: root_makespan,
             stats,
         };
     }
@@ -176,6 +252,8 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
         return SearchOutcome {
             assignments: Vec::new(),
             termination: Termination::DeadEnd,
+            n_viable: 0,
+            makespan: root_makespan,
             stats,
         };
     }
@@ -200,7 +278,8 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
     let mut last_expanded: Option<usize> = None;
     let termination;
 
-    // Reconstructs the PathState of a vertex by replaying root->vertex.
+    // Reconstructs the PathState of a vertex by replaying root->vertex — the
+    // O(depth) oracle path, taken only when `use_replay` is set.
     let replay = |arena: &[Node], id: Option<usize>| -> PathState {
         let mut chain = Vec::new();
         let mut cursor = id;
@@ -216,8 +295,53 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
         state
     };
 
+    // Moves the incremental `state` (whose current vertex path is `path`,
+    // with `path[d-1]` the arena id at depth d) to vertex `cv`: walk cv's
+    // ancestors until one lies on the current path at its own depth, undo
+    // down to that common ancestor, then apply the collected chain. Both
+    // engines run the same bookkeeping (so stats are bit-identical); only
+    // the state materialization differs.
+    let switch_to = |arena: &[Node],
+                     state: &mut PathState,
+                     path: &mut Vec<usize>,
+                     stats: &mut SearchStats,
+                     cv: usize,
+                     track: bool| {
+        let mut chain: Vec<usize> = Vec::new();
+        let mut cursor = Some(cv);
+        let common_depth = loop {
+            let Some(i) = cursor else { break 0 };
+            let node = &arena[i];
+            if path.get(node.depth - 1) == Some(&i) {
+                break node.depth;
+            }
+            chain.push(i);
+            cursor = node.parent;
+        };
+        if track {
+            stats.undos += (path.len() - common_depth) as u64;
+            stats.replay_avoided += common_depth as u64;
+        }
+        if use_replay {
+            path.truncate(common_depth);
+            path.extend(chain.iter().rev());
+            *state = replay(arena, Some(cv));
+        } else {
+            while path.len() > common_depth {
+                state.undo();
+                path.pop();
+            }
+            for &i in chain.iter().rev() {
+                let node = &arena[i];
+                state.apply(params.tasks, params.comm, node.task, node.processor);
+                path.push(i);
+            }
+        }
+    };
+
     // Expands `cv` (None = root): generates, filters, orders and pushes its
-    // successors. Returns Some(leaf id) if a complete schedule was generated.
+    // successors. Returns Some((leaf id, leaf makespan)) if a schedule
+    // covering every viable task was generated.
     let expand = |cv: Option<usize>,
                   state: &PathState,
                   arena: &mut Vec<Node>,
@@ -225,7 +349,7 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
                   meter: &mut SchedulingMeter,
                   stats: &mut SearchStats,
                   best: &mut (usize, Time, Option<usize>)|
-     -> Option<usize> {
+     -> Option<(usize, Time)> {
         // Depth bound (Section 3 pruning): do not expand below the bound.
         if params
             .pruning
@@ -291,6 +415,7 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
             let id = arena.len();
             arena.push(Node {
                 parent: cv,
+                depth,
                 task: child.task,
                 processor: ProcessorId::new(child.processor),
             });
@@ -304,19 +429,21 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
             if depth == n_viable {
                 // Prefer the highest-priority leaf of this expansion: since
                 // we iterate lowest-priority first, keep overwriting.
-                leaf = Some(id);
+                leaf = Some((id, child.makespan));
             }
         }
         leaf
     };
 
-    // Expand the root.
-    let state = root_state();
+    // Expand the root, then walk the candidate list with one incrementally
+    // maintained state.
+    let mut state = root_state();
+    let mut path: Vec<usize> = Vec::new();
     let leaf = expand(
         None, &state, &mut arena, &mut cl, meter, &mut stats, &mut best,
     );
-    if let Some(leaf_id) = leaf {
-        best = (n_viable, Time::ZERO, Some(leaf_id));
+    if let Some((leaf_id, leaf_makespan)) = leaf {
+        best = (n_viable, leaf_makespan, Some(leaf_id));
         termination = Termination::Leaf;
     } else {
         termination = loop {
@@ -340,7 +467,7 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
                     break Termination::Pruned;
                 }
             }
-            let state = replay(&arena, Some(cv));
+            switch_to(&arena, &mut state, &mut path, &mut stats, cv, true);
             last_expanded = Some(cv);
             let leaf = expand(
                 Some(cv),
@@ -351,17 +478,27 @@ pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -
                 &mut stats,
                 &mut best,
             );
-            if let Some(leaf_id) = leaf {
-                best = (n_viable, Time::ZERO, Some(leaf_id));
+            if let Some((leaf_id, leaf_makespan)) = leaf {
+                best = (n_viable, leaf_makespan, Some(leaf_id));
                 break Termination::Leaf;
             }
         };
     }
 
-    let assignments = replay(&arena, best.2).into_assignments();
+    // Deliver the best vertex's schedule. Untracked: the extraction switch
+    // is not part of the search, so it must not skew the per-pop counters.
+    let assignments = match best.2 {
+        Some(id) => {
+            switch_to(&arena, &mut state, &mut path, &mut stats, id, false);
+            state.into_assignments()
+        }
+        None => Vec::new(),
+    };
     SearchOutcome {
         assignments,
         termination,
+        n_viable,
+        makespan: best.1,
         stats,
     }
 }
@@ -450,12 +587,13 @@ mod tests {
         let initial = [Time::ZERO; 2];
         let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
         let out = search_schedule(&p, &mut free_meter());
-        // task 1 can never be scheduled
+        // task 1 can never be scheduled: the phase still ends at a leaf of
+        // the *screened* tree, covering the viable tasks but not the batch.
+        assert_eq!(out.termination, Termination::Leaf);
         assert!(!out.is_complete(3));
-        assert_eq!(
-            out.stats.screened_tasks, 1,
-            "task 1 screened at phase level"
-        );
+        assert!(out.covers_viable());
+        assert_eq!(out.n_viable, 2);
+        assert_eq!(out.screened(), 1, "task 1 screened at phase level");
         assert!(out.assignments.iter().all(|a| a.task != 1));
         for a in &out.assignments {
             assert!(tasks[a.task].meets_deadline(a.completion));
@@ -556,6 +694,7 @@ mod tests {
         assert_eq!(out.termination, Termination::Leaf);
         assert!(out.is_complete(2));
         assert!(out.stats.backtracks > 0, "needed at least one backtrack");
+        assert!(out.stats.undos > 0, "branch switch reverted assignments");
         let a = out.assignments.iter().find(|a| a.task == 0).unwrap();
         let b = out.assignments.iter().find(|a| a.task == 1).unwrap();
         assert_eq!(a.processor.index(), 1);
@@ -676,6 +815,122 @@ mod tests {
         let out = search_schedule(&p, &mut free_meter());
         assert_eq!(out.assignments[0].processor.index(), 1);
         assert_eq!(out.assignments[0].completion, Time::from_micros(300));
+    }
+
+    #[test]
+    fn leaf_outcome_reports_real_makespan() {
+        // Six equal 100us tasks balanced over three processors finish at
+        // 200us; the outcome must carry that makespan, not a sentinel.
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 3];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert_eq!(out.makespan, Time::from_micros(200));
+        let max_done = out.assignments.iter().map(|a| a.completion).max().unwrap();
+        assert_eq!(out.makespan, max_done);
+    }
+
+    #[test]
+    fn incremental_dive_avoids_quadratic_replay() {
+        // A straight dive: every pop is a child of the vertex just expanded,
+        // so the incremental engine applies exactly one assignment per pop
+        // (zero undos) while a root replay would redo the whole shared
+        // prefix — `replay_avoided` counts those skipped applies.
+        let n: usize = 64;
+        let tasks: Vec<Task> = (0..n as u64)
+            .map(|i| mk_task(i, 100, 100_000, &[]))
+            .collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.pruning = Pruning {
+            depth_bound: None,
+            backtrack_limit: Some(0),
+        };
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.assignments.len(), n);
+        assert_eq!(out.stats.undos, 0, "a dive never leaves its own branch");
+        // Pops happen at depths 1..=n-1 (the leaf is detected during its
+        // parent's expansion); the pop at depth d shares a prefix of d-1.
+        let expected = ((n - 1) * (n - 2) / 2) as u64;
+        assert_eq!(out.stats.replay_avoided, expected);
+    }
+
+    #[test]
+    fn incremental_matches_replay_oracle() {
+        // In-crate differential smoke test (the seeded 500-instance sweep
+        // lives in tests/engine_differential.rs): both engines must agree
+        // bit-for-bit on every outcome field, including the stats.
+        let comm_free = CommModel::free();
+        let comm_slow = CommModel::constant(Duration::from_micros(1_000));
+        let asg = Representation::assignment_oriented();
+        let seq = Representation::sequence_oriented();
+        let scenarios: Vec<(Vec<Task>, &CommModel, &Representation, usize, Pruning)> = vec![
+            // backtracking-heavy: 10 tasks, capacity 8
+            (
+                (0..10).map(|i| mk_task(i, 100, 400, &[])).collect(),
+                &comm_free,
+                &asg,
+                2,
+                Pruning::default(),
+            ),
+            // affinity forces a greedy mistake + recovery
+            (
+                vec![mk_task(0, 100, 150, &[0, 1]), mk_task(1, 100, 150, &[0])],
+                &comm_slow,
+                &asg,
+                2,
+                Pruning::default(),
+            ),
+            // sequence-oriented with skips
+            (
+                (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect(),
+                &comm_free,
+                &seq,
+                3,
+                Pruning::default(),
+            ),
+            // mixed feasibility under a depth bound
+            (
+                (0..8)
+                    .map(|i| mk_task(i, 100, if i % 3 == 0 { 90 } else { 100_000 }, &[]))
+                    .collect(),
+                &comm_free,
+                &asg,
+                2,
+                Pruning {
+                    depth_bound: Some(3),
+                    backtrack_limit: None,
+                },
+            ),
+            // backtrack-limited dead-end hunt
+            (
+                (0..10).map(|i| mk_task(i, 100, 400, &[])).collect(),
+                &comm_free,
+                &asg,
+                2,
+                Pruning {
+                    depth_bound: None,
+                    backtrack_limit: Some(3),
+                },
+            ),
+        ];
+        for (tasks, comm, repr, procs, pruning) in scenarios {
+            let initial = vec![Time::ZERO; procs];
+            let mut p = params(&tasks, comm, &initial, repr, ChildOrder::LoadBalance);
+            p.pruning = pruning;
+            let inc = search_schedule(&p, &mut free_meter());
+            let rep = search_schedule_replay(&p, &mut free_meter());
+            assert_eq!(inc.assignments, rep.assignments);
+            assert_eq!(inc.termination, rep.termination);
+            assert_eq!(inc.n_viable, rep.n_viable);
+            assert_eq!(inc.makespan, rep.makespan);
+            assert_eq!(inc.stats, rep.stats);
+        }
     }
 
     #[test]

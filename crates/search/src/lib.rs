@@ -33,6 +33,8 @@ mod policy;
 mod repr;
 mod state;
 
+#[cfg(any(test, feature = "replay-oracle"))]
+pub use engine::search_schedule_replay;
 pub use engine::{search_schedule, Pruning, SearchOutcome, SearchParams, SearchStats, Termination};
 pub use policy::{Candidate, ChildOrder, ProcessorOrder, TaskOrder};
 pub use repr::Representation;

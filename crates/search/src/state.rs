@@ -53,6 +53,22 @@ pub struct PathState {
     finish: Vec<Time>,
     assignments: Vec<Assignment>,
     resources: ResourceEats,
+    undo_log: Vec<UndoRecord>,
+}
+
+/// What [`PathState::apply`] displaced, kept so [`PathState::undo`] can
+/// revert one assignment in O(1) (plus the resource snapshot for the rare
+/// resource-holding task).
+///
+/// The two fields are exactly the state an assignment can clobber: the
+/// assigned processor's previous finish time, and — only when the task holds
+/// resources, since [`ResourceEats::commit`] is a max-merge that cannot be
+/// inverted locally — a snapshot of the resource EATs taken before the
+/// commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UndoRecord {
+    prev_finish: Time,
+    prev_resources: Option<ResourceEats>,
 }
 
 impl PathState {
@@ -88,6 +104,7 @@ impl PathState {
             finish: initial_finish,
             assignments: Vec::new(),
             resources,
+            undo_log: Vec::new(),
         }
     }
 
@@ -161,16 +178,48 @@ impl PathState {
     pub fn apply(&mut self, tasks: &[Task], comm: &CommModel, task: usize, p: ProcessorId) -> Time {
         assert!(!self.assigned[task], "task index {task} assigned twice");
         let completion = self.completion_if(tasks, comm, task, p);
+        let requests = tasks[task].resources();
+        self.undo_log.push(UndoRecord {
+            prev_finish: self.finish[p.index()],
+            prev_resources: if requests.is_empty() {
+                None
+            } else {
+                Some(self.resources.clone())
+            },
+        });
         self.assigned[task] = true;
         self.n_assigned += 1;
         self.finish[p.index()] = completion;
-        self.resources.commit(tasks[task].resources(), completion);
+        self.resources.commit(requests, completion);
         self.assignments.push(Assignment {
             task,
             processor: p,
             completion,
         });
         completion
+    }
+
+    /// Reverts the most recent [`PathState::apply`], restoring the displaced
+    /// processor finish time (and resource EATs, if the task held any) and
+    /// returning the removed assignment. O(1) for resource-free tasks.
+    ///
+    /// Together with `apply` this lets a search move between sibling
+    /// branches of the scheduling tree in O(branch distance) instead of
+    /// replaying the whole root-to-vertex path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is at the root (nothing to undo).
+    pub fn undo(&mut self) -> Assignment {
+        let a = self.assignments.pop().expect("undo on the root state");
+        let u = self.undo_log.pop().expect("undo log tracks assignments");
+        self.assigned[a.task] = false;
+        self.n_assigned -= 1;
+        self.finish[a.processor.index()] = u.prev_finish;
+        if let Some(resources) = u.prev_resources {
+            self.resources = resources;
+        }
+        a
     }
 
     /// The total execution time `CE` of this partial schedule: the latest
@@ -276,6 +325,84 @@ mod tests {
         let mut s = PathState::new(vec![Time::ZERO], 1);
         s.apply(&tasks, &comm, 0, ProcessorId::new(0));
         s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+    }
+
+    #[test]
+    fn undo_reverts_apply_exactly() {
+        let tasks = mk_tasks(&[(100, 10_000, &[0]), (200, 10_000, &[1])]);
+        let comm = CommModel::constant(Duration::from_micros(50));
+        let mut s = PathState::new(vec![Time::from_micros(1_000); 2], 2);
+        let before = s.clone();
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        s.apply(&tasks, &comm, 1, ProcessorId::new(0));
+        let a1 = s.undo();
+        assert_eq!(a1.task, 1);
+        assert_eq!(s.depth(), 1);
+        assert!(!s.is_assigned(1));
+        assert_eq!(s.finish_of(ProcessorId::new(0)), Time::from_micros(1_100));
+        let a0 = s.undo();
+        assert_eq!(a0.task, 0);
+        assert_eq!(s, before, "undo restores the exact prior state");
+    }
+
+    #[test]
+    fn undo_restores_resource_eats() {
+        use rt_task::ResourceRequest;
+        let tasks = vec![
+            Task::builder(TaskId::new(0))
+                .processing_time(Duration::from_micros(100))
+                .deadline(Time::from_micros(10_000))
+                .resources(vec![ResourceRequest::exclusive(0)])
+                .build(),
+            Task::builder(TaskId::new(1))
+                .processing_time(Duration::from_micros(100))
+                .deadline(Time::from_micros(10_000))
+                .resources(vec![ResourceRequest::shared(0)])
+                .build(),
+        ];
+        let comm = CommModel::free();
+        let mut s = PathState::new(vec![Time::ZERO; 2], 2);
+        let before = s.clone();
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        // task 1 must wait for the exclusive holder even on another processor
+        assert_eq!(
+            s.completion_if(&tasks, &comm, 1, ProcessorId::new(1)),
+            Time::from_micros(200)
+        );
+        s.undo();
+        assert_eq!(s, before);
+        // and the resource wait is gone again
+        assert_eq!(
+            s.completion_if(&tasks, &comm, 1, ProcessorId::new(1)),
+            Time::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn interleaved_apply_undo_matches_straight_replay() {
+        let tasks = mk_tasks(&[(100, 10_000, &[]), (150, 10_000, &[]), (70, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let mut zigzag = PathState::new(vec![Time::ZERO; 2], 3);
+        zigzag.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        zigzag.apply(&tasks, &comm, 1, ProcessorId::new(1));
+        zigzag.undo();
+        zigzag.apply(&tasks, &comm, 2, ProcessorId::new(0));
+        zigzag.undo();
+        zigzag.undo();
+        zigzag.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        zigzag.apply(&tasks, &comm, 2, ProcessorId::new(1));
+
+        let mut straight = PathState::new(vec![Time::ZERO; 2], 3);
+        straight.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        straight.apply(&tasks, &comm, 2, ProcessorId::new(1));
+        assert_eq!(zigzag, straight);
+    }
+
+    #[test]
+    #[should_panic(expected = "undo on the root state")]
+    fn undo_at_root_panics() {
+        let mut s = PathState::new(vec![Time::ZERO], 1);
+        s.undo();
     }
 
     #[test]

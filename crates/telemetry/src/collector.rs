@@ -12,6 +12,8 @@
 //! | `phase.consumed_us` | histogram | scheduling time actually used |
 //! | `phase.vertices` | histogram | search vertices per phase |
 //! | `phase.backtracks` | histogram | backtracks per phase |
+//! | `phase.undos` | histogram | incremental-engine undo steps per phase |
+//! | `phase.replay_avoided` | histogram | replay applies avoided per phase |
 //! | `phase.scheduled` | histogram | tasks dispatched per phase |
 //! | `task.slack_at_dispatch_us` | histogram | `deadline − start` at dispatch |
 //! | `task.lateness_us` | histogram | `completion − deadline` |
@@ -82,11 +84,15 @@ impl TraceSink for MetricsCollector {
                 consumed,
                 vertices,
                 backtracks,
+                undos,
+                replay_avoided,
                 ..
             } => {
                 r.record("phase.consumed_us", as_sample(consumed.as_micros()));
                 r.record("phase.vertices", as_sample(vertices));
                 r.record("phase.backtracks", as_sample(backtracks));
+                r.record("phase.undos", as_sample(undos));
+                r.record("phase.replay_avoided", as_sample(replay_avoided));
                 r.record("phase.scheduled", as_sample(scheduled as u64));
             }
             TraceEvent::TaskDispatched { slack_us, .. } => {
@@ -151,6 +157,8 @@ mod tests {
                 consumed: Duration::from_micros(90),
                 vertices: 12,
                 backtracks: 2,
+                undos: 4,
+                replay_avoided: 6,
             },
         );
         c.emit(

@@ -99,6 +99,8 @@ impl PerfettoTracer {
                     consumed,
                     vertices,
                     backtracks,
+                    undos,
+                    replay_avoided,
                 } => {
                     let (start_ts, batch, quantum) = match open_phase.take() {
                         Some((p, s, b, q)) if p == *phase => (s, b, q),
@@ -108,7 +110,8 @@ impl PerfettoTracer {
                         "{{\"name\":\"phase {phase}\",\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\
                          \"ts\":{start_ts},\"dur\":{},\"args\":{{\"quantum_us\":{quantum},\
                          \"batch_len\":{batch},\"scheduled\":{scheduled},\
-                         \"consumed_us\":{},\"vertices\":{vertices},\"backtracks\":{backtracks}}}}}",
+                         \"consumed_us\":{},\"vertices\":{vertices},\"backtracks\":{backtracks},\
+                         \"undos\":{undos},\"replay_avoided\":{replay_avoided}}}}}",
                         ts - start_ts,
                         consumed.as_micros(),
                     ));
@@ -242,6 +245,8 @@ mod tests {
                 consumed: Duration::from_micros(30),
                 vertices: 7,
                 backtracks: 1,
+                undos: 2,
+                replay_avoided: 5,
             },
         );
         p.emit(

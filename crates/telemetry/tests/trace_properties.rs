@@ -21,6 +21,8 @@ fn build_event(kind: u8, a: u64, b: u64, signed: i64) -> TraceEvent {
             consumed: Duration::from_micros(signed.unsigned_abs()),
             vertices: a.wrapping_mul(3),
             backtracks: b,
+            undos: a.wrapping_mul(5),
+            replay_avoided: b.wrapping_mul(7),
         },
         2 => TraceEvent::TaskDispatched {
             task: a,

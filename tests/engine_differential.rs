@@ -1,0 +1,177 @@
+//! Seeded differential property test for the incremental search engine.
+//!
+//! The production engine maintains one `PathState` with apply/undo; the
+//! `replay-oracle` feature keeps the pre-incremental engine alive, which
+//! rebuilds the state from the root on every pop. Both run the identical
+//! search (same expansion order, same bookkeeping), so on every instance
+//! they must agree bit-for-bit on the whole `SearchOutcome` — assignments,
+//! termination, viability count, makespan and every stats counter.
+//!
+//! The sweep spans both representations, all task and child orderings,
+//! random affinities, resource requests, tight and loose deadlines, busy
+//! initial finish times, pruning bounds, vertex caps and constrained
+//! quanta.
+
+use paragon_des::{Duration, SimRng, Time};
+use paragon_platform::{HostParams, SchedulingMeter};
+use rt_task::{AffinitySet, CommModel, ProcessorId, ResourceEats, ResourceRequest, Task, TaskId};
+use sched_search::{
+    search_schedule, search_schedule_replay, ChildOrder, Pruning, Representation, SearchParams,
+    TaskOrder,
+};
+
+const INSTANCES: u64 = 500;
+
+fn random_tasks(rng: &mut SimRng, n: usize, workers: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| {
+            let p = rng.uniform_u64(50..500);
+            // Mix laxity classes: ~40% tight (little slack, heavy
+            // backtracking and screening), the rest loose.
+            let deadline = if rng.bernoulli(0.4) {
+                p + rng.uniform_u64(0..300)
+            } else {
+                rng.uniform_u64(1_000..100_000)
+            };
+            let mut b = Task::builder(TaskId::new(i as u64))
+                .processing_time(Duration::from_micros(p))
+                .deadline(Time::from_micros(deadline));
+            if rng.bernoulli(0.3) {
+                // Restrict to a random non-empty subset of the workers.
+                let keep: Vec<ProcessorId> = (0..workers)
+                    .filter(|_| rng.bernoulli(0.5))
+                    .map(ProcessorId::new)
+                    .collect();
+                if !keep.is_empty() {
+                    b = b.affinity(keep.into_iter().collect::<AffinitySet>());
+                }
+            }
+            if rng.bernoulli(0.2) {
+                let r = rng.uniform_usize(0..3);
+                let req = if rng.bernoulli(0.5) {
+                    ResourceRequest::shared(r)
+                } else {
+                    ResourceRequest::exclusive(r)
+                };
+                b = b.resources(vec![req]);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_engine_matches_replay_oracle_over_random_instances() {
+    let parent = SimRng::seed_from(0x5AD5_D1FF);
+    let mut total_undos = 0u64;
+    let mut total_screened = 0u64;
+    let mut leaves = 0u64;
+
+    for i in 0..INSTANCES {
+        let mut rng = parent.child(i);
+        let n = rng.uniform_usize(0..24);
+        let workers = rng.uniform_usize(1..5);
+        let tasks = random_tasks(&mut rng, n, workers);
+        let comm = match rng.uniform_usize(0..3) {
+            0 => CommModel::free(),
+            1 => CommModel::constant(Duration::from_micros(50)),
+            _ => CommModel::constant(Duration::from_micros(2_000)),
+        };
+        let initial: Vec<Time> = (0..workers)
+            .map(|_| Time::from_micros(rng.uniform_u64(0..300)))
+            .collect();
+        let representation = if rng.bernoulli(0.5) {
+            Representation::AssignmentOriented {
+                task_order: *rng.choose(&[
+                    TaskOrder::EarliestDeadline,
+                    TaskOrder::MinSlack,
+                    TaskOrder::Arrival,
+                    TaskOrder::ShortestProcessing,
+                ]),
+            }
+        } else {
+            Representation::sequence_oriented()
+        };
+        let child_order = *rng.choose(&[
+            ChildOrder::LoadBalance,
+            ChildOrder::EarliestCompletion,
+            ChildOrder::EarliestDeadline,
+            ChildOrder::None,
+        ]);
+        let pruning = Pruning {
+            depth_bound: rng
+                .bernoulli(0.3)
+                .then(|| rng.uniform_usize(1..n.max(1) + 2)),
+            backtrack_limit: rng.bernoulli(0.3).then(|| rng.uniform_u64(0..6)),
+        };
+        // Small caps force QuantumExhausted mid-expansion on some
+        // instances; the generous default just guards blowups.
+        let vertex_cap = if rng.bernoulli(0.3) {
+            Some(rng.uniform_u64(5..300))
+        } else {
+            Some(20_000)
+        };
+        let mut resources = ResourceEats::new();
+        if rng.bernoulli(0.3) {
+            resources.commit(
+                &[ResourceRequest::exclusive(rng.uniform_usize(0..3))],
+                Time::from_micros(rng.uniform_u64(1..500)),
+            );
+        }
+        let params = SearchParams {
+            tasks: &tasks,
+            comm: &comm,
+            initial_finish: &initial,
+            representation: &representation,
+            child_order,
+            now: Time::ZERO,
+            vertex_cap,
+            pruning,
+            resources,
+        };
+        // Identical meters: free on most instances, a tight quantum with a
+        // real per-vertex cost on the rest.
+        let mk_meter = |tight: bool| {
+            if tight {
+                SchedulingMeter::new(
+                    HostParams::new(Duration::from_micros(1)),
+                    Duration::from_micros(0),
+                )
+            } else {
+                SchedulingMeter::new(HostParams::free(), Duration::ZERO)
+            }
+        };
+        let tight = rng.bernoulli(0.3);
+        let mut meter_inc = mk_meter(tight);
+        let mut meter_rep = mk_meter(tight);
+        if tight {
+            let quantum = Duration::from_micros(rng.uniform_u64(10..2_000));
+            meter_inc = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
+            meter_rep = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
+        }
+
+        let inc = search_schedule(&params, &mut meter_inc);
+        let rep = search_schedule_replay(&params, &mut meter_rep);
+
+        assert_eq!(inc.assignments, rep.assignments, "instance {i}");
+        assert_eq!(inc.termination, rep.termination, "instance {i}");
+        assert_eq!(inc.n_viable, rep.n_viable, "instance {i}");
+        assert_eq!(inc.makespan, rep.makespan, "instance {i}");
+        assert_eq!(inc.stats, rep.stats, "instance {i}");
+        assert_eq!(meter_inc.vertices(), meter_rep.vertices(), "instance {i}");
+        assert_eq!(meter_inc.consumed(), meter_rep.consumed(), "instance {i}");
+
+        total_undos += inc.stats.undos;
+        total_screened += inc.stats.screened_tasks;
+        if inc.covers_viable() {
+            leaves += 1;
+        }
+    }
+
+    // The sweep must actually exercise the interesting machinery, or the
+    // equality checks above are vacuous.
+    assert!(total_undos > 0, "no instance ever backtracked");
+    assert!(total_screened > 0, "no instance ever screened a task");
+    assert!(leaves > 0, "no instance ever reached a leaf");
+    assert!(leaves < INSTANCES, "every instance trivially completed");
+}
