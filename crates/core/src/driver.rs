@@ -18,6 +18,7 @@ use rt_task::{Batch, CommModel, Task, TaskId};
 use sched_search::Pruning;
 
 use crate::algorithm::Algorithm;
+use crate::faults::{self, FaultConfig, FaultKind, FaultPlan, InFlightPolicy};
 use crate::quantum::QuantumPolicy;
 use crate::report::{PhaseRecord, RunReport};
 
@@ -34,6 +35,8 @@ pub struct DriverConfig {
     vertex_cap: Option<u64>,
     pruning: Pruning,
     seed: u64,
+    faults: FaultConfig,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl DriverConfig {
@@ -56,6 +59,8 @@ impl DriverConfig {
             vertex_cap: Some(2_000_000),
             pruning: Pruning::default(),
             seed: 0,
+            faults: FaultConfig::disabled(),
+            fault_plan: None,
         }
     }
 
@@ -96,11 +101,37 @@ impl DriverConfig {
         self
     }
 
-    /// Sets the seed for algorithms that randomize (and only those).
+    /// Sets the seed for algorithms that randomize, and for fault-plan
+    /// sampling when a [`FaultConfig`] is set.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Enables fault injection: the concrete [`FaultPlan`] is sampled from
+    /// the run seed at [`Driver::run`] time. The default is
+    /// [`FaultConfig::disabled`], under which runs are bit-identical to a
+    /// driver without fault support at all.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides fault-plan sampling with an explicit plan — for tests and
+    /// replay of a recorded plan. Takes precedence over
+    /// [`DriverConfig::faults`].
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The configured fault model.
+    #[must_use]
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
     }
 
     /// The configured number of working processors.
@@ -130,10 +161,13 @@ impl Driver {
     }
 
     /// Simulates the full lifetime of `tasks`: every task is eventually
-    /// either executed (and, by the paper's theorem, meets its deadline) or
-    /// dropped once its deadline can no longer be met.
+    /// either executed (and, by the paper's theorem, meets its deadline on a
+    /// fault-free platform), dropped once its deadline can no longer be met,
+    /// or — under fault injection — lost mid-execution to a processor
+    /// failure.
     ///
-    /// Deterministic: identical inputs and seed produce identical reports.
+    /// Deterministic: identical inputs and seed produce identical reports,
+    /// fault plan included.
     #[must_use]
     pub fn run(&self, tasks: Vec<Task>) -> RunReport {
         self.run_traced(tasks, &mut Tracer::disabled())
@@ -154,6 +188,26 @@ impl Driver {
         tasks.sort_by_key(|t| (t.arrival(), t.id()));
         let total_tasks = tasks.len();
 
+        // Fault injection. The plan is sampled from a dedicated child of the
+        // run seed (and the loss stream from another), so the algorithm's
+        // own RNG sequence is untouched: a disabled config is bit-identical
+        // to a fault-free run, not merely statistically equivalent.
+        let plan: FaultPlan = cfg
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| cfg.faults.sample_plan(cfg.workers, cfg.seed));
+        let keep_in_flight = plan.in_flight == InFlightPolicy::Completes;
+        let mut loss_rng = faults::loss_stream(cfg.workers, cfg.seed);
+        let mut plan_cursor = 0usize;
+        let mut faults_seen = 0usize;
+        let mut orphaned_total = 0usize;
+        let mut lost_total = 0usize;
+        // Counters accumulated since the last phase boundary; folded into
+        // the next PhaseRecord.
+        let mut pending_orphaned = 0usize;
+        let mut pending_lost = 0usize;
+        let mut pending_faults = 0usize;
+
         // The quantum floor guarantees progress: at least one full expansion
         // (workers + 1 vertex evaluations) fits in every phase, and time
         // advances by at least `min_step` per phase.
@@ -167,17 +221,107 @@ impl Driver {
         let mut dropped_total = 0usize;
 
         loop {
+            // Apply fault events that have come due. The host observes the
+            // platform at phase boundaries, and `Machine::fail` partitions a
+            // worker's history exactly even when the event instant lies
+            // before `now` (the worker keeps every slot it ever admitted),
+            // so applying events lazily here is equivalent to applying them
+            // the instant they happened. Orphaned tasks re-enter the batch
+            // and face the next phase's expiry filter like any other task.
+            // Note that a retroactive failure retracts completion records
+            // whose `TaskCompleted`/`TaskStarted` trace events were already
+            // emitted at delivery time; the `TaskOrphaned`/`TaskLost` events
+            // emitted here supersede them.
+            while let Some(&ev) = plan.events.get(plan_cursor) {
+                if ev.at > now {
+                    break;
+                }
+                plan_cursor += 1;
+                match ev.kind {
+                    FaultKind::Down { fail_stop } => {
+                        let failed = machine.fail(ev.processor, ev.at, keep_in_flight);
+                        let lost = usize::from(failed.lost.is_some());
+                        faults_seen += 1;
+                        pending_faults += 1;
+                        orphaned_total += failed.orphaned.len();
+                        pending_orphaned += failed.orphaned.len();
+                        lost_total += lost;
+                        pending_lost += lost;
+                        if tracer.enabled() {
+                            tracer.emit(
+                                ev.at,
+                                TraceEvent::ProcessorFailed {
+                                    processor: ev.processor.index(),
+                                    fail_stop,
+                                    orphaned: failed.orphaned.len(),
+                                    lost,
+                                },
+                            );
+                            for (task, _) in &failed.orphaned {
+                                tracer.emit(
+                                    ev.at,
+                                    TraceEvent::TaskOrphaned {
+                                        task: task.id().as_u64(),
+                                        processor: ev.processor.index(),
+                                    },
+                                );
+                            }
+                            if let Some((task, _)) = &failed.lost {
+                                tracer.emit(
+                                    ev.at,
+                                    TraceEvent::TaskLost {
+                                        task: task.id().as_u64(),
+                                        processor: ev.processor.index(),
+                                    },
+                                );
+                            }
+                        }
+                        for (task, _) in failed.orphaned {
+                            batch.push(task);
+                        }
+                    }
+                    FaultKind::Up => {
+                        machine.recover(ev.processor, ev.at);
+                        if tracer.enabled() {
+                            tracer.emit(
+                                ev.at,
+                                TraceEvent::ProcessorRecovered {
+                                    processor: ev.processor.index(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+
             // Ingest everything that has arrived by `now`.
             while cursor < tasks.len() && tasks[cursor].arrival() <= now {
                 batch.push(tasks[cursor].clone());
                 cursor += 1;
             }
             if batch.is_empty() {
-                if cursor >= tasks.len() {
-                    break;
-                }
-                // Idle until the next arrival.
-                now = tasks[cursor].arrival();
+                // Idle until something changes the problem: the next arrival
+                // or a pending fault event that can still touch queued or
+                // running work (an event past every worker's busy horizon
+                // can neither orphan nor lose anything, and with no arrivals
+                // left a recovery is moot too).
+                let next_arrival = tasks.get(cursor).map(|t| t.arrival());
+                let busy_horizon = machine
+                    .iter_workers()
+                    .map(|w| w.busy_until())
+                    .max()
+                    .unwrap_or(Time::ZERO);
+                let next_fault = plan
+                    .events
+                    .get(plan_cursor)
+                    .map(|e| e.at)
+                    .filter(|&f| f < busy_horizon);
+                now = match (next_arrival, next_fault) {
+                    (Some(a), Some(f)) => a.min(f),
+                    (Some(a), None) => a,
+                    (None, Some(f)) => f,
+                    (None, None) => break,
+                };
                 continue;
             }
 
@@ -217,9 +361,11 @@ impl Driver {
             }
             let mut meter = SchedulingMeter::new(cfg.host, quantum);
             let exec_bound = started + quantum;
+            // Down workers report `UNAVAILABLE` here, so the feasibility
+            // test screens them out of every placement.
             let initial_finish: Vec<Time> = machine
                 .iter_workers()
-                .map(|w| w.busy_until().max(exec_bound))
+                .map(|w| w.available_from(exec_bound))
                 .collect();
 
             let outcome = cfg.algorithm.schedule_phase(
@@ -245,13 +391,42 @@ impl Driver {
                     processor: a.processor,
                 })
                 .collect();
-            let scheduled_ids: HashSet<TaskId> = dispatches.iter().map(|d| d.task.id()).collect();
-            let scheduled = dispatches.len();
-            let processing_times: Vec<Duration> = dispatches
-                .iter()
-                .map(|d| d.task.processing_time())
-                .collect();
-            let records = machine.deliver(dispatches, ended);
+            let planned = dispatches.len();
+
+            // Communication spikes: while a window covers the delivery
+            // instant, the schedule message pays `spike_delay` extra latency
+            // and each dispatch is lost with probability `spike_loss`. A
+            // lost dispatch never leaves the host — the task stays in the
+            // batch and re-enters the next phase as an orphan.
+            let in_spike = plan.in_spike(ended);
+            let delivery_at = if in_spike {
+                ended + plan.spike_delay
+            } else {
+                ended
+            };
+            let mut delivered: Vec<Dispatch> = Vec::with_capacity(dispatches.len());
+            for d in dispatches {
+                if in_spike && plan.spike_loss > 0.0 && loss_rng.bernoulli(plan.spike_loss) {
+                    orphaned_total += 1;
+                    pending_orphaned += 1;
+                    if tracer.enabled() {
+                        tracer.emit(
+                            ended,
+                            TraceEvent::TaskOrphaned {
+                                task: d.task.id().as_u64(),
+                                processor: d.processor.index(),
+                            },
+                        );
+                    }
+                } else {
+                    delivered.push(d);
+                }
+            }
+            let scheduled_ids: HashSet<TaskId> = delivered.iter().map(|d| d.task.id()).collect();
+            let scheduled = delivered.len();
+            let processing_times: Vec<Duration> =
+                delivered.iter().map(|d| d.task.processing_time()).collect();
+            let records = machine.deliver(delivered, delivery_at);
             batch.remove_scheduled(&scheduled_ids);
             // Tasks whose deadline lapsed *while* the phase was computing:
             // they stay in the batch (and are dropped — and counted — at the
@@ -338,7 +513,13 @@ impl Driver {
                 scheduled,
                 processors_used: outcome.processors_used(),
                 termination: outcome.termination,
+                orphaned: pending_orphaned,
+                lost_in_flight: pending_lost,
+                faults: pending_faults,
             });
+            pending_orphaned = 0;
+            pending_lost = 0;
+            pending_faults = 0;
 
             batch = batch.into_next(Vec::new());
             now = ended;
@@ -355,7 +536,14 @@ impl Driver {
             // and will be dropped at the next phase start) must not anchor
             // the jump, or the target lands at or before `now` and the
             // driver grinds through a no-op phase instead of skipping ahead.
-            if scheduled == 0 {
+            //
+            // Under fault injection the gate is `planned == 0`, not
+            // `scheduled == 0`: a phase whose dispatches were all lost to a
+            // spike consumed loss draws, so the repeated problem is not
+            // identical. And a jump must never cross a pending fault event —
+            // a failure or recovery changes the processor set, which changes
+            // the search's outcome.
+            if planned == 0 {
                 let next_arrival = tasks.get(cursor).map(|t| t.arrival());
                 let next_expiry = batch
                     .iter()
@@ -369,8 +557,24 @@ impl Driver {
                     (None, None) => None,
                 };
                 if let Some(target) = jump {
+                    let target = plan
+                        .events
+                        .get(plan_cursor)
+                        .map_or(target, |e| target.min(e.at));
                     now = now.max(target);
                 }
+            }
+        }
+
+        // Fault fallout observed after the last phase boundary (e.g. an
+        // in-flight loss on an otherwise-empty machine) has no next phase to
+        // report it; fold it into the final record so per-phase tallies sum
+        // to the run totals.
+        if pending_orphaned + pending_lost + pending_faults > 0 {
+            if let Some(last) = phases.last_mut() {
+                last.orphaned += pending_orphaned;
+                last.lost_in_flight += pending_lost;
+                last.faults += pending_faults;
             }
         }
 
@@ -393,6 +597,9 @@ impl Driver {
             workers_used: machine.workers_used(),
             worker_busy: machine.iter_workers().map(|w| w.busy_time()).collect(),
             finished_at,
+            orphaned: orphaned_total,
+            lost_in_flight: lost_total,
+            faults_seen,
         }
     }
 }
@@ -611,5 +818,218 @@ mod tests {
             .run_traced(tasks.clone(), &mut Tracer::disabled());
         let b = Driver::new(DriverConfig::new(2, Algorithm::rt_sads())).run(tasks);
         assert_eq!(a.completions, b.completions);
+    }
+
+    // ---- fault injection ----
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan, InFlightPolicy};
+
+    fn down(at_ms: u64, p: usize, fail_stop: bool) -> FaultEvent {
+        FaultEvent {
+            at: Time::from_millis(at_ms),
+            processor: ProcessorId::new(p),
+            kind: FaultKind::Down { fail_stop },
+        }
+    }
+
+    fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            events,
+            ..FaultPlan::empty()
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_fault_support() {
+        let tasks: Vec<Task> = (0..30).map(|i| mk_task(i, 2, i % 5, 80, 3)).collect();
+        let base =
+            Driver::new(DriverConfig::new(3, Algorithm::rt_sads()).seed(7)).run(tasks.clone());
+        let explicit = Driver::new(
+            DriverConfig::new(3, Algorithm::rt_sads())
+                .seed(7)
+                .fault_plan(FaultPlan::empty()),
+        )
+        .run(tasks.clone());
+        let disabled = Driver::new(
+            DriverConfig::new(3, Algorithm::rt_sads())
+                .seed(7)
+                .faults(crate::faults::FaultConfig::disabled()),
+        )
+        .run(tasks);
+        for other in [&explicit, &disabled] {
+            assert_eq!(base.completions, other.completions);
+            assert_eq!(base.phases, other.phases);
+            assert_eq!(base.hits, other.hits);
+            assert_eq!(other.faults_seen, 0);
+            assert_eq!(other.orphaned, 0);
+            assert_eq!(other.lost_in_flight, 0);
+        }
+    }
+
+    #[test]
+    fn fail_stop_orphans_queued_work_onto_the_survivor() {
+        // 20 generous tasks on 2 workers; P0 dies at 10ms. Work queued on
+        // P0 must migrate to P1 and still finish; nothing completes on P0
+        // after the failure instant.
+        let tasks: Vec<Task> = (0..20).map(|i| mk_task(i, 5, 0, 400, 2)).collect();
+        let config =
+            DriverConfig::new(2, Algorithm::rt_sads()).fault_plan(plan(vec![down(10, 0, true)]));
+        let report = Driver::new(config).run(tasks);
+        assert!(report.is_consistent());
+        assert_eq!(report.faults_seen, 1);
+        assert!(report.orphaned > 0, "P0's queue must orphan");
+        assert_eq!(report.dropped, 0, "deadlines are generous");
+        assert_eq!(
+            report.hits + report.executed_misses + report.lost_in_flight,
+            20
+        );
+        let fail_at = Time::from_millis(10);
+        for c in &report.completions {
+            if c.processor == ProcessorId::new(0) {
+                assert!(c.completion <= fail_at, "no completion on a dead P0");
+            }
+        }
+        assert_eq!(report.total_phase_orphaned(), report.orphaned);
+    }
+
+    #[test]
+    fn losing_the_only_worker_drops_the_orphans() {
+        let tasks: Vec<Task> = (0..3).map(|i| mk_task(i, 5, 0, 100, 1)).collect();
+        let config = DriverConfig::new(1, Algorithm::rt_sads()).fault_plan(FaultPlan {
+            events: vec![FaultEvent {
+                at: Time::from_micros(1),
+                processor: ProcessorId::new(0),
+                kind: FaultKind::Down { fail_stop: true },
+            }],
+            ..FaultPlan::empty()
+        });
+        let report = Driver::new(config).run(tasks);
+        assert!(report.is_consistent());
+        assert_eq!(report.faults_seen, 1);
+        assert_eq!(report.hits, 0);
+        // The idle-machine quantum is the full slack, so the first phase's
+        // execution bound admits only one dispatch before the failure; it
+        // orphans, and everything ends up dropped.
+        assert!(report.orphaned >= 1, "delivery postdates the failure");
+        assert_eq!(report.dropped, 3, "no processor left to run them");
+        assert_eq!(report.lost_in_flight, 0);
+    }
+
+    #[test]
+    fn in_flight_policy_decides_loss_or_completion() {
+        // One 50ms task; the worker dies at 20ms, mid-execution.
+        let mk = |policy| {
+            let tasks = vec![mk_task(0, 50, 0, 500, 1)];
+            let config = DriverConfig::new(1, Algorithm::rt_sads()).fault_plan(FaultPlan {
+                events: vec![down(20, 0, true)],
+                in_flight: policy,
+                ..FaultPlan::empty()
+            });
+            Driver::new(config).run(tasks)
+        };
+        let lost = mk(InFlightPolicy::Lost);
+        assert!(lost.is_consistent());
+        assert_eq!(lost.lost_in_flight, 1);
+        assert_eq!(lost.hits, 0);
+        assert!(lost.completions.is_empty());
+        let kept = mk(InFlightPolicy::Completes);
+        assert!(kept.is_consistent());
+        assert_eq!(kept.lost_in_flight, 0);
+        assert_eq!(kept.hits, 1);
+    }
+
+    #[test]
+    fn recovery_restores_scheduling_capacity() {
+        // P0 fails at 2ms and recovers at 10ms; a 20ms arrival must still
+        // be scheduled (on the recovered processor — there is no other).
+        let tasks = vec![mk_task(0, 1, 0, 50, 1), mk_task(1, 1, 20, 100, 1)];
+        let config = DriverConfig::new(1, Algorithm::rt_sads()).fault_plan(FaultPlan {
+            events: vec![
+                down(2, 0, false),
+                FaultEvent {
+                    at: Time::from_millis(10),
+                    processor: ProcessorId::new(0),
+                    kind: FaultKind::Up,
+                },
+            ],
+            ..FaultPlan::empty()
+        });
+        let report = Driver::new(config).run(tasks);
+        assert!(report.is_consistent());
+        assert_eq!(report.faults_seen, 1);
+        assert_eq!(report.hits, 2);
+    }
+
+    #[test]
+    fn spike_loss_orphans_dispatches_until_the_window_closes() {
+        use crate::faults::SpikeWindow;
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 2, 0, 300, 2)).collect();
+        let config = DriverConfig::new(2, Algorithm::rt_sads()).fault_plan(FaultPlan {
+            spikes: vec![SpikeWindow {
+                from: Time::ZERO,
+                until: Time::from_micros(200),
+            }],
+            spike_loss: 1.0,
+            ..FaultPlan::empty()
+        });
+        let report = Driver::new(config).run(tasks);
+        assert!(report.is_consistent());
+        assert!(report.orphaned > 0, "dispatches inside the window are lost");
+        assert_eq!(report.hits, 5, "all complete once the window closes");
+        assert_eq!(report.faults_seen, 0, "spikes are not processor faults");
+    }
+
+    #[test]
+    fn spike_delay_defers_delivery() {
+        use crate::faults::SpikeWindow;
+        let tasks = vec![mk_task(0, 2, 0, 300, 1)];
+        let config = DriverConfig::new(1, Algorithm::rt_sads()).fault_plan(FaultPlan {
+            spikes: vec![SpikeWindow {
+                from: Time::ZERO,
+                until: Time::from_millis(10),
+            }],
+            spike_delay: Duration::from_millis(5),
+            ..FaultPlan::empty()
+        });
+        let report = Driver::new(config).run(tasks);
+        assert_eq!(report.hits, 1);
+        assert!(
+            report.completions[0].delivered >= Time::from_millis(5),
+            "delivery pays the spike delay"
+        );
+    }
+
+    #[test]
+    fn traced_fault_run_emits_matching_events() {
+        use paragon_des::trace::{RecordingTracer, TraceEvent};
+        let tasks: Vec<Task> = (0..20).map(|i| mk_task(i, 5, 0, 400, 2)).collect();
+        let config =
+            DriverConfig::new(2, Algorithm::rt_sads()).fault_plan(plan(vec![down(10, 0, true)]));
+        let mut tracer = RecordingTracer::new();
+        let report = Driver::new(config).run_traced(tasks, &mut tracer);
+        let failed = tracer.count_matching(|e| matches!(e, TraceEvent::ProcessorFailed { .. }));
+        assert_eq!(failed, report.faults_seen);
+        let orphans = tracer.count_matching(|e| matches!(e, TraceEvent::TaskOrphaned { .. }));
+        assert_eq!(orphans, report.orphaned);
+        let lost = tracer.count_matching(|e| matches!(e, TraceEvent::TaskLost { .. }));
+        assert_eq!(lost, report.lost_in_flight);
+    }
+
+    #[test]
+    fn sampled_fault_runs_stay_consistent_and_deterministic() {
+        use crate::faults::FaultConfig;
+        let tasks: Vec<Task> = (0..40).map(|i| mk_task(i, 3, i % 11, 120, 4)).collect();
+        let cfg = || {
+            DriverConfig::new(4, Algorithm::rt_sads())
+                .seed(13)
+                .faults(FaultConfig::fail_recover(8.0, Duration::from_millis(20)))
+        };
+        let a = Driver::new(cfg()).run(tasks.clone());
+        let b = Driver::new(cfg()).run(tasks);
+        assert!(a.is_consistent());
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.faults_seen, b.faults_seen);
+        assert_eq!(a.orphaned, b.orphaned);
+        assert_eq!(a.lost_in_flight, b.lost_in_flight);
     }
 }

@@ -65,11 +65,13 @@
 
 mod algorithm;
 mod driver;
+pub mod faults;
 mod myopic;
 mod quantum;
 mod report;
 
 pub use algorithm::Algorithm;
 pub use driver::{Driver, DriverConfig};
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, InFlightPolicy};
 pub use quantum::QuantumPolicy;
 pub use report::{PhaseRecord, RunReport};

@@ -43,10 +43,23 @@ pub struct PhaseRecord {
     pub processors_used: usize,
     /// How the phase's search ended.
     pub termination: Termination,
+    /// Tasks handed back to the host by processor failures or lost dispatch
+    /// messages since the previous phase boundary; they re-enter the next
+    /// batch. A task may orphan more than once, so this is an event count.
+    /// The run's final record also absorbs any fault fallout observed after
+    /// the last phase, so these tallies sum to the run totals.
+    pub orphaned: usize,
+    /// Tasks killed mid-execution by a processor failure since the previous
+    /// phase boundary (the final record also covers post-phase events).
+    /// These are gone for good.
+    pub lost_in_flight: usize,
+    /// Processor failures the host observed since the previous phase
+    /// boundary (the final record also covers post-phase events).
+    pub faults: usize,
 }
 
 /// The outcome of one complete simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// The scheduling algorithm's display name.
     pub algorithm: String,
@@ -58,7 +71,11 @@ pub struct RunReport {
     /// could be scheduled.
     pub dropped: usize,
     /// Tasks that were scheduled yet missed their deadline at execution time
-    /// — the paper's theorem guarantees this is zero.
+    /// — the paper's theorem guarantees this is zero on a fault-free
+    /// platform. Under fault injection the guarantee is conditional: a task
+    /// queued behind a recovery, delayed by a communication spike, or
+    /// re-batched after an orphaning may execute late, so this can be
+    /// positive.
     pub executed_misses: usize,
     /// Every task execution, in delivery order.
     pub completions: Vec<CompletionRecord>,
@@ -70,6 +87,18 @@ pub struct RunReport {
     pub worker_busy: Vec<Duration>,
     /// The instant the last completion finished (or the last phase ended).
     pub finished_at: Time,
+    /// Orphaning events: tasks handed back to the host by failures or lost
+    /// dispatch messages. A task may orphan more than once (dispatch, fail,
+    /// re-dispatch, fail again), so this counts events, not tasks, and is
+    /// *not* part of the [`RunReport::is_consistent`] partition — every
+    /// orphaned task eventually lands in `hits`, `executed_misses`, or
+    /// `dropped`.
+    pub orphaned: usize,
+    /// Tasks killed mid-execution by processor failures — a terminal
+    /// outcome, disjoint from hits/misses/drops.
+    pub lost_in_flight: usize,
+    /// Processor failures applied during the run.
+    pub faults_seen: usize,
 }
 
 impl RunReport {
@@ -222,10 +251,17 @@ impl RunReport {
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         let ratio = self.hit_ratio();
-        self.hits + self.executed_misses + self.dropped == self.total_tasks
+        self.hits + self.executed_misses + self.dropped + self.lost_in_flight == self.total_tasks
             && self.completions.len() == self.hits + self.executed_misses
             && ratio.is_finite()
             && (0.0..=1.0).contains(&ratio)
+    }
+
+    /// Total orphaning events recorded at phase boundaries. Equals
+    /// [`RunReport::orphaned`] when the run ended cleanly.
+    #[must_use]
+    pub fn total_phase_orphaned(&self) -> usize {
+        self.phases.iter().map(|p| p.orphaned).sum()
     }
 }
 
@@ -250,6 +286,9 @@ mod tests {
             scheduled,
             processors_used: procs,
             termination,
+            orphaned: 0,
+            lost_in_flight: 0,
+            faults: 0,
         }
     }
 
@@ -270,6 +309,9 @@ mod tests {
                 Duration::ZERO,
             ],
             finished_at: Time::from_millis(5),
+            orphaned: 0,
+            lost_in_flight: 0,
+            faults_seen: 0,
         }
     }
 
@@ -342,6 +384,27 @@ mod tests {
         let mut idle = r.clone();
         idle.worker_busy = vec![Duration::ZERO; 4];
         assert_eq!(idle.load_imbalance(), None);
+    }
+
+    #[test]
+    fn lost_in_flight_joins_the_accounting_partition() {
+        let mut r = report(vec![]);
+        r.hits = 0;
+        r.dropped = 9;
+        r.lost_in_flight = 1;
+        assert!(r.is_consistent(), "0 + 0 + 9 + 1 == 10");
+        r.lost_in_flight = 2;
+        assert!(!r.is_consistent(), "over-counted partition must fail");
+    }
+
+    #[test]
+    fn phase_orphan_events_aggregate() {
+        let mut a = record(Termination::QuantumExhausted, 2, 2);
+        a.orphaned = 3;
+        let mut b = record(Termination::DeadEnd, 0, 0);
+        b.orphaned = 1;
+        let r = report(vec![a, b]);
+        assert_eq!(r.total_phase_orphaned(), 4);
     }
 
     #[test]

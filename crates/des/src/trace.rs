@@ -104,6 +104,43 @@ pub enum TraceEvent {
         /// The phase during which the deadline expired.
         phase: u64,
     },
+    /// A working processor failed at this instant: queued-but-unstarted
+    /// tasks were orphaned back to the host, and the in-flight task (if
+    /// any) was lost or allowed to finish per the run's in-flight policy.
+    ProcessorFailed {
+        /// The failed processor's index.
+        processor: usize,
+        /// `true` for a permanent (fail-stop) failure, `false` when a
+        /// recovery event will follow.
+        fail_stop: bool,
+        /// Queued tasks handed back to the host for re-batching.
+        orphaned: usize,
+        /// In-flight tasks killed mid-execution (0 or 1).
+        lost: usize,
+    },
+    /// A previously failed processor came back up and is again available
+    /// for placement (it rejoins empty — orphaned work was re-batched).
+    ProcessorRecovered {
+        /// The recovered processor's index.
+        processor: usize,
+    },
+    /// A dispatched-but-unstarted task was handed back to the host (its
+    /// processor failed, or the dispatch message was lost); it re-enters
+    /// the next batch and faces the expiry filter again.
+    TaskOrphaned {
+        /// The task's identifier.
+        task: u64,
+        /// The processor it had been dispatched to.
+        processor: usize,
+    },
+    /// A task that was executing when its processor failed was killed and
+    /// cannot be recovered (the `Lost` in-flight policy).
+    TaskLost {
+        /// The task's identifier.
+        task: u64,
+        /// The processor that failed under it.
+        processor: usize,
+    },
     /// Free-form annotation.
     Note(String),
 }
@@ -162,6 +199,25 @@ impl fmt::Display for TraceEvent {
             TraceEvent::TaskDropped { task } => write!(f, "task {task} dropped (deadline passed)"),
             TraceEvent::TaskExpiredMidPhase { task, phase } => {
                 write!(f, "task {task} expired during phase {phase}")
+            }
+            TraceEvent::ProcessorFailed {
+                processor,
+                fail_stop,
+                orphaned,
+                lost,
+            } => write!(
+                f,
+                "P{processor} failed ({}, orphaned={orphaned} lost={lost})",
+                if *fail_stop { "fail-stop" } else { "transient" }
+            ),
+            TraceEvent::ProcessorRecovered { processor } => {
+                write!(f, "P{processor} recovered")
+            }
+            TraceEvent::TaskOrphaned { task, processor } => {
+                write!(f, "task {task} orphaned back to host from P{processor}")
+            }
+            TraceEvent::TaskLost { task, processor } => {
+                write!(f, "task {task} lost in flight on P{processor}")
             }
             TraceEvent::Note(s) => write!(f, "note: {s}"),
         }
@@ -311,6 +367,21 @@ mod tests {
             },
             TraceEvent::TaskDropped { task: 5 },
             TraceEvent::TaskExpiredMidPhase { task: 6, phase: 2 },
+            TraceEvent::ProcessorFailed {
+                processor: 1,
+                fail_stop: false,
+                orphaned: 3,
+                lost: 1,
+            },
+            TraceEvent::ProcessorRecovered { processor: 1 },
+            TraceEvent::TaskOrphaned {
+                task: 7,
+                processor: 1,
+            },
+            TraceEvent::TaskLost {
+                task: 8,
+                processor: 1,
+            },
             TraceEvent::Note("hi".into()),
         ]
     }

@@ -20,6 +20,14 @@ pub struct ExperimentConfig {
     /// rate, slack factor) on top.
     #[serde(default)]
     pub base: Option<Scenario>,
+    /// Processor failure rates (failures/processor/second) the `ext-faults`
+    /// experiment sweeps (`--fault-rate`). Empty means the default sweep.
+    #[serde(default)]
+    pub fault_rates: Vec<f64>,
+    /// Mean time to repair in milliseconds for `ext-faults` (`--mttr`).
+    /// Zero means fail-stop: failed processors never return.
+    #[serde(default)]
+    pub mttr_ms: u64,
 }
 
 impl ExperimentConfig {
@@ -31,6 +39,8 @@ impl ExperimentConfig {
             transactions: 1_000,
             seed_base: 1_998, // the venue year; any constant works
             base: None,
+            fault_rates: Vec::new(),
+            mttr_ms: 0,
         }
     }
 
@@ -43,7 +53,26 @@ impl ExperimentConfig {
             transactions: 200,
             seed_base: 1_998,
             base: None,
+            fault_rates: Vec::new(),
+            mttr_ms: 0,
         }
+    }
+
+    /// The failure-rate sweep `ext-faults` runs: the configured list, or a
+    /// default covering fault-free through heavily degraded.
+    #[must_use]
+    pub fn fault_rate_sweep(&self) -> Vec<f64> {
+        if self.fault_rates.is_empty() {
+            vec![0.0, 2.0, 4.0, 8.0, 16.0]
+        } else {
+            self.fault_rates.clone()
+        }
+    }
+
+    /// The configured repair time, `None` for fail-stop.
+    #[must_use]
+    pub fn mttr(&self) -> Option<Duration> {
+        (self.mttr_ms > 0).then(|| Duration::from_millis(self.mttr_ms))
     }
 
     /// The base scenario all experiments derive from: the `--scenario`
@@ -128,6 +157,18 @@ mod tests {
         assert!(ExperimentConfig::quick()
             .with_scenario_json("not json")
             .is_err());
+    }
+
+    #[test]
+    fn fault_sweep_defaults_and_overrides() {
+        let c = ExperimentConfig::quick();
+        assert_eq!(c.fault_rate_sweep(), vec![0.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(c.mttr(), None, "zero mttr means fail-stop");
+        let mut c = c;
+        c.fault_rates = vec![1.5];
+        c.mttr_ms = 250;
+        assert_eq!(c.fault_rate_sweep(), vec![1.5]);
+        assert_eq!(c.mttr(), Some(Duration::from_millis(250)));
     }
 
     #[test]

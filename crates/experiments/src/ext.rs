@@ -388,7 +388,7 @@ pub fn pruning(config: &ExperimentConfig) -> FigureOutput {
                 depth_bound: None,
                 backtrack_limit: limit,
             });
-            let p = point(config, workers, 0.3, 1.0, driver);
+            let p = point(config, workers, 0.3, 2.0, driver);
             s.push(x, p.mean_hit_ratio());
         }
         series.push(s);
@@ -560,6 +560,68 @@ pub fn resources(config: &ExperimentConfig) -> FigureOutput {
     }
 }
 
+/// **Ext. K (faults)** — graceful degradation under fault injection: hit
+/// ratio as the per-processor failure rate rises, for RT-SADS and D-COLS
+/// at P=10. With `mttr_ms == 0` failures are fail-stop; otherwise
+/// processors recover after an exponential repair time. Also reports the
+/// fault-accounting tallies (orphaned, lost in flight) per rate.
+#[must_use]
+pub fn faults(config: &ExperimentConfig) -> FigureOutput {
+    use rtsads::FaultConfig;
+
+    let workers = 10;
+    let rates = config.fault_rate_sweep();
+    let mttr = config.mttr();
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for alg in [Algorithm::rt_sads(), Algorithm::d_cols()] {
+        let mut s = Series::new(alg.name());
+        let mut tallies = Vec::new();
+        for &rate in &rates {
+            let fc = match mttr {
+                _ if rate <= 0.0 => FaultConfig::disabled(),
+                None => FaultConfig::fail_stop(rate),
+                Some(m) => FaultConfig::fail_recover(rate, m),
+            };
+            let driver = default_driver(workers, alg.clone()).faults(fc);
+            let p = point(config, workers, 0.3, 2.0, driver);
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            tallies.push(format!(
+                "rate {rate}: orphaned {:.1}, lost {:.1}, faults {:.1}",
+                mean(&p.orphaned),
+                mean(&p.lost_in_flight),
+                mean(&p.faults_seen)
+            ));
+            s.push(rate, p.mean_hit_ratio());
+        }
+        notes.push(format!("{}: {}", alg.name(), tallies.join("; ")));
+        series.push(s);
+    }
+    for s in &series {
+        let first = s.points().first().map(|&(_, y)| y).unwrap_or(0.0);
+        let last = s.points().last().map(|&(_, y)| y).unwrap_or(0.0);
+        notes.push(format!(
+            "{}: hit ratio {first:.4} fault-free -> {last:.4} at the highest rate \
+             ({} degradation)",
+            s.label(),
+            if last <= first {
+                "graceful"
+            } else {
+                "NON-MONOTONE"
+            }
+        ));
+    }
+    FigureOutput {
+        id: "ext-faults",
+        table: Table::new(
+            "Ext. K: hit ratio vs processor failure rate (P=10, R=30%, SF=2)",
+            "failures/proc/s",
+            series,
+        ),
+        notes,
+    }
+}
+
 fn mean_y(s: &Series) -> f64 {
     let pts = s.points();
     pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64
@@ -575,6 +637,8 @@ mod tests {
             transactions: 40,
             seed_base: 3,
             base: None,
+            fault_rates: Vec::new(),
+            mttr_ms: 0,
         }
     }
 
@@ -600,6 +664,18 @@ mod tests {
         let o = overhead(&tiny());
         assert_eq!(o.table.series().len(), 2);
         assert!(o.notes.iter().all(|n| n.contains("vertices")));
+    }
+
+    #[test]
+    fn faults_figure_structure() {
+        let mut cfg = tiny();
+        cfg.fault_rates = vec![0.0, 4.0];
+        cfg.mttr_ms = 100;
+        let fig = faults(&cfg);
+        assert_eq!(fig.id, "ext-faults");
+        assert_eq!(fig.table.series().len(), 2);
+        assert_eq!(fig.table.xs(), &[0.0, 4.0]);
+        assert!(fig.notes.iter().any(|n| n.contains("orphaned")));
     }
 
     #[test]

@@ -99,6 +99,8 @@ mod tests {
             transactions: 60,
             seed_base: 11,
             base: None,
+            fault_rates: Vec::new(),
+            mttr_ms: 0,
         };
         let fig = run(&config);
         assert_eq!(fig.id, "fig6");

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! experiments [all|fig5|fig6|ext-laxity|ext-quantum|ext-cost|ext-overhead|
-//!              ext-deadends|ext-baselines|ext-openload|ext-pruning]
+//!              ext-deadends|ext-baselines|ext-openload|ext-pruning|
+//!              ext-mesh|ext-resources|ext-faults]
 //!             [--quick] [--runs N] [--txns N] [--out DIR]
+//!             [--fault-rate R1,R2,...] [--mttr MS]
 //!             [--scenario FILE.json] [--dump-scenario FILE.json]
 //!             [--trace-out FILE.jsonl] [--metrics-out FILE.json]
 //!             [--perfetto-out FILE.trace.json]
@@ -36,7 +38,7 @@ struct Cli {
     perfetto_out: Option<PathBuf>,
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "fig5",
     "fig6",
     "ext-laxity",
@@ -49,6 +51,7 @@ const ALL: [&str; 12] = [
     "ext-pruning",
     "ext-mesh",
     "ext-resources",
+    "ext-faults",
 ];
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -77,6 +80,31 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("--txns: {e}"))?;
             }
             "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--fault-rate" => {
+                let list = it.next().ok_or("--fault-rate needs a value")?;
+                config.fault_rates = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("--fault-rate '{s}': {e}"))
+                            .and_then(|r| {
+                                if r.is_finite() && r >= 0.0 {
+                                    Ok(r)
+                                } else {
+                                    Err(format!("--fault-rate '{s}': must be >= 0"))
+                                }
+                            })
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+            }
+            "--mttr" => {
+                config.mttr_ms = it
+                    .next()
+                    .ok_or("--mttr needs a value (milliseconds)")?
+                    .parse()
+                    .map_err(|e| format!("--mttr: {e}"))?;
+            }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?));
             }
@@ -181,6 +209,7 @@ fn run_one(name: &str, config: &ExperimentConfig) -> FigureOutput {
         "ext-pruning" => ext::pruning(config),
         "ext-mesh" => ext::mesh(config),
         "ext-resources" => ext::resources(config),
+        "ext-faults" => ext::faults(config),
         other => unreachable!("unvalidated experiment name {other}"),
     }
 }
@@ -193,6 +222,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: experiments [{}|all] [--quick] [--runs N] [--txns N] [--out DIR] \
+                 [--fault-rate R1,R2,...] [--mttr MS] \
                  [--scenario FILE.json] [--dump-scenario FILE.json] [--trace-out FILE.jsonl] \
                  [--metrics-out FILE.json] [--perfetto-out FILE.trace.json]",
                 ALL.join("|")

@@ -25,8 +25,15 @@ pub struct PointResult {
     pub dead_ends: Vec<f64>,
     /// Per-run mean processors used per delivering phase.
     pub procs_used: Vec<f64>,
-    /// Per-run scheduled-but-missed counts (the theorem says all zeros).
+    /// Per-run scheduled-but-missed counts (the theorem says all zeros on a
+    /// fault-free platform; fault injection may make these positive).
     pub executed_misses: Vec<f64>,
+    /// Per-run orphaning events (tasks handed back to the host by faults).
+    pub orphaned: Vec<f64>,
+    /// Per-run tasks killed mid-execution by processor failures.
+    pub lost_in_flight: Vec<f64>,
+    /// Per-run processor failures applied.
+    pub faults_seen: Vec<f64>,
 }
 
 impl PointResult {
@@ -48,16 +55,38 @@ impl PointResult {
                 .map(|r| r.mean_processors_used().unwrap_or(0.0))
                 .collect(),
             executed_misses: reports.iter().map(|r| r.executed_misses as f64).collect(),
+            orphaned: reports.iter().map(|r| r.orphaned as f64).collect(),
+            lost_in_flight: reports.iter().map(|r| r.lost_in_flight as f64).collect(),
+            faults_seen: reports.iter().map(|r| r.faults_seen as f64).collect(),
         }
     }
 
+    /// Whether the point holds no replications (`run_point` with `runs == 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hit_ratios.is_empty()
+    }
+
     /// Summary of the hit ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message on an empty point — previously this
+    /// surfaced as an inscrutable `Summary::from_slice` assertion.
     #[must_use]
     pub fn hit_summary(&self) -> Summary {
+        assert!(
+            !self.is_empty(),
+            "cannot summarize a point with zero replications (runs == 0)"
+        );
         Summary::from_slice(&self.hit_ratios)
     }
 
     /// Mean hit ratio — the quantity the paper plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty point, like [`PointResult::hit_summary`].
     #[must_use]
     pub fn mean_hit_ratio(&self) -> f64 {
         self.hit_summary().mean()
@@ -74,6 +103,11 @@ pub fn run_point(
     runs: usize,
     seed_base: u64,
 ) -> PointResult {
+    if runs == 0 {
+        // Nothing to replicate: return an empty (but well-formed) point
+        // instead of spawning a worker that panics summarizing no samples.
+        return PointResult::from_reports(&[]);
+    }
     let jobs: VecDeque<u64> = (0..runs as u64).map(|r| seed_base + r).collect();
     let queue = Mutex::new(jobs);
     let results: Mutex<Vec<(u64, RunReport)>> = Mutex::new(Vec::with_capacity(runs));
@@ -196,6 +230,28 @@ mod tests {
         let s = p.hit_summary();
         assert_eq!(s.n(), 4);
         assert!((p.mean_hit_ratio() - s.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_runs_returns_an_empty_point_without_panicking() {
+        let scenario = Scenario::small().transactions(10);
+        let driver = DriverConfig::new(2, Algorithm::rt_sads())
+            .comm(comm_model())
+            .host(host_params());
+        let p = run_point(&scenario, &driver, 0, 1);
+        assert!(p.is_empty());
+        assert!(p.hit_ratios.is_empty());
+        assert!(p.faults_seen.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replications")]
+    fn summarizing_an_empty_point_panics_clearly() {
+        let scenario = Scenario::small().transactions(10);
+        let driver = DriverConfig::new(2, Algorithm::rt_sads())
+            .comm(comm_model())
+            .host(host_params());
+        let _ = run_point(&scenario, &driver, 0, 1).hit_summary();
     }
 
     #[test]

@@ -52,4 +52,4 @@ mod worker;
 pub use host::{HostParams, SchedulingMeter};
 pub use machine::{CompletionRecord, Dispatch, Machine, MachineConfig};
 pub use placement::{DataObjectId, Placement};
-pub use worker::Worker;
+pub use worker::{FailedWork, Worker, UNAVAILABLE};

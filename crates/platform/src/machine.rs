@@ -4,7 +4,7 @@ use paragon_des::{Duration, Time};
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task, TaskId};
 use serde::{Deserialize, Serialize};
 
-use crate::worker::Worker;
+use crate::worker::{FailedWork, Worker};
 
 /// Static machine parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,7 +119,7 @@ impl Machine {
             let service = self.config.comm.demand(&task, processor);
             // a task may not start before its resources are available
             let ready = at.max(self.resources.earliest_start(task.resources()));
-            let start = self.workers[processor.index()].admit(ready, service);
+            let start = self.workers[processor.index()].admit(&task, ready, service);
             let completion = start + service;
             self.resources.commit(task.resources(), completion);
             let record = CompletionRecord {
@@ -136,6 +136,61 @@ impl Machine {
             new_records.push(record);
         }
         new_records
+    }
+
+    /// Marks processor `p` down at instant `at`. Queued-but-unstarted work
+    /// is orphaned back to the caller; the in-flight task (if any) either
+    /// finishes (`keep_in_flight`) or is lost. The eagerly computed
+    /// [`CompletionRecord`]s of every retracted slot are removed from
+    /// [`Machine::completions`].
+    ///
+    /// Resource commits made for retracted work are *not* rolled back: a
+    /// held resource-available time can only be conservative (later than
+    /// necessary), which delays future tasks but never breaks the deadline
+    /// guarantee for work that is re-scheduled.
+    ///
+    /// `at` may precede earlier deliveries' instants — the host discovers
+    /// failures at phase boundaries — and the partition around `at` is
+    /// still exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or already down.
+    pub fn fail(&mut self, p: ProcessorId, at: Time, keep_in_flight: bool) -> FailedWork {
+        let failed = self.workers[p.index()].fail(at, keep_in_flight);
+        let mut retract: Vec<(TaskId, Time)> = failed
+            .orphaned
+            .iter()
+            .map(|(t, start)| (t.id(), *start))
+            .collect();
+        if let Some((t, start)) = &failed.lost {
+            retract.push((t.id(), *start));
+        }
+        if !retract.is_empty() {
+            self.completions
+                .retain(|r| !(r.processor == p && retract.contains(&(r.task, r.start))));
+        }
+        failed
+    }
+
+    /// Brings a down processor back up at instant `at` (see
+    /// [`Worker::recover`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or not down.
+    pub fn recover(&mut self, p: ProcessorId, at: Time) {
+        self.workers[p.index()].recover(at);
+    }
+
+    /// Whether processor `p` is currently down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn is_down(&self, p: ProcessorId) -> bool {
+        self.workers[p.index()].is_down()
     }
 
     /// The machine's resource earliest-available times (what the next
@@ -157,15 +212,19 @@ impl Machine {
         self.workers.iter().map(|w| w.load(now)).collect()
     }
 
-    /// `Min_Load` (Figure 3): the minimum waiting time among working
-    /// processors at `now`.
+    /// `Min_Load` (Figure 3): the minimum waiting time among *available*
+    /// working processors at `now`. Down processors are excluded — they are
+    /// not candidates for placement, so their (unbounded) wait must not
+    /// inflate the quantum. With every processor down this degenerates to
+    /// zero, leaving the quantum at `Min_Slack`.
     #[must_use]
     pub fn min_load(&self, now: Time) -> Duration {
         self.workers
             .iter()
+            .filter(|w| !w.is_down())
             .map(|w| w.load(now))
             .min()
-            .expect("machine has at least one worker")
+            .unwrap_or(Duration::ZERO)
     }
 
     /// The instant every worker has drained its queue.
@@ -388,6 +447,95 @@ mod tests {
         // shared readers run concurrently
         assert_eq!(recs[0].start, Time::ZERO);
         assert_eq!(recs[1].start, Time::ZERO);
+    }
+
+    #[test]
+    fn fail_retracts_records_and_orphans_queued_work() {
+        let mut m = machine(2, 0);
+        m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 2_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(1, 2_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(2, 2_000, 100_000, &[1]),
+                    processor: ProcessorId::new(1),
+                },
+            ],
+            Time::ZERO,
+        );
+        assert_eq!(m.completions().len(), 3);
+        // P0 dies at 1ms: task 0 in flight (lost), task 1 unstarted (orphan)
+        let failed = m.fail(ProcessorId::new(0), Time::from_micros(1_000), false);
+        assert_eq!(failed.orphaned.len(), 1);
+        assert_eq!(failed.orphaned[0].0.id(), TaskId::new(1));
+        assert_eq!(failed.lost.as_ref().unwrap().0.id(), TaskId::new(0));
+        assert!(m.is_down(ProcessorId::new(0)));
+        // only the unaffected P1 record survives
+        assert_eq!(m.completions().len(), 1);
+        assert_eq!(m.completions()[0].task, TaskId::new(2));
+        assert_eq!(m.workers_used(), 1);
+        m.recover(ProcessorId::new(0), Time::from_micros(5_000));
+        assert!(!m.is_down(ProcessorId::new(0)));
+        // recovered worker accepts work again, not before the recovery
+        let recs = m.deliver(
+            vec![Dispatch {
+                task: task(3, 1_000, 100_000, &[0]),
+                processor: ProcessorId::new(0),
+            }],
+            Time::from_micros(2_000),
+        );
+        assert_eq!(recs[0].start, Time::from_micros(5_000));
+    }
+
+    #[test]
+    fn min_load_skips_down_processors() {
+        let mut m = machine(2, 0);
+        m.deliver(
+            vec![Dispatch {
+                task: task(0, 5_000, 100_000, &[1]),
+                processor: ProcessorId::new(1),
+            }],
+            Time::ZERO,
+        );
+        // P0 idle -> min load zero; once P0 is down, P1's backlog is the min
+        assert_eq!(m.min_load(Time::ZERO), Duration::ZERO);
+        let _ = m.fail(ProcessorId::new(0), Time::ZERO, false);
+        assert_eq!(m.min_load(Time::ZERO), Duration::from_micros(5_000));
+        let _ = m.fail(ProcessorId::new(1), Time::from_micros(1), false);
+        assert_eq!(
+            m.min_load(Time::ZERO),
+            Duration::ZERO,
+            "all-down degenerates to zero"
+        );
+    }
+
+    #[test]
+    fn fail_with_kept_in_flight_preserves_its_record() {
+        let mut m = machine(1, 0);
+        m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 4_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+                Dispatch {
+                    task: task(1, 4_000, 100_000, &[0]),
+                    processor: ProcessorId::new(0),
+                },
+            ],
+            Time::ZERO,
+        );
+        let failed = m.fail(ProcessorId::new(0), Time::from_micros(1_000), true);
+        assert!(failed.lost.is_none());
+        assert_eq!(failed.orphaned.len(), 1);
+        assert_eq!(m.completions().len(), 1);
+        assert_eq!(m.completions()[0].task, TaskId::new(0));
     }
 
     #[test]

@@ -111,6 +111,12 @@ impl Summary {
     /// Panics unless `0 < confidence < 1`.
     #[must_use]
     pub fn confidence_interval(&self, confidence: f64) -> (f64, f64) {
+        // Validate before the singleton early-return, so a bogus level is
+        // rejected regardless of sample size.
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence level must lie in (0, 1), got {confidence}"
+        );
         if self.n < 2 {
             return (self.mean, self.mean);
         }
@@ -141,6 +147,22 @@ mod tests {
         assert_eq!(s.mean(), 7.5);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.confidence_interval(0.99), (7.5, 7.5));
+    }
+
+    #[test]
+    fn singleton_interval_degenerates_at_every_level() {
+        let s = Summary::from_slice(&[3.25]);
+        for conf in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            assert_eq!(s.confidence_interval(conf), (3.25, 3.25), "conf {conf}");
+        }
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn bogus_confidence_rejected_even_for_singletons() {
+        let _ = Summary::from_slice(&[1.0]).confidence_interval(1.0);
     }
 
     #[test]

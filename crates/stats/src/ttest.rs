@@ -94,6 +94,22 @@ mod tests {
     use super::*;
 
     #[test]
+    fn singleton_samples_fall_back_to_deterministic_comparison() {
+        let same = welch_t_test(&[1.0], &[1.0]);
+        assert_eq!(same.p_value, 1.0);
+        assert_eq!(same.t, 0.0);
+        let diff = welch_t_test(&[2.0], &[1.0]);
+        assert_eq!(diff.p_value, 0.0);
+        assert!(diff.t.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn singleton_against_varying_sample_panics_clearly() {
+        let _ = welch_t_test(&[1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn identical_samples_not_significant() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let r = welch_t_test(&a, &a);

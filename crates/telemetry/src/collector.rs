@@ -22,7 +22,21 @@
 //! | `task.deadline_hits` / `task.deadline_misses` | counter | outcome split |
 //! | `task.dropped_at_phase_start` | counter | expiry-filtered at `t_s` |
 //! | `task.expired_mid_phase` | counter | deadline lapsed during a phase |
+//! | `fault.processor_failures` | counter | processor down events |
+//! | `fault.processor_recoveries` | counter | processor up events |
+//! | `fault.orphaned_per_failure` | histogram | queued tasks orphaned by one failure |
+//! | `task.orphaned` | counter | tasks handed back to the host |
+//! | `task.lost_in_flight` | counter | tasks killed mid-execution |
 //! | `sim.finished_at_us` | gauge | largest event timestamp seen |
+//!
+//! A retroactively applied failure retracts completions whose
+//! `TaskCompleted` events were already emitted at delivery time, so under
+//! fault injection the lifecycle counters (`task.completed`,
+//! `task.deadline_hits`, …) count *executions*, including ones later
+//! undone; the per-task fault counters say how many were. Per-failure
+//! aggregates come from `ProcessorFailed` itself; the per-task counters
+//! come from the individual `TaskOrphaned`/`TaskLost` events, so nothing
+//! is double-counted.
 
 use paragon_des::trace::{TraceEvent, TraceSink};
 use paragon_des::Time;
@@ -126,6 +140,19 @@ impl TraceSink for MetricsCollector {
             TraceEvent::TaskExpiredMidPhase { .. } => {
                 r.inc("task.expired_mid_phase", 1);
             }
+            TraceEvent::ProcessorFailed { orphaned, .. } => {
+                r.inc("fault.processor_failures", 1);
+                r.record("fault.orphaned_per_failure", as_sample(orphaned as u64));
+            }
+            TraceEvent::ProcessorRecovered { .. } => {
+                r.inc("fault.processor_recoveries", 1);
+            }
+            TraceEvent::TaskOrphaned { .. } => {
+                r.inc("task.orphaned", 1);
+            }
+            TraceEvent::TaskLost { .. } => {
+                r.inc("task.lost_in_flight", 1);
+            }
             TraceEvent::Note(_) => {
                 r.inc("note.count", 1);
             }
@@ -198,8 +225,51 @@ mod tests {
             Time::from_micros(150),
             TraceEvent::TaskExpiredMidPhase { task: 3, phase: 0 },
         );
+        c.emit(
+            Time::from_micros(160),
+            TraceEvent::ProcessorFailed {
+                processor: 0,
+                fail_stop: false,
+                orphaned: 2,
+                lost: 1,
+            },
+        );
+        c.emit(
+            Time::from_micros(160),
+            TraceEvent::TaskOrphaned {
+                task: 4,
+                processor: 0,
+            },
+        );
+        c.emit(
+            Time::from_micros(160),
+            TraceEvent::TaskOrphaned {
+                task: 5,
+                processor: 0,
+            },
+        );
+        c.emit(
+            Time::from_micros(160),
+            TraceEvent::TaskLost {
+                task: 6,
+                processor: 0,
+            },
+        );
+        c.emit(
+            Time::from_micros(200),
+            TraceEvent::ProcessorRecovered { processor: 0 },
+        );
 
         let r = c.registry();
+        assert_eq!(r.counter("fault.processor_failures"), 1);
+        assert_eq!(r.counter("fault.processor_recoveries"), 1);
+        assert_eq!(r.counter("task.orphaned"), 2);
+        assert_eq!(r.counter("task.lost_in_flight"), 1);
+        assert_eq!(
+            r.histogram("fault.orphaned_per_failure").unwrap().p50(),
+            Some(2)
+        );
+        assert_eq!(r.gauge("sim.finished_at_us"), Some(200.0));
         assert_eq!(r.counter("phase.count"), 1);
         assert_eq!(r.counter("task.started"), 1);
         assert_eq!(r.counter("task.completed"), 1);
@@ -214,7 +284,6 @@ mod tests {
         );
         assert_eq!(r.histogram("task.lateness_us").unwrap().p50(), Some(-10));
         assert_eq!(r.histogram("comm.delay_us").unwrap().count(), 1);
-        assert_eq!(r.gauge("sim.finished_at_us"), Some(150.0));
         let snap = c.into_registry().snapshot();
         assert!(snap.histograms.contains_key("phase.consumed_us"));
     }

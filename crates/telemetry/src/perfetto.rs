@@ -9,7 +9,10 @@
 //!   expiries appear as instant events.
 //! * tid `k + 1` — one track per processor `P_k`: one span per task
 //!   execution (start to completion), with slack, lateness and the
-//!   communication delay in `args`.
+//!   communication delay in `args`; under fault injection each outage is a
+//!   `"down"` span from `ProcessorFailed` to `ProcessorRecovered` (or to
+//!   the end of the trace for a fail-stop), and orphaned/lost tasks appear
+//!   as instant events on the processor that held them.
 //!
 //! All timestamps are microseconds, which is exactly the simulator's
 //! resolution, so the timeline is tick-accurate.
@@ -82,6 +85,15 @@ impl PerfettoTracer {
         let mut open_phase: Option<(u64, u64, usize, u64)> = None; // (phase, ts, batch, quantum)
         let mut open_tasks: Vec<(u64, usize, OpenTask)> = Vec::new(); // (task, processor, data)
         let mut pending: Vec<(u64, usize, OpenTask)> = Vec::new(); // dispatched, not started
+        let mut open_downs: Vec<(usize, u64, bool, usize, usize)> = Vec::new(); // (processor, ts, fail_stop, orphaned, lost)
+                                                                                // Fault events can be emitted retroactively (with timestamps before
+                                                                                // their neighbors), so the trace end is the max, not the last, ts.
+        let end_ts = self
+            .events
+            .iter()
+            .map(|(t, _)| t.as_micros())
+            .max()
+            .unwrap_or(0);
 
         for (t, event) in &self.events {
             let ts = t.as_micros();
@@ -194,6 +206,40 @@ impl PerfettoTracer {
                          \"s\":\"t\",\"pid\":{PID},\"tid\":0,\"ts\":{ts}}}"
                     ));
                 }
+                TraceEvent::ProcessorFailed {
+                    processor,
+                    fail_stop,
+                    orphaned,
+                    lost,
+                } => {
+                    open_downs.push((*processor, ts, *fail_stop, *orphaned, *lost));
+                }
+                TraceEvent::ProcessorRecovered { processor } => {
+                    if let Some(i) = open_downs.iter().position(|(p, ..)| p == processor) {
+                        let (p, from, fail_stop, orphaned, lost) = open_downs.remove(i);
+                        rows.push(format!(
+                            "{{\"name\":\"down\",\"ph\":\"X\",\"pid\":{PID},\"tid\":{},\
+                             \"ts\":{from},\"dur\":{},\"args\":{{\"fail_stop\":{fail_stop},\
+                             \"orphaned\":{orphaned},\"lost\":{lost}}}}}",
+                            p + 1,
+                            ts.saturating_sub(from),
+                        ));
+                    }
+                }
+                TraceEvent::TaskOrphaned { task, processor } => {
+                    rows.push(format!(
+                        "{{\"name\":\"task {task} orphaned\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{},\"ts\":{ts}}}",
+                        processor + 1
+                    ));
+                }
+                TraceEvent::TaskLost { task, processor } => {
+                    rows.push(format!(
+                        "{{\"name\":\"task {task} lost\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{},\"ts\":{ts}}}",
+                        processor + 1
+                    ));
+                }
                 TraceEvent::Note(note) => {
                     // Reuse the serializer for correct string escaping.
                     let name =
@@ -204,6 +250,18 @@ impl PerfettoTracer {
                     ));
                 }
             }
+        }
+
+        // A failure with no recovery (fail-stop, or the run ended first)
+        // stays down through the end of the trace.
+        for (p, from, fail_stop, orphaned, lost) in open_downs {
+            rows.push(format!(
+                "{{\"name\":\"down\",\"ph\":\"X\",\"pid\":{PID},\"tid\":{},\
+                 \"ts\":{from},\"dur\":{},\"args\":{{\"fail_stop\":{fail_stop},\
+                 \"orphaned\":{orphaned},\"lost\":{lost}}}}}",
+                p + 1,
+                end_ts.saturating_sub(from),
+            ));
         }
 
         writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
@@ -325,6 +383,71 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(serde_json::from_str::<serde::Value>(&text).is_ok());
         assert!(text.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn fault_events_render_down_spans_and_instants() {
+        let mut p = PerfettoTracer::new();
+        p.emit(
+            Time::from_micros(100),
+            TraceEvent::ProcessorFailed {
+                processor: 0,
+                fail_stop: false,
+                orphaned: 2,
+                lost: 1,
+            },
+        );
+        p.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskOrphaned {
+                task: 7,
+                processor: 0,
+            },
+        );
+        p.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskLost {
+                task: 8,
+                processor: 0,
+            },
+        );
+        p.emit(
+            Time::from_micros(400),
+            TraceEvent::ProcessorRecovered { processor: 0 },
+        );
+        // A second, never-recovered failure closes at the trace end (500).
+        p.emit(
+            Time::from_micros(450),
+            TraceEvent::ProcessorFailed {
+                processor: 1,
+                fail_stop: true,
+                orphaned: 0,
+                lost: 0,
+            },
+        );
+        p.emit(
+            Time::from_micros(500),
+            TraceEvent::TaskCompleted {
+                task: 9,
+                processor: 2,
+                met_deadline: true,
+                lateness_us: -1,
+            },
+        );
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 3).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_ok(),
+            "bad JSON: {text}"
+        );
+        // Recovered outage: P0's track (tid 1), 100..400.
+        assert!(text
+            .contains("\"name\":\"down\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":100,\"dur\":300"));
+        // Fail-stop outage: P1's track (tid 2), closed at the trace end.
+        assert!(text.contains("\"tid\":2,\"ts\":450,\"dur\":50"));
+        assert!(text.contains("task 7 orphaned"));
+        assert!(text.contains("task 8 lost"));
     }
 
     #[test]

@@ -13,11 +13,11 @@ pub enum ArrivalProcess {
         /// The common arrival instant.
         at: Time,
     },
-    /// Poisson arrivals: exponential inter-arrival times with the given
-    /// mean, starting at `start`. Used by the open-load extension
-    /// experiments.
+    /// Poisson arrivals: the first transaction arrives at `start` and each
+    /// subsequent one follows after an exponential gap with the given mean.
+    /// Used by the open-load extension experiments.
     Poisson {
-        /// First possible arrival instant.
+        /// The first arrival instant.
         start: Time,
         /// Mean inter-arrival gap.
         mean_gap: Duration,
@@ -42,11 +42,18 @@ impl ArrivalProcess {
             ArrivalProcess::Burst { at } => vec![*at; n],
             ArrivalProcess::Poisson { start, mean_gap } => {
                 assert!(!mean_gap.is_zero(), "Poisson mean gap must be non-zero");
+                // The first arrival lands exactly at `start`, per the doc
+                // above; only the gaps between consecutive arrivals are
+                // exponential. (Adding a gap before the first arrival as
+                // well would silently shift the whole process and make the
+                // observed rate over `[start, last]` miss its target.)
                 let mut t = *start;
                 (0..n)
-                    .map(|_| {
-                        let gap = rng.exponential(mean_gap.as_micros() as f64);
-                        t += Duration::from_micros(gap.round() as u64);
+                    .map(|i| {
+                        if i > 0 {
+                            let gap = rng.exponential(mean_gap.as_micros() as f64);
+                            t += Duration::from_micros(gap.round() as u64);
+                        }
                         t
                     })
                     .collect()
@@ -78,8 +85,10 @@ mod tests {
         };
         let arrivals = proc.sample(2_000, &mut SimRng::seed_from(4));
         assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(arrivals[0], Time::ZERO, "first arrival at start");
         let span = arrivals.last().unwrap().as_micros() as f64;
-        let mean_gap = span / 2_000.0;
+        // 2000 arrivals span 1999 gaps.
+        let mean_gap = span / 1_999.0;
         assert!(
             (mean_gap - 100.0).abs() < 10.0,
             "observed mean gap {mean_gap}"
@@ -95,7 +104,8 @@ mod tests {
         let a = proc.sample(100, &mut SimRng::seed_from(9));
         let b = proc.sample(100, &mut SimRng::seed_from(9));
         assert_eq!(a, b);
-        assert!(a[0] >= Time::from_millis(1));
+        assert_eq!(a[0], Time::from_millis(1), "first arrival lands at start");
+        assert!(a[1] > a[0], "gaps only follow the first arrival");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Fault-injection integration tests: the zero-fault differential (a driver
+//! built with fault support but an empty plan must be bit-identical to the
+//! fault-free baseline) and conservation of tasks under arbitrary sampled
+//! fault plans.
+
+use proptest::prelude::*;
+
+use rtsads_repro::des::trace::RecordingTracer;
+use rtsads_repro::des::{Duration, Time};
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, FaultConfig, FaultPlan, InFlightPolicy};
+use rtsads_repro::task::{AffinitySet, CommModel, ProcessorId, Task, TaskId};
+
+/// A randomized aperiodic task (same shape as the theorem properties).
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    p_us: u64,
+    arrival_us: u64,
+    laxity_x10: u64,
+    affinity_mask: u8,
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (1u64..5_000, 0u64..20_000, 10u64..80, 0u8..=255).prop_map(
+        |(p_us, arrival_us, laxity_x10, affinity_mask)| TaskSpec {
+            p_us,
+            arrival_us,
+            laxity_x10,
+            affinity_mask,
+        },
+    )
+}
+
+fn materialize(specs: &[TaskSpec], workers: usize) -> Vec<Task> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let arrival = Time::from_micros(s.arrival_us);
+            let p = Duration::from_micros(s.p_us);
+            let affinity: AffinitySet = (0..workers)
+                .filter(|k| s.affinity_mask & (1 << (k % 8)) != 0)
+                .map(ProcessorId::new)
+                .collect();
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .arrival(arrival)
+                .deadline(arrival + p.mul_f64(s.laxity_x10 as f64 / 10.0))
+                .affinity(affinity)
+                .build()
+        })
+        .collect()
+}
+
+fn base_config(workers: usize, seed: u64) -> DriverConfig {
+    DriverConfig::new(workers, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_micros(500)))
+        .host(HostParams::new(Duration::from_micros(1)))
+        .seed(seed)
+}
+
+/// A fault configuration with every knob exercised, parameterized by small
+/// integers so proptest can shrink it.
+fn fault_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        0u64..=40,     // failure rate, tenths of failures/proc/s
+        0u64..=50,     // mttr in ms; 0 = fail-stop
+        any::<bool>(), // in-flight policy
+        0u64..=30,     // spike rate, tenths of spikes/s
+        1u64..=20,     // spike mean length, ms
+        0u64..=5,      // spike delay, ms
+        0u64..=10,     // spike loss, tenths
+    )
+        .prop_map(
+            |(rate, mttr_ms, completes, s_rate, s_len, s_delay, s_loss)| {
+                let mut fc = match mttr_ms {
+                    0 => FaultConfig::fail_stop(rate as f64 / 10.0),
+                    ms => FaultConfig::fail_recover(rate as f64 / 10.0, Duration::from_millis(ms)),
+                };
+                if completes {
+                    fc = fc.in_flight(InFlightPolicy::Completes);
+                }
+                fc.spikes(
+                    s_rate as f64 / 10.0,
+                    Duration::from_millis(s_len),
+                    Duration::from_millis(s_delay),
+                    s_loss as f64 / 10.0,
+                )
+            },
+        )
+}
+
+/// The fault-free differential: attaching an explicitly empty `FaultPlan`
+/// (or a disabled `FaultConfig`) must not perturb a single event — same
+/// report, same trace stream, bit for bit.
+#[test]
+fn zero_fault_plan_is_bit_identical_to_baseline() {
+    let specs: Vec<TaskSpec> = (0..60)
+        .map(|i| TaskSpec {
+            p_us: 200 + (i * 97) % 3_000,
+            arrival_us: (i * 313) % 15_000,
+            laxity_x10: 12 + (i * 7) % 50,
+            affinity_mask: (i as u8).wrapping_mul(37) | 1,
+        })
+        .collect();
+    for (workers, seed) in [(2usize, 7u64), (4, 42), (5, 1_998)] {
+        let tasks = materialize(&specs, workers);
+
+        let mut baseline_trace = RecordingTracer::new();
+        let baseline =
+            Driver::new(base_config(workers, seed)).run_traced(tasks.clone(), &mut baseline_trace);
+
+        let mut empty_plan_trace = RecordingTracer::new();
+        let with_empty_plan =
+            Driver::new(base_config(workers, seed).fault_plan(FaultPlan::empty()))
+                .run_traced(tasks.clone(), &mut empty_plan_trace);
+
+        let mut disabled_trace = RecordingTracer::new();
+        let with_disabled = Driver::new(base_config(workers, seed).faults(FaultConfig::disabled()))
+            .run_traced(tasks.clone(), &mut disabled_trace);
+
+        assert_eq!(baseline, with_empty_plan, "workers={workers} seed={seed}");
+        assert_eq!(baseline, with_disabled, "workers={workers} seed={seed}");
+        assert_eq!(
+            baseline_trace.events(),
+            empty_plan_trace.events(),
+            "trace diverged under an empty plan (workers={workers} seed={seed})"
+        );
+        assert_eq!(
+            baseline_trace.events(),
+            disabled_trace.events(),
+            "trace diverged under a disabled config (workers={workers} seed={seed})"
+        );
+        assert_eq!(baseline.orphaned, 0);
+        assert_eq!(baseline.lost_in_flight, 0);
+        assert_eq!(baseline.faults_seen, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation of tasks under faults: every task is exactly one of
+    /// hit, executed-miss, dropped, or lost in flight — no matter what the
+    /// sampled fault plan does to the machine.
+    #[test]
+    fn every_task_is_accounted_for_under_random_fault_plans(
+        specs in prop::collection::vec(task_spec(), 1..60),
+        workers in 1usize..6,
+        seed in 0u64..1_000,
+        faults in fault_config(),
+    ) {
+        let tasks = materialize(&specs, workers);
+        let total = tasks.len();
+        let report = Driver::new(base_config(workers, seed).faults(faults)).run(tasks);
+        prop_assert_eq!(
+            report.hits + report.executed_misses + report.dropped + report.lost_in_flight,
+            total,
+            "hits={} misses={} dropped={} lost={} orphaned={} faults={}",
+            report.hits, report.executed_misses, report.dropped,
+            report.lost_in_flight, report.orphaned, report.faults_seen
+        );
+        prop_assert!(report.is_consistent());
+        // Phase-level tallies stay coherent with the run totals.
+        let phase_lost: usize = report.phases.iter().map(|p| p.lost_in_flight).sum();
+        prop_assert_eq!(phase_lost, report.lost_in_flight);
+        let phase_orphaned: usize = report.phases.iter().map(|p| p.orphaned).sum();
+        prop_assert_eq!(phase_orphaned, report.orphaned);
+    }
+
+    /// Fault runs are reproducible: same tasks, same config, same seed —
+    /// same sampled plan and same outcome.
+    #[test]
+    fn fault_runs_are_reproducible(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 1usize..5,
+        seed in 0u64..200,
+        faults in fault_config(),
+    ) {
+        let tasks = materialize(&specs, workers);
+        let config = base_config(workers, seed).faults(faults);
+        let a = Driver::new(config.clone()).run(tasks.clone());
+        let b = Driver::new(config).run(tasks);
+        prop_assert_eq!(a, b);
+    }
+}
