@@ -43,6 +43,7 @@ fn phase(c: &mut Criterion) {
                         Some(200_000),
                         Pruning::default(),
                         &ResourceEats::new(),
+                        false,
                         &mut meter,
                         &mut rng,
                     );
@@ -85,6 +86,7 @@ fn deep_dive(c: &mut Criterion) {
             vertex_cap: None,
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("incremental", n), &params, |b, p| {

@@ -58,6 +58,7 @@ fn representations(c: &mut Criterion) {
                 vertex_cap: Some(100_000),
                 pruning: Pruning::default(),
                 resources: ResourceEats::new(),
+                provenance: false,
             };
             let out = search_schedule(&params, &mut meter);
             println!(
@@ -82,6 +83,7 @@ fn representations(c: &mut Criterion) {
                         vertex_cap: Some(100_000),
                         pruning: Pruning::default(),
                         resources: ResourceEats::new(),
+                        provenance: false,
                     };
                     black_box(search_schedule(&params, &mut meter).assignments.len())
                 });

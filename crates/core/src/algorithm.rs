@@ -4,8 +4,9 @@ use paragon_des::{SimRng, Time};
 use paragon_platform::SchedulingMeter;
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 use sched_search::{
-    search_schedule, ChildOrder, PathState, ProcessorOrder, Pruning, Representation, SearchOutcome,
-    SearchParams, SearchStats, TaskOrder, Termination,
+    search_schedule, ChildOrder, PathState, PhaseProvenance, PlacementAlternative,
+    PlacementEvidence, ProcessorOrder, Pruning, Representation, SearchOutcome, SearchParams,
+    SearchStats, TaskOrder, Termination,
 };
 use serde::{Deserialize, Serialize};
 
@@ -126,7 +127,9 @@ impl Algorithm {
     /// `meter` charges and bounds the scheduling time; `pruning` applies the
     /// Section-3 bounds to the search-based algorithms (the one-pass
     /// baselines ignore it); `rng` is only used by
-    /// [`Algorithm::RandomAssign`].
+    /// [`Algorithm::RandomAssign`]; `provenance` asks for decision evidence
+    /// ([`SearchOutcome::provenance`] — record-only, never alters the
+    /// schedule; the myopic baseline does not produce any).
     #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn schedule_phase(
@@ -138,6 +141,7 @@ impl Algorithm {
         vertex_cap: Option<u64>,
         pruning: Pruning,
         resources: &ResourceEats,
+        provenance: bool,
         meter: &mut SchedulingMeter,
         rng: &mut SimRng,
     ) -> SearchOutcome {
@@ -159,6 +163,7 @@ impl Algorithm {
                     vertex_cap,
                     pruning,
                     resources: resources.clone(),
+                    provenance,
                 };
                 search_schedule(&params, meter)
             }
@@ -181,10 +186,19 @@ impl Algorithm {
                     vertex_cap,
                     pruning,
                     resources: resources.clone(),
+                    provenance,
                 };
                 search_schedule(&params, meter)
             }
-            Algorithm::GreedyEdf => greedy_edf(tasks, comm, initial_finish, now, resources, meter),
+            Algorithm::GreedyEdf => greedy_edf(
+                tasks,
+                comm,
+                initial_finish,
+                now,
+                resources,
+                provenance,
+                meter,
+            ),
             Algorithm::Myopic {
                 window,
                 weight_pct,
@@ -200,9 +214,15 @@ impl Algorithm {
                 *max_backtracks,
                 meter,
             ),
-            Algorithm::RandomAssign => {
-                random_assign(tasks, comm, initial_finish, resources, meter, rng)
-            }
+            Algorithm::RandomAssign => random_assign(
+                tasks,
+                comm,
+                initial_finish,
+                resources,
+                provenance,
+                meter,
+                rng,
+            ),
         }
     }
 }
@@ -215,6 +235,7 @@ fn greedy_edf(
     initial_finish: &[Time],
     now: Time,
     resources: &ResourceEats,
+    provenance: bool,
     meter: &mut SchedulingMeter,
 ) -> SearchOutcome {
     let order = TaskOrder::EarliestDeadline.order(tasks, now);
@@ -223,6 +244,7 @@ fn greedy_edf(
         comm,
         initial_finish,
         resources,
+        provenance,
         meter,
         order,
         |cands| {
@@ -240,6 +262,7 @@ fn random_assign(
     comm: &CommModel,
     initial_finish: &[Time],
     resources: &ResourceEats,
+    provenance: bool,
     meter: &mut SchedulingMeter,
     rng: &mut SimRng,
 ) -> SearchOutcome {
@@ -249,6 +272,7 @@ fn random_assign(
         comm,
         initial_finish,
         resources,
+        provenance,
         meter,
         order,
         |cands| {
@@ -264,11 +288,13 @@ fn random_assign(
 /// Shared single-pass (no-backtracking) scheduler skeleton for the two
 /// baselines; `pick` chooses among the feasible `(processor, completion)`
 /// candidates of one task.
+#[allow(clippy::too_many_arguments)]
 fn one_pass(
     tasks: &[Task],
     comm: &CommModel,
     initial_finish: &[Time],
     resources: &ResourceEats,
+    provenance: bool,
     meter: &mut SchedulingMeter,
     order: Vec<usize>,
     mut pick: impl FnMut(&[(usize, Time)]) -> Option<(usize, Time)>,
@@ -278,6 +304,7 @@ fn one_pass(
     let mut stats = SearchStats::default();
     let mut skipped_any = false;
     let mut exhausted = false;
+    let mut decisions: Vec<PlacementEvidence> = Vec::new();
 
     'outer: for &t in &order {
         stats.expansions += 1;
@@ -297,7 +324,27 @@ fn one_pass(
                 stats.infeasible_children += 1;
             }
         }
-        if let Some((p, _)) = pick(&feasible) {
+        if let Some((p, completion)) = pick(&feasible) {
+            if provenance {
+                // Record-only: cost ce_k is the makespan had the candidate
+                // been chosen, computed against the pre-apply state for the
+                // chosen and rejected placements alike.
+                decisions.push(PlacementEvidence {
+                    task: t,
+                    processor: ProcessorId::new(p),
+                    completion,
+                    cost: state.makespan().max(completion),
+                    rejected: feasible
+                        .iter()
+                        .filter(|&&(q, _)| q != p)
+                        .map(|&(q, c)| PlacementAlternative {
+                            processor: ProcessorId::new(q),
+                            completion: c,
+                            cost: state.makespan().max(c),
+                        })
+                        .collect(),
+                });
+            }
             state.apply(tasks, comm, t, ProcessorId::new(p));
             stats.deepest = state.depth();
         } else {
@@ -321,6 +368,12 @@ fn one_pass(
         n_viable: tasks.len(),
         makespan,
         stats,
+        // One-pass baselines do not screen, so provenance carries decisions
+        // only; tasks without a feasible processor simply stay in the batch.
+        provenance: provenance.then(|| PhaseProvenance {
+            screened: Vec::new(),
+            decisions,
+        }),
     }
 }
 
@@ -373,6 +426,7 @@ mod tests {
             Some(10_000),
             Pruning::default(),
             &ResourceEats::new(),
+            false,
             &mut free_meter(),
             &mut rng,
         );
@@ -401,6 +455,7 @@ mod tests {
             None,
             Pruning::default(),
             &ResourceEats::new(),
+            false,
             &mut free_meter(),
             &mut rng,
         );
@@ -423,6 +478,7 @@ mod tests {
             None,
             Pruning::default(),
             &ResourceEats::new(),
+            false,
             &mut free_meter(),
             &mut rng,
         );
@@ -446,6 +502,7 @@ mod tests {
                 None,
                 Pruning::default(),
                 &ResourceEats::new(),
+                false,
                 &mut free_meter(),
                 &mut rng,
             )
@@ -483,6 +540,7 @@ mod tests {
             None,
             Pruning::default(),
             &ResourceEats::new(),
+            false,
             &mut meter,
             &mut rng,
         );
@@ -506,6 +564,7 @@ mod tests {
             Some(10_000),
             Pruning::default(),
             &ResourceEats::new(),
+            false,
             &mut free_meter(),
             &mut rng,
         );

@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use paragon_des::trace::{TraceEvent, TraceSink, Tracer};
+use paragon_des::trace::{PlacementProbe, ScreenProbe, TraceEvent, TraceSink, Tracer};
 use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{Dispatch, HostParams, Machine, MachineConfig, SchedulingMeter};
 use rt_task::{Batch, CommModel, Task, TaskId};
@@ -37,6 +37,7 @@ pub struct DriverConfig {
     seed: u64,
     faults: FaultConfig,
     fault_plan: Option<FaultPlan>,
+    measure_overhead: bool,
 }
 
 impl DriverConfig {
@@ -61,6 +62,7 @@ impl DriverConfig {
             seed: 0,
             faults: FaultConfig::disabled(),
             fault_plan: None,
+            measure_overhead: false,
         }
     }
 
@@ -125,6 +127,17 @@ impl DriverConfig {
     #[must_use]
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Measure the wall-clock time each scheduling phase actually takes and
+    /// emit it as [`TraceEvent::SchedulerOverhead`] next to the allocated
+    /// quantum. Off by default: wall time is nondeterministic, so enabling
+    /// it makes traces differ byte-for-byte between repeat runs (the
+    /// simulation outcome is unaffected either way).
+    #[must_use]
+    pub fn measure_overhead(mut self, measure: bool) -> Self {
+        self.measure_overhead = measure;
         self
     }
 
@@ -296,7 +309,21 @@ impl Driver {
 
             // Ingest everything that has arrived by `now`.
             while cursor < tasks.len() && tasks[cursor].arrival() <= now {
-                batch.push(tasks[cursor].clone());
+                let t = &tasks[cursor];
+                if tracer.enabled() {
+                    // The first link of the task's decision chain: the
+                    // parameters every later feasibility test uses.
+                    tracer.emit(
+                        now,
+                        TraceEvent::TaskAdmitted {
+                            task: t.id().as_u64(),
+                            arrival_us: t.arrival().as_micros(),
+                            deadline_us: t.deadline().as_micros(),
+                            processing_us: t.processing_time().as_micros(),
+                        },
+                    );
+                }
+                batch.push(t.clone());
                 cursor += 1;
             }
             if batch.is_empty() {
@@ -368,6 +395,8 @@ impl Driver {
                 .map(|w| w.available_from(exec_bound))
                 .collect();
 
+            let wall_start =
+                (cfg.measure_overhead && tracer.enabled()).then(std::time::Instant::now);
             let outcome = cfg.algorithm.schedule_phase(
                 batch.tasks(),
                 &cfg.comm,
@@ -376,12 +405,73 @@ impl Driver {
                 cfg.vertex_cap,
                 cfg.pruning,
                 &machine.resource_eats().clone(),
+                tracer.enabled(),
                 &mut meter,
                 &mut rng,
             );
+            let wall_ns = wall_start.map(|t0| t0.elapsed().as_nanos() as u64);
 
             let consumed = meter.consumed().max(min_step);
             let ended = started + consumed;
+
+            // Decision provenance, emitted while the batch indices in the
+            // outcome still resolve against this phase's batch.
+            if tracer.enabled() {
+                if let Some(prov) = &outcome.provenance {
+                    for s in &prov.screened {
+                        let t = &batch.tasks()[s.task];
+                        tracer.emit(
+                            ended,
+                            TraceEvent::TaskScreened {
+                                task: t.id().as_u64(),
+                                phase: phase_no,
+                                deadline_us: t.deadline().as_micros(),
+                                probes: s
+                                    .probes
+                                    .iter()
+                                    .map(|p| ScreenProbe {
+                                        processor: p.processor.index(),
+                                        available_us: p.available.as_micros(),
+                                        demand_us: p.demand.as_micros(),
+                                        completion_us: p.completion.as_micros(),
+                                    })
+                                    .collect(),
+                            },
+                        );
+                    }
+                    for d in &prov.decisions {
+                        tracer.emit(
+                            ended,
+                            TraceEvent::PlacementDecided {
+                                task: batch.tasks()[d.task].id().as_u64(),
+                                phase: phase_no,
+                                processor: d.processor.index(),
+                                completion_us: d.completion.as_micros(),
+                                cost_us: d.cost.as_micros(),
+                                rejected: d
+                                    .rejected
+                                    .iter()
+                                    .map(|r| PlacementProbe {
+                                        processor: r.processor.index(),
+                                        completion_us: r.completion.as_micros(),
+                                        cost_us: r.cost.as_micros(),
+                                    })
+                                    .collect(),
+                            },
+                        );
+                    }
+                }
+                if let Some(wall_ns) = wall_ns {
+                    tracer.emit(
+                        ended,
+                        TraceEvent::SchedulerOverhead {
+                            phase: phase_no,
+                            allocated_us: quantum.as_micros(),
+                            wall_ns,
+                        },
+                    );
+                }
+            }
 
             let dispatches: Vec<Dispatch> = outcome
                 .assignments

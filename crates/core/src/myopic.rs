@@ -62,6 +62,7 @@ pub(crate) fn myopic_phase(
             n_viable: 0,
             makespan: initial_finish.iter().copied().max().unwrap_or(Time::ZERO),
             stats,
+            provenance: None,
         };
     }
 
@@ -185,6 +186,8 @@ pub(crate) fn myopic_phase(
         n_viable: tasks.len(),
         makespan,
         stats,
+        // The myopic baseline does not record decision evidence.
+        provenance: None,
     }
 }
 

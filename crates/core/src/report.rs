@@ -3,9 +3,10 @@
 use paragon_des::{Duration, Time};
 use paragon_platform::CompletionRecord;
 use sched_search::Termination;
+use serde::{Deserialize, Serialize};
 
 /// Diagnostics of one scheduling phase `j`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseRecord {
     /// Phase index `j`.
     pub phase: u64,
@@ -59,7 +60,7 @@ pub struct PhaseRecord {
 }
 
 /// The outcome of one complete simulation run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunReport {
     /// The scheduling algorithm's display name.
     pub algorithm: String,

@@ -16,9 +16,56 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{Duration, Time};
 
+/// One feasibility probe of the phase-level viability screen: the operands
+/// of the paper's test `t_c + R·Q_s(j) + se_lk ≤ d_l` for one candidate
+/// processor, with the phase-end bound already folded into `available_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreenProbe {
+    /// The candidate processor's index.
+    pub processor: usize,
+    /// When that processor could start new work (`max(busy_k, t_s + Q_s)`),
+    /// in microseconds of virtual time.
+    pub available_us: u64,
+    /// The demand `p_l + c_lk` the assignment would place on it, in
+    /// microseconds.
+    pub demand_us: u64,
+    /// The resulting completion `se_lk = available + demand`, in
+    /// microseconds; the screen fails when this exceeds the deadline on
+    /// every processor.
+    pub completion_us: u64,
+}
+
+/// One candidate placement evaluated (and possibly rejected) for a task
+/// that ended up in the delivered schedule: its predicted completion and
+/// the cost-function value `ce_k` (the resulting makespan) the search
+/// ranked it by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementProbe {
+    /// The candidate processor's index.
+    pub processor: usize,
+    /// Predicted completion on that processor, in microseconds.
+    pub completion_us: u64,
+    /// The cost function `ce_k`: the partial schedule's makespan if this
+    /// candidate were chosen, in microseconds.
+    pub cost_us: u64,
+}
+
 /// One trace record emitted by the simulation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
+    /// A task arrived and was admitted into the current batch — the first
+    /// link of its decision chain, carrying the parameters every later
+    /// feasibility test uses.
+    TaskAdmitted {
+        /// The task's identifier.
+        task: u64,
+        /// Its arrival instant, in microseconds.
+        arrival_us: u64,
+        /// Its absolute deadline `d_l`, in microseconds.
+        deadline_us: u64,
+        /// Its processing time `p_l`, in microseconds.
+        processing_us: u64,
+    },
     /// A scheduling phase started with the given batch size and allocated
     /// quantum.
     PhaseStarted {
@@ -28,6 +75,53 @@ pub enum TraceEvent {
         batch_len: usize,
         /// The allocated quantum `Q_s(j)`.
         quantum: Duration,
+    },
+    /// A batch task failed the phase-level viability screen: against the
+    /// initial finish times it could not meet its deadline on any
+    /// processor, so the whole phase tree excluded it. The probes carry the
+    /// actual feasibility-test numbers per candidate processor.
+    TaskScreened {
+        /// The task's identifier.
+        task: u64,
+        /// The phase whose screen rejected it.
+        phase: u64,
+        /// The deadline `d_l` the probes were tested against, in
+        /// microseconds.
+        deadline_us: u64,
+        /// One feasibility probe per candidate processor.
+        probes: Vec<ScreenProbe>,
+    },
+    /// The scheduler committed a task to a processor in the delivered
+    /// schedule, recording the cost-function values of the chosen placement
+    /// and of the rejected alternatives evaluated at the same expansion.
+    PlacementDecided {
+        /// The task's identifier.
+        task: u64,
+        /// The phase that made the decision.
+        phase: u64,
+        /// The chosen processor's index.
+        processor: usize,
+        /// Predicted completion on the chosen processor, in microseconds.
+        completion_us: u64,
+        /// The chosen placement's cost `ce_k` (resulting makespan), in
+        /// microseconds.
+        cost_us: u64,
+        /// The alternative placements for this task that the search
+        /// evaluated and ranked lower (empty for one-shot choices).
+        rejected: Vec<PlacementProbe>,
+    },
+    /// Physical wall-clock time the host spent computing a phase's
+    /// schedule, next to the virtual budget it was allocated — the paper's
+    /// self-adjusting-overhead claim made directly observable. Emitted only
+    /// when the driver is configured to measure it, because wall time is
+    /// nondeterministic and would break trace-level differential tests.
+    SchedulerOverhead {
+        /// The phase that was measured.
+        phase: u64,
+        /// The allocated quantum `Q_s(j)`, in microseconds of virtual time.
+        allocated_us: u64,
+        /// Wall-clock time `schedule_phase` actually took, in nanoseconds.
+        wall_ns: u64,
     },
     /// A scheduling phase ended.
     PhaseEnded {
@@ -145,9 +239,127 @@ pub enum TraceEvent {
     Note(String),
 }
 
+impl TraceEvent {
+    /// Every kind name [`TraceEvent::kind`] can return, for exhaustiveness
+    /// tests: a test can assert its sample set covers this list, and the
+    /// `match` in `kind` itself fails to compile when a variant is added
+    /// without one.
+    pub const KINDS: &'static [&'static str] = &[
+        "TaskAdmitted",
+        "PhaseStarted",
+        "TaskScreened",
+        "PlacementDecided",
+        "SchedulerOverhead",
+        "PhaseEnded",
+        "TaskDispatched",
+        "CommDelay",
+        "TaskStarted",
+        "TaskCompleted",
+        "TaskDropped",
+        "TaskExpiredMidPhase",
+        "ProcessorFailed",
+        "ProcessorRecovered",
+        "TaskOrphaned",
+        "TaskLost",
+        "Note",
+    ];
+
+    /// The variant's name, matching its serde tag.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TaskAdmitted { .. } => "TaskAdmitted",
+            TraceEvent::PhaseStarted { .. } => "PhaseStarted",
+            TraceEvent::TaskScreened { .. } => "TaskScreened",
+            TraceEvent::PlacementDecided { .. } => "PlacementDecided",
+            TraceEvent::SchedulerOverhead { .. } => "SchedulerOverhead",
+            TraceEvent::PhaseEnded { .. } => "PhaseEnded",
+            TraceEvent::TaskDispatched { .. } => "TaskDispatched",
+            TraceEvent::CommDelay { .. } => "CommDelay",
+            TraceEvent::TaskStarted { .. } => "TaskStarted",
+            TraceEvent::TaskCompleted { .. } => "TaskCompleted",
+            TraceEvent::TaskDropped { .. } => "TaskDropped",
+            TraceEvent::TaskExpiredMidPhase { .. } => "TaskExpiredMidPhase",
+            TraceEvent::ProcessorFailed { .. } => "ProcessorFailed",
+            TraceEvent::ProcessorRecovered { .. } => "ProcessorRecovered",
+            TraceEvent::TaskOrphaned { .. } => "TaskOrphaned",
+            TraceEvent::TaskLost { .. } => "TaskLost",
+            TraceEvent::Note(_) => "Note",
+        }
+    }
+
+    /// The task this event is about, if it is about one — the filter the
+    /// `explain` tooling uses to pull a single task's causal chain out of a
+    /// trace.
+    #[must_use]
+    pub fn task_id(&self) -> Option<u64> {
+        match self {
+            TraceEvent::TaskAdmitted { task, .. }
+            | TraceEvent::TaskScreened { task, .. }
+            | TraceEvent::PlacementDecided { task, .. }
+            | TraceEvent::TaskDispatched { task, .. }
+            | TraceEvent::CommDelay { task, .. }
+            | TraceEvent::TaskStarted { task, .. }
+            | TraceEvent::TaskCompleted { task, .. }
+            | TraceEvent::TaskDropped { task }
+            | TraceEvent::TaskExpiredMidPhase { task, .. }
+            | TraceEvent::TaskOrphaned { task, .. }
+            | TraceEvent::TaskLost { task, .. } => Some(*task),
+            TraceEvent::PhaseStarted { .. }
+            | TraceEvent::SchedulerOverhead { .. }
+            | TraceEvent::PhaseEnded { .. }
+            | TraceEvent::ProcessorFailed { .. }
+            | TraceEvent::ProcessorRecovered { .. }
+            | TraceEvent::Note(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TraceEvent::TaskAdmitted {
+                task,
+                arrival_us,
+                deadline_us,
+                processing_us,
+            } => write!(
+                f,
+                "task {task} admitted (arrival={arrival_us}us deadline={deadline_us}us \
+                 p={processing_us}us)"
+            ),
+            TraceEvent::TaskScreened {
+                task,
+                phase,
+                deadline_us,
+                probes,
+            } => write!(
+                f,
+                "task {task} screened out in phase {phase}: deadline={deadline_us}us \
+                 infeasible on all {} processors",
+                probes.len()
+            ),
+            TraceEvent::PlacementDecided {
+                task,
+                phase,
+                processor,
+                completion_us,
+                cost_us,
+                rejected,
+            } => write!(
+                f,
+                "task {task} placed on P{processor} in phase {phase} \
+                 (completion={completion_us}us cost={cost_us}us, {} rejected)",
+                rejected.len()
+            ),
+            TraceEvent::SchedulerOverhead {
+                phase,
+                allocated_us,
+                wall_ns,
+            } => write!(
+                f,
+                "phase {phase} scheduling wall time {wall_ns}ns vs allocated Q_s={allocated_us}us"
+            ),
             TraceEvent::PhaseStarted {
                 phase,
                 batch_len,
@@ -325,6 +537,48 @@ mod tests {
 
     fn all_variants() -> Vec<TraceEvent> {
         vec![
+            TraceEvent::TaskAdmitted {
+                task: 1,
+                arrival_us: 0,
+                deadline_us: 900,
+                processing_us: 250,
+            },
+            TraceEvent::TaskScreened {
+                task: 2,
+                phase: 1,
+                deadline_us: 400,
+                probes: vec![
+                    ScreenProbe {
+                        processor: 0,
+                        available_us: 300,
+                        demand_us: 200,
+                        completion_us: 500,
+                    },
+                    ScreenProbe {
+                        processor: 1,
+                        available_us: 350,
+                        demand_us: 180,
+                        completion_us: 530,
+                    },
+                ],
+            },
+            TraceEvent::PlacementDecided {
+                task: 3,
+                phase: 1,
+                processor: 2,
+                completion_us: 700,
+                cost_us: 900,
+                rejected: vec![PlacementProbe {
+                    processor: 0,
+                    completion_us: 950,
+                    cost_us: 950,
+                }],
+            },
+            TraceEvent::SchedulerOverhead {
+                phase: 1,
+                allocated_us: 100,
+                wall_ns: 48_213,
+            },
             TraceEvent::PhaseStarted {
                 phase: 1,
                 batch_len: 10,
@@ -419,6 +673,52 @@ mod tests {
     fn display_covers_all_variants() {
         for s in all_variants() {
             assert!(!s.to_string().is_empty());
+        }
+    }
+
+    /// `all_variants` must produce at least one instance of every variant:
+    /// the `kind()` match is compile-time exhaustive, so together these
+    /// guarantee a new variant cannot ship without a `Display` arm (the
+    /// display test above walks the same samples).
+    #[test]
+    fn sample_set_covers_every_kind() {
+        let seen: std::collections::BTreeSet<&'static str> =
+            all_variants().iter().map(TraceEvent::kind).collect();
+        for kind in TraceEvent::KINDS {
+            assert!(seen.contains(kind), "all_variants() is missing {kind}");
+        }
+        assert_eq!(seen.len(), TraceEvent::KINDS.len());
+    }
+
+    #[test]
+    fn task_id_extracts_subject_task() {
+        assert_eq!(TraceEvent::TaskDropped { task: 5 }.task_id(), Some(5));
+        assert_eq!(
+            TraceEvent::PhaseStarted {
+                phase: 0,
+                batch_len: 1,
+                quantum: Duration::from_micros(10),
+            }
+            .task_id(),
+            None
+        );
+        for event in all_variants() {
+            // Kinds that name a task must report it; the rest must not.
+            let about_task = matches!(
+                event.kind(),
+                "TaskAdmitted"
+                    | "TaskScreened"
+                    | "PlacementDecided"
+                    | "TaskDispatched"
+                    | "CommDelay"
+                    | "TaskStarted"
+                    | "TaskCompleted"
+                    | "TaskDropped"
+                    | "TaskExpiredMidPhase"
+                    | "TaskOrphaned"
+                    | "TaskLost"
+            );
+            assert_eq!(event.task_id().is_some(), about_task, "{}", event.kind());
         }
     }
 

@@ -10,17 +10,18 @@
 //! quantum is exhausted — in the latter two cases the best (deepest, then
 //! lowest-makespan) feasible partial schedule found so far is returned.
 
-use paragon_des::Time;
+use paragon_des::{Duration, Time};
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 
 use paragon_platform::SchedulingMeter;
+use serde::{Deserialize, Serialize};
 
 use crate::policy::{Candidate, ChildOrder};
 use crate::repr::Representation;
 use crate::state::{Assignment, PathState};
 
 /// Why a scheduling phase ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Termination {
     /// A leaf was reached: every *viable* task is assigned. Under the
     /// phase-level viability screen this is weaker than "the whole batch is
@@ -85,6 +86,75 @@ pub struct SearchStats {
     pub replay_avoided: u64,
 }
 
+/// One feasibility probe from the phase-level viability screen: the
+/// operands of the paper's test for one candidate processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScreenProbe {
+    /// The candidate processor.
+    pub processor: ProcessorId,
+    /// The processor's initial finish time `max(busy_k, t_s + Q_s(j))`.
+    pub available: Time,
+    /// The demand `p_l + c_lk` the assignment would add.
+    pub demand: Duration,
+    /// The resulting completion `se_lk`; the probe fails when it exceeds the
+    /// task's deadline.
+    pub completion: Time,
+}
+
+/// Why one batch task failed the phase-level viability screen: one failed
+/// probe per candidate processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenEvidence {
+    /// Batch index of the screened task.
+    pub task: usize,
+    /// The failed feasibility probes, one per processor.
+    pub probes: Vec<ScreenProbe>,
+}
+
+/// A candidate placement the search evaluated at the same expansion as a
+/// delivered assignment but ranked lower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementAlternative {
+    /// The rejected processor.
+    pub processor: ProcessorId,
+    /// Predicted completion on it.
+    pub completion: Time,
+    /// Its cost-function value `ce_k` (the partial schedule's makespan had
+    /// it been chosen).
+    pub cost: Time,
+}
+
+/// Why a delivered assignment picked the processor it did: the chosen
+/// placement's cost next to every sibling alternative for the same task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementEvidence {
+    /// Batch index of the placed task.
+    pub task: usize,
+    /// The chosen processor.
+    pub processor: ProcessorId,
+    /// Predicted completion on the chosen processor.
+    pub completion: Time,
+    /// The chosen placement's cost `ce_k`.
+    pub cost: Time,
+    /// Same-task alternatives evaluated at the same expansion and ranked
+    /// lower (empty under sequence-oriented layouts, where siblings differ
+    /// by task rather than processor).
+    pub rejected: Vec<PlacementAlternative>,
+}
+
+/// Decision evidence for one scheduling phase, collected only when
+/// [`SearchParams::provenance`] is set: which tasks the viability screen
+/// rejected (with the actual test operands) and why each delivered
+/// assignment chose its processor. Collection is record-only — it never
+/// alters the search order, the delivered schedule, or the stats.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseProvenance {
+    /// Screen rejections, in batch order.
+    pub screened: Vec<ScreenEvidence>,
+    /// One entry per delivered assignment, in path order.
+    pub decisions: Vec<PlacementEvidence>,
+}
+
 /// Result of one scheduling phase.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -104,6 +174,9 @@ pub struct SearchOutcome {
     pub makespan: Time,
     /// Search diagnostics.
     pub stats: SearchStats,
+    /// Decision evidence, present only when [`SearchParams::provenance`]
+    /// was set.
+    pub provenance: Option<PhaseProvenance>,
 }
 
 impl SearchOutcome {
@@ -163,6 +236,10 @@ pub struct SearchParams<'a> {
     /// The machine's resource earliest-available times at phase start
     /// (empty for the paper's independent tasks).
     pub resources: ResourceEats,
+    /// Collect decision evidence ([`SearchOutcome::provenance`]). Off by
+    /// default: collection allocates per expansion, and the flight recorder
+    /// must be free when tracing is disabled.
+    pub provenance: bool,
 }
 
 /// Arena node: enough to reconstruct the partial schedule by walking
@@ -228,6 +305,7 @@ fn search_core(
             n_viable: 0,
             makespan: root_makespan,
             stats,
+            provenance: params.provenance.then(PhaseProvenance::default),
         };
     }
 
@@ -237,15 +315,42 @@ fn search_core(
     // Screening it out once keeps expansions from re-evaluating it at every
     // level. (Like the paper's per-phase batch expiry test, this screen is
     // not charged against the quantum; screened tasks stay in the batch.)
-    let viable: Vec<bool> = params
-        .tasks
-        .iter()
-        .map(|t| {
-            ProcessorId::all(params.initial_finish.len()).any(|p| {
-                t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
+    // Under provenance every probe is materialized so a screen rejection
+    // carries the actual test operands; the verdicts are identical.
+    let mut screened_evidence: Vec<ScreenEvidence> = Vec::new();
+    let viable: Vec<bool> = if params.provenance {
+        let mut viable = Vec::with_capacity(n);
+        for (idx, t) in params.tasks.iter().enumerate() {
+            let probes: Vec<ScreenProbe> = ProcessorId::all(params.initial_finish.len())
+                .map(|p| {
+                    let available = params.initial_finish[p.index()];
+                    let demand = params.comm.demand(t, p);
+                    ScreenProbe {
+                        processor: p,
+                        available,
+                        demand,
+                        completion: available + demand,
+                    }
+                })
+                .collect();
+            let ok = probes.iter().any(|pr| t.meets_deadline(pr.completion));
+            if !ok {
+                screened_evidence.push(ScreenEvidence { task: idx, probes });
+            }
+            viable.push(ok);
+        }
+        viable
+    } else {
+        params
+            .tasks
+            .iter()
+            .map(|t| {
+                ProcessorId::all(params.initial_finish.len()).any(|p| {
+                    t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
+                })
             })
-        })
-        .collect();
+            .collect()
+    };
     let n_viable = viable.iter().filter(|&&v| v).count();
     stats.screened_tasks = (n - n_viable) as u64;
     if n_viable == 0 {
@@ -255,6 +360,10 @@ fn search_core(
             n_viable: 0,
             makespan: root_makespan,
             stats,
+            provenance: params.provenance.then(|| PhaseProvenance {
+                screened: screened_evidence,
+                decisions: Vec::new(),
+            }),
         };
     }
 
@@ -271,6 +380,9 @@ fn search_core(
         || PathState::with_resources(params.initial_finish.to_vec(), n, params.resources.clone());
 
     let mut arena: Vec<Node> = Vec::new();
+    // Candidate costs per arena node — (completion, makespan-if-chosen) —
+    // recorded only under provenance, index-aligned with `arena`.
+    let mut node_costs: Vec<(Time, Time)> = Vec::new();
     let mut cl: Vec<usize> = Vec::new(); // stack: end = front of CL
                                          // Best feasible vertex so far: (depth, makespan, id). Root (empty
                                          // schedule) is the fallback; `None` id means "deliver nothing".
@@ -345,6 +457,7 @@ fn search_core(
     let expand = |cv: Option<usize>,
                   state: &PathState,
                   arena: &mut Vec<Node>,
+                  node_costs: &mut Vec<(Time, Time)>,
                   cl: &mut Vec<usize>,
                   meter: &mut SchedulingMeter,
                   stats: &mut SearchStats,
@@ -419,6 +532,9 @@ fn search_core(
                 task: child.task,
                 processor: ProcessorId::new(child.processor),
             });
+            if params.provenance {
+                node_costs.push((child.completion, child.makespan));
+            }
             cl.push(id);
             // Every generated feasible vertex is a candidate "best".
             let key = (depth, child.makespan);
@@ -440,7 +556,14 @@ fn search_core(
     let mut state = root_state();
     let mut path: Vec<usize> = Vec::new();
     let leaf = expand(
-        None, &state, &mut arena, &mut cl, meter, &mut stats, &mut best,
+        None,
+        &state,
+        &mut arena,
+        &mut node_costs,
+        &mut cl,
+        meter,
+        &mut stats,
+        &mut best,
     );
     if let Some((leaf_id, leaf_makespan)) = leaf {
         best = (n_viable, leaf_makespan, Some(leaf_id));
@@ -473,6 +596,7 @@ fn search_core(
                 Some(cv),
                 &state,
                 &mut arena,
+                &mut node_costs,
                 &mut cl,
                 meter,
                 &mut stats,
@@ -494,12 +618,56 @@ fn search_core(
         }
         None => Vec::new(),
     };
+    // Decision evidence for the delivered path: each assignment's chosen
+    // cost next to its same-task siblings (the rejected alternatives of the
+    // same expansion). Reconstructed after the fact so collection cannot
+    // perturb the search.
+    let provenance = params.provenance.then(|| {
+        let mut decisions = Vec::new();
+        if let Some(best_id) = best.2 {
+            let mut path_ids = Vec::new();
+            let mut cursor = Some(best_id);
+            while let Some(i) = cursor {
+                path_ids.push(i);
+                cursor = arena[i].parent;
+            }
+            path_ids.reverse();
+            for &id in &path_ids {
+                let node = &arena[id];
+                let (completion, cost) = node_costs[id];
+                let rejected: Vec<PlacementAlternative> = arena
+                    .iter()
+                    .enumerate()
+                    .filter(|&(sid, sib)| {
+                        sid != id && sib.parent == node.parent && sib.task == node.task
+                    })
+                    .map(|(sid, sib)| PlacementAlternative {
+                        processor: sib.processor,
+                        completion: node_costs[sid].0,
+                        cost: node_costs[sid].1,
+                    })
+                    .collect();
+                decisions.push(PlacementEvidence {
+                    task: node.task,
+                    processor: node.processor,
+                    completion,
+                    cost,
+                    rejected,
+                });
+            }
+        }
+        PhaseProvenance {
+            screened: screened_evidence,
+            decisions,
+        }
+    });
     SearchOutcome {
         assignments,
         termination,
         n_viable,
         makespan: best.1,
         stats,
+        provenance,
     }
 }
 
@@ -543,6 +711,7 @@ mod tests {
             vertex_cap: Some(100_000),
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         }
     }
 
@@ -931,6 +1100,49 @@ mod tests {
             assert_eq!(inc.makespan, rep.makespan);
             assert_eq!(inc.stats, rep.stats);
         }
+    }
+
+    #[test]
+    fn provenance_records_screen_operands_and_placement_costs() {
+        // Task 1 is infeasible (p=100 > d=90): screened, with one failed
+        // probe per processor; the others are placed, each decision carrying
+        // its chosen cost and same-task alternatives.
+        let tasks = vec![
+            mk_task(0, 100, 150, &[]),
+            mk_task(1, 100, 90, &[]),
+            mk_task(2, 100, 300, &[]),
+        ];
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.provenance = true;
+        let out = search_schedule(&p, &mut free_meter());
+        let prov = out.provenance.as_ref().expect("provenance requested");
+        assert_eq!(prov.screened.len(), 1);
+        assert_eq!(prov.screened[0].task, 1);
+        assert_eq!(prov.screened[0].probes.len(), 2);
+        for probe in &prov.screened[0].probes {
+            assert_eq!(probe.completion, probe.available + probe.demand);
+            assert!(!tasks[1].meets_deadline(probe.completion));
+        }
+        assert_eq!(prov.decisions.len(), out.assignments.len());
+        for (d, a) in prov.decisions.iter().zip(&out.assignments) {
+            assert_eq!(d.task, a.task);
+            assert_eq!(d.processor, a.processor);
+            assert_eq!(d.completion, a.completion);
+            for r in &d.rejected {
+                assert_ne!(r.processor, d.processor);
+            }
+        }
+
+        // Collection is record-only: schedule and stats are bit-identical
+        // with provenance off.
+        let p2 = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out2 = search_schedule(&p2, &mut free_meter());
+        assert_eq!(out.assignments, out2.assignments);
+        assert_eq!(out.stats, out2.stats);
+        assert!(out2.provenance.is_none());
     }
 
     #[test]

@@ -35,7 +35,10 @@ mod state;
 
 #[cfg(any(test, feature = "replay-oracle"))]
 pub use engine::search_schedule_replay;
-pub use engine::{search_schedule, Pruning, SearchOutcome, SearchParams, SearchStats, Termination};
+pub use engine::{
+    search_schedule, PhaseProvenance, PlacementAlternative, PlacementEvidence, Pruning,
+    ScreenEvidence, ScreenProbe, SearchOutcome, SearchParams, SearchStats, Termination,
+};
 pub use policy::{Candidate, ChildOrder, ProcessorOrder, TaskOrder};
 pub use repr::Representation;
 pub use state::{Assignment, PathState};

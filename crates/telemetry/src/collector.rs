@@ -15,6 +15,10 @@
 //! | `phase.undos` | histogram | incremental-engine undo steps per phase |
 //! | `phase.replay_avoided` | histogram | replay applies avoided per phase |
 //! | `phase.scheduled` | histogram | tasks dispatched per phase |
+//! | `phase.sched_wall_ns` | histogram | measured scheduler wall time per phase |
+//! | `task.admitted` | counter | tasks admitted into a batch |
+//! | `task.screened` | counter | viability-screen rejections recorded |
+//! | `task.placements` | counter | placement decisions recorded |
 //! | `task.slack_at_dispatch_us` | histogram | `deadline − start` at dispatch |
 //! | `task.lateness_us` | histogram | `completion − deadline` |
 //! | `comm.delay_us` | histogram | data-shipping delay per remote task |
@@ -86,6 +90,18 @@ impl TraceSink for MetricsCollector {
         let finished = r.gauge("sim.finished_at_us").unwrap_or(0.0);
         r.set_gauge("sim.finished_at_us", finished.max(now.as_micros() as f64));
         match event {
+            TraceEvent::TaskAdmitted { .. } => {
+                r.inc("task.admitted", 1);
+            }
+            TraceEvent::TaskScreened { .. } => {
+                r.inc("task.screened", 1);
+            }
+            TraceEvent::PlacementDecided { .. } => {
+                r.inc("task.placements", 1);
+            }
+            TraceEvent::SchedulerOverhead { wall_ns, .. } => {
+                r.record("phase.sched_wall_ns", as_sample(wall_ns));
+            }
             TraceEvent::PhaseStarted {
                 batch_len, quantum, ..
             } => {
@@ -170,6 +186,15 @@ mod tests {
         let mut c = MetricsCollector::new();
         c.emit(
             Time::from_micros(0),
+            TraceEvent::TaskAdmitted {
+                task: 1,
+                arrival_us: 0,
+                deadline_us: 900,
+                processing_us: 50,
+            },
+        );
+        c.emit(
+            Time::from_micros(0),
             TraceEvent::PhaseStarted {
                 phase: 0,
                 batch_len: 5,
@@ -186,6 +211,34 @@ mod tests {
                 backtracks: 2,
                 undos: 4,
                 replay_avoided: 6,
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskScreened {
+                task: 9,
+                phase: 0,
+                deadline_us: 120,
+                probes: Vec::new(),
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::PlacementDecided {
+                task: 1,
+                phase: 0,
+                processor: 0,
+                completion_us: 150,
+                cost_us: 150,
+                rejected: Vec::new(),
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::SchedulerOverhead {
+                phase: 0,
+                allocated_us: 100,
+                wall_ns: 42_000,
             },
         );
         c.emit(
@@ -261,6 +314,13 @@ mod tests {
         );
 
         let r = c.registry();
+        assert_eq!(r.counter("task.admitted"), 1);
+        assert_eq!(r.counter("task.screened"), 1);
+        assert_eq!(r.counter("task.placements"), 1);
+        assert_eq!(
+            r.histogram("phase.sched_wall_ns").unwrap().p50(),
+            Some(42_000)
+        );
         assert_eq!(r.counter("fault.processor_failures"), 1);
         assert_eq!(r.counter("fault.processor_recoveries"), 1);
         assert_eq!(r.counter("task.orphaned"), 2);

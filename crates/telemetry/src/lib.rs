@@ -13,6 +13,9 @@
 //!   `Q_s(j)`.
 //! * [`manifest`] — a [`RunManifest`] recording seed, calibration constants
 //!   and the source revision next to every result file.
+//! * [`ledger`] — a [`DecisionLedger`] folding the stream into per-task
+//!   dossiers with a final miss [`Attribution`], so every hit and miss has
+//!   a causal chain on record.
 //!
 //! [`MetricsCollector`] turns the event stream into metrics, and
 //! [`MultiSink`] fans one stream out to several sinks, so a run can produce
@@ -20,6 +23,7 @@
 
 pub mod collector;
 pub mod jsonl;
+pub mod ledger;
 pub mod manifest;
 pub mod metrics;
 pub mod perfetto;
@@ -27,7 +31,8 @@ pub mod session;
 pub mod sink;
 
 pub use collector::MetricsCollector;
-pub use jsonl::{JsonlTracer, TraceLine};
+pub use jsonl::{JsonlTracer, TraceHeader, TraceLine, SCHEMA_VERSION};
+pub use ledger::{Attribution, AttributionCounts, DecisionLedger, TaskDossier};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::PerfettoTracer;

@@ -83,6 +83,7 @@ impl PerfettoTracer {
 
         // Pair phase starts with ends and task starts with completions.
         let mut open_phase: Option<(u64, u64, usize, u64)> = None; // (phase, ts, batch, quantum)
+        let mut pending_wall: Option<(u64, u64)> = None; // (phase, wall_ns)
         let mut open_tasks: Vec<(u64, usize, OpenTask)> = Vec::new(); // (task, processor, data)
         let mut pending: Vec<(u64, usize, OpenTask)> = Vec::new(); // dispatched, not started
         let mut open_downs: Vec<(usize, u64, bool, usize, usize)> = Vec::new(); // (processor, ts, fail_stop, orphaned, lost)
@@ -118,12 +119,21 @@ impl PerfettoTracer {
                         Some((p, s, b, q)) if p == *phase => (s, b, q),
                         _ => (ts.saturating_sub(consumed.as_micros()), 0, 0),
                     };
+                    // Measured wall time (if the run recorded it) sits next
+                    // to the allocated quantum in the span's args.
+                    let wall = match pending_wall.take() {
+                        Some((p, w)) if p == *phase => format!(",\"sched_wall_ns\":{w}"),
+                        other => {
+                            pending_wall = other;
+                            String::new()
+                        }
+                    };
                     rows.push(format!(
                         "{{\"name\":\"phase {phase}\",\"ph\":\"X\",\"pid\":{PID},\"tid\":0,\
                          \"ts\":{start_ts},\"dur\":{},\"args\":{{\"quantum_us\":{quantum},\
                          \"batch_len\":{batch},\"scheduled\":{scheduled},\
                          \"consumed_us\":{},\"vertices\":{vertices},\"backtracks\":{backtracks},\
-                         \"undos\":{undos},\"replay_avoided\":{replay_avoided}}}}}",
+                         \"undos\":{undos},\"replay_avoided\":{replay_avoided}{wall}}}}}",
                         ts - start_ts,
                         consumed.as_micros(),
                     ));
@@ -194,6 +204,18 @@ impl PerfettoTracer {
                         ts.saturating_sub(open.start_us),
                     ));
                 }
+                TraceEvent::SchedulerOverhead { phase, wall_ns, .. } => {
+                    pending_wall = Some((*phase, *wall_ns));
+                }
+                TraceEvent::TaskScreened { task, phase, .. } => {
+                    rows.push(format!(
+                        "{{\"name\":\"task {task} screened out (phase {phase})\",\"ph\":\"i\",\
+                         \"s\":\"t\",\"pid\":{PID},\"tid\":0,\"ts\":{ts}}}"
+                    ));
+                }
+                // Admission parameters and placement evidence carry no
+                // timeline geometry of their own; the ledger consumes them.
+                TraceEvent::TaskAdmitted { .. } | TraceEvent::PlacementDecided { .. } => {}
                 TraceEvent::TaskDropped { task } => {
                     rows.push(format!(
                         "{{\"name\":\"drop task {task}\",\"ph\":\"i\",\"s\":\"t\",\
@@ -448,6 +470,80 @@ mod tests {
         assert!(text.contains("\"tid\":2,\"ts\":450,\"dur\":50"));
         assert!(text.contains("task 7 orphaned"));
         assert!(text.contains("task 8 lost"));
+    }
+
+    #[test]
+    fn overhead_and_screening_surface_on_the_scheduler_track() {
+        let mut p = PerfettoTracer::new();
+        p.emit(
+            Time::from_micros(0),
+            TraceEvent::PhaseStarted {
+                phase: 0,
+                batch_len: 2,
+                quantum: Duration::from_micros(30),
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::TaskScreened {
+                task: 6,
+                phase: 0,
+                deadline_us: 25,
+                probes: Vec::new(),
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::TaskAdmitted {
+                task: 6,
+                arrival_us: 0,
+                deadline_us: 25,
+                processing_us: 10,
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::PlacementDecided {
+                task: 7,
+                phase: 0,
+                processor: 0,
+                completion_us: 60,
+                cost_us: 60,
+                rejected: Vec::new(),
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::SchedulerOverhead {
+                phase: 0,
+                allocated_us: 30,
+                wall_ns: 12_345,
+            },
+        );
+        p.emit(
+            Time::from_micros(30),
+            TraceEvent::PhaseEnded {
+                phase: 0,
+                scheduled: 1,
+                consumed: Duration::from_micros(30),
+                vertices: 3,
+                backtracks: 0,
+                undos: 0,
+                replay_avoided: 0,
+            },
+        );
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_ok(),
+            "bad JSON: {text}"
+        );
+        // The measured wall time rides in the phase span's args, next to
+        // the allocated quantum.
+        assert!(text.contains("\"quantum_us\":30"));
+        assert!(text.contains("\"sched_wall_ns\":12345"));
+        assert!(text.contains("task 6 screened out (phase 0)"));
     }
 
     #[test]

@@ -2,14 +2,14 @@
 //! through serde, and a trace written in simulation-time order parses back
 //! monotonically ordered.
 
-use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::trace::{PlacementProbe, ScreenProbe, TraceEvent, TraceSink};
 use paragon_des::{Duration, Time};
 use proptest::prelude::*;
 use rt_telemetry::jsonl::{parse_trace, JsonlTracer, TraceLine};
 
 /// Builds one event from raw generated scalars; `kind` picks the variant.
 fn build_event(kind: u8, a: u64, b: u64, signed: i64) -> TraceEvent {
-    match kind % 9 {
+    match kind % 13 {
         0 => TraceEvent::PhaseStarted {
             phase: a,
             batch_len: b as usize,
@@ -46,6 +46,40 @@ fn build_event(kind: u8, a: u64, b: u64, signed: i64) -> TraceEvent {
         },
         6 => TraceEvent::TaskDropped { task: a },
         7 => TraceEvent::TaskExpiredMidPhase { task: a, phase: b },
+        8 => TraceEvent::TaskAdmitted {
+            task: a,
+            arrival_us: b,
+            deadline_us: a.wrapping_add(b),
+            processing_us: signed.unsigned_abs(),
+        },
+        9 => TraceEvent::TaskScreened {
+            task: a,
+            phase: b,
+            deadline_us: signed.unsigned_abs(),
+            probes: vec![ScreenProbe {
+                processor: b as usize,
+                available_us: a,
+                demand_us: signed.unsigned_abs(),
+                completion_us: a.wrapping_add(signed.unsigned_abs()),
+            }],
+        },
+        10 => TraceEvent::PlacementDecided {
+            task: a,
+            phase: b,
+            processor: b as usize,
+            completion_us: a,
+            cost_us: a.wrapping_add(b),
+            rejected: vec![PlacementProbe {
+                processor: (b as usize).wrapping_add(1),
+                completion_us: a.wrapping_add(1),
+                cost_us: a.wrapping_add(2),
+            }],
+        },
+        11 => TraceEvent::SchedulerOverhead {
+            phase: a,
+            allocated_us: b,
+            wall_ns: signed.unsigned_abs(),
+        },
         _ => TraceEvent::Note(format!("note-{a}-{signed} with \"quotes\" and \\slashes\\")),
     }
 }
@@ -55,7 +89,7 @@ proptest! {
 
     #[test]
     fn every_event_round_trips_through_jsonl(
-        kind in 0u8..=8,
+        kind in 0u8..=12,
         a in 0u64..1_000_000,
         b in 0u64..64,
         signed in -1_000_000i64..1_000_000,
@@ -67,9 +101,11 @@ proptest! {
         prop_assert_eq!(sink.lines(), 1);
         let buf = sink.finish().unwrap();
         let text = String::from_utf8(buf).unwrap();
-        // Exactly one line, and it parses back to the same event.
-        prop_assert_eq!(text.lines().count(), 1);
-        let line: TraceLine = serde_json::from_str(text.trim_end()).unwrap();
+        // The header manifest plus exactly one event line, and the event
+        // line parses back to the same event.
+        prop_assert_eq!(text.lines().count(), 2);
+        let event_line = text.lines().nth(1).unwrap();
+        let line: TraceLine = serde_json::from_str(event_line).unwrap();
         prop_assert_eq!(line.t_us, t);
         prop_assert_eq!(line.event, event);
     }
@@ -77,7 +113,7 @@ proptest! {
     #[test]
     fn traces_written_in_time_order_parse_back_monotone(
         raw in prop::collection::vec(
-            (0u8..=8, 0u64..100_000, 0u64..16, -100_000i64..100_000, 0u64..1_000_000),
+            (0u8..=12, 0u64..100_000, 0u64..16, -100_000i64..100_000, 0u64..1_000_000),
             1..60,
         ),
     ) {

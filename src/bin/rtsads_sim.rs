@@ -6,23 +6,37 @@
 //!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
 //!            [--comm-us C] [--seed S] [--phases]
 //!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
-//!            [--perfetto-out FILE.trace.json]
+//!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
+//! rtsads-sim explain --task N --trace FILE.jsonl
+//! rtsads-sim report-diff a.json b.json
 //! ```
 //!
-//! The three `--*-out` flags enable telemetry: a structured JSONL event
-//! trace, a metrics summary (counters + p50/p90/p99 histograms), and a
-//! Chrome trace-event timeline loadable in Perfetto (`ui.perfetto.dev`).
-//! Telemetry rides the driver's trace seam, so enabling it never changes
-//! simulation results.
+//! The `--*-out` flags enable telemetry: a structured JSONL event trace, a
+//! metrics summary (counters + p50/p90/p99 histograms), a Chrome
+//! trace-event timeline loadable in Perfetto (`ui.perfetto.dev`), and a
+//! report file bundling the aggregate counters with per-task decision
+//! attributions. Telemetry rides the driver's trace seam, so enabling it
+//! never changes simulation results. With `--perfetto-out` the driver also
+//! measures each phase's wall-clock scheduling time, shown next to the
+//! allocated `Q_s(j)` in the timeline.
+//!
+//! `explain` reconstructs one task's causal chain — admission, screenings
+//! with the actual feasibility-test operands, placements with chosen and
+//! rejected costs, dispatch, faults, verdict — from a JSONL trace alone.
+//! `report-diff` compares two `--report-out` files (counter deltas,
+//! lateness-quantile shifts, per-task outcome flips) and exits nonzero on
+//! any drift, making it usable as a CI determinism gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rtsads_repro::des::{Duration, Time};
+use rtsads_repro::explain::{diff_reports, explain_task, ReportFile};
 use rtsads_repro::platform::HostParams;
 use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
 use rtsads_repro::task::CommModel;
-use rtsads_repro::telemetry::{MetricsRegistry, TelemetrySession};
+use rtsads_repro::telemetry::jsonl::parse_trace;
+use rtsads_repro::telemetry::{DecisionLedger, MetricsRegistry, TelemetrySession};
 use rtsads_repro::workload::Scenario;
 
 struct Args {
@@ -37,6 +51,7 @@ struct Args {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     perfetto_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -52,6 +67,7 @@ fn parse() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         perfetto_out: None,
+        report_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,6 +92,7 @@ fn parse() -> Result<Args, String> {
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--perfetto-out" => args.perfetto_out = Some(PathBuf::from(value("--perfetto-out")?)),
+            "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
             "--algorithm" => {
                 args.algorithm = match value("--algorithm")?.as_str() {
                     "rt-sads" => Algorithm::rt_sads(),
@@ -116,18 +133,96 @@ fn run_with_telemetry(
         args.perfetto_out.as_deref(),
     )
     .map_err(|e| format!("cannot open telemetry output: {e}"))?;
-    let report = Driver::new(config).run_traced(tasks, &mut session.sink());
+    let mut ledger = DecisionLedger::new();
+    let report = {
+        let mut sink = session.sink();
+        if args.report_out.is_some() {
+            sink = sink.with(&mut ledger);
+        }
+        Driver::new(config).run_traced(tasks, &mut sink)
+    };
     record_worker_metrics(session.registry_mut(), &report);
-    let written = session
+    let mut written = session
         .finish(args.workers)
         .map_err(|e| format!("cannot write telemetry output: {e}"))?;
+    if let Some(path) = &args.report_out {
+        let file = ReportFile::new(report.clone(), ledger);
+        std::fs::write(path, file.to_json() + "\n")
+            .map_err(|e| format!("cannot write report file: {e}"))?;
+        written.push(path.clone());
+    }
     for path in written {
         eprintln!("# wrote {}", path.display());
     }
     Ok(report)
 }
 
+/// `rtsads-sim explain --task N --trace FILE.jsonl`
+fn cmd_explain(argv: &[String]) -> Result<(), String> {
+    let mut task: Option<u64> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--task" => task = Some(value("--task")?.parse().map_err(|e| format!("{e}"))?),
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            other => return Err(format!("unknown explain flag '{other}'")),
+        }
+    }
+    let task = task.ok_or("explain requires --task N")?;
+    let trace = trace.ok_or("explain requires --trace FILE.jsonl")?;
+    let text = std::fs::read_to_string(&trace)
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let events = parse_trace(&text)?;
+    print!("{}", explain_task(&events, task)?);
+    Ok(())
+}
+
+/// `rtsads-sim report-diff a.json b.json` — exits nonzero on drift.
+fn cmd_report_diff(argv: &[String]) -> Result<bool, String> {
+    let [a, b] = argv else {
+        return Err("report-diff takes exactly two report files".to_string());
+    };
+    let read = |p: &String| -> Result<ReportFile, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        ReportFile::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let diff = diff_reports(&read(a)?, &read(b)?);
+    print!("{}", diff.render());
+    Ok(diff.is_drift_free())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("explain") => {
+            return match cmd_explain(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!("usage: rtsads-sim explain --task N --trace FILE.jsonl");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("report-diff") => {
+            return match cmd_report_diff(&argv[1..]) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!("usage: rtsads-sim report-diff a.json b.json");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     let args = match parse() {
         Ok(a) => a,
         Err(msg) => {
@@ -136,7 +231,9 @@ fn main() -> ExitCode {
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
                  [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
                  [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
-                 [--perfetto-out FILE.trace.json]"
+                 [--perfetto-out FILE.trace.json] [--report-out FILE.json]\n\
+                        rtsads-sim explain --task N --trace FILE.jsonl\n\
+                        rtsads-sim report-diff a.json b.json"
             );
             return ExitCode::FAILURE;
         }
@@ -151,10 +248,16 @@ fn main() -> ExitCode {
     let config = DriverConfig::new(args.workers, args.algorithm.clone())
         .comm(CommModel::constant(Duration::from_micros(args.comm_us)))
         .host(HostParams::new(Duration::from_micros(1)))
-        .seed(args.seed);
+        .seed(args.seed)
+        // The timeline gets measured scheduling wall time next to Q_s(j);
+        // wall time is nondeterministic, so only measure when asked for a
+        // timeline (JSONL traces stay byte-reproducible otherwise).
+        .measure_overhead(args.perfetto_out.is_some());
 
-    let telemetry_on =
-        args.trace_out.is_some() || args.metrics_out.is_some() || args.perfetto_out.is_some();
+    let telemetry_on = args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.perfetto_out.is_some()
+        || args.report_out.is_some();
     let report = if telemetry_on {
         match run_with_telemetry(&args, config, built.tasks) {
             Ok(report) => report,

@@ -11,7 +11,9 @@
 //! * [`workload`] — scenario/workload generation,
 //! * [`stats`] — summaries, Welch tests and table rendering,
 //! * [`telemetry`] — metrics registry, JSONL trace export, Perfetto
-//!   timelines and run manifests.
+//!   timelines, run manifests and the per-task decision ledger,
+//! * [`explain`] — report files, causal-chain `explain` rendering and the
+//!   `report-diff` drift comparison behind the CI determinism gate.
 //!
 //! # Quickstart
 //!
@@ -27,6 +29,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod explain;
 
 pub use paragon_des as des;
 pub use paragon_platform as platform;

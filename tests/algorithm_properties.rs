@@ -110,6 +110,7 @@ proptest! {
                 Some(30_000),
                 Pruning::default(),
                 &ResourceEats::new(),
+                false,
                 &mut meter,
                 &mut rng,
             );
@@ -143,6 +144,7 @@ proptest! {
                 Some(30_000),
                 Pruning::default(),
                 &ResourceEats::new(),
+                false,
                 &mut meter,
                 &mut rng,
             );
@@ -208,6 +210,7 @@ proptest! {
                 Some(50_000),
                 Pruning::default(),
                 &ResourceEats::new(),
+                false,
                 &mut meter,
                 &mut rng,
             )

@@ -1,0 +1,174 @@
+//! Property tests for the decision-provenance ledger: replaying a run's
+//! event stream into per-task attributions must exactly reproduce the run
+//! report's four-way accounting
+//! (`hits + executed_misses + dropped + lost_in_flight == total_tasks`),
+//! with every task resolved — on fault-free platforms and under sampled
+//! fault plans alike. The ledger sees only trace events, the report only
+//! driver state, so agreement is a genuine cross-check, not bookkeeping.
+
+use proptest::prelude::*;
+
+use rtsads_repro::des::{Duration, Time};
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, FaultConfig, InFlightPolicy, RunReport};
+use rtsads_repro::task::{AffinitySet, CommModel, ProcessorId, Task, TaskId};
+use rtsads_repro::telemetry::{Attribution, DecisionLedger};
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    p_us: u64,
+    arrival_us: u64,
+    laxity_x10: u64,
+    affinity_mask: u8,
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (1u64..5_000, 0u64..20_000, 10u64..80, 0u8..=255).prop_map(
+        |(p_us, arrival_us, laxity_x10, affinity_mask)| TaskSpec {
+            p_us,
+            arrival_us,
+            laxity_x10,
+            affinity_mask,
+        },
+    )
+}
+
+fn materialize(specs: &[TaskSpec], workers: usize) -> Vec<Task> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let arrival = Time::from_micros(s.arrival_us);
+            let p = Duration::from_micros(s.p_us);
+            let affinity: AffinitySet = (0..workers)
+                .filter(|k| s.affinity_mask & (1 << (k % 8)) != 0)
+                .map(ProcessorId::new)
+                .collect();
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .arrival(arrival)
+                .deadline(arrival + p.mul_f64(s.laxity_x10 as f64 / 10.0))
+                .affinity(affinity)
+                .build()
+        })
+        .collect()
+}
+
+fn fault_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        0u64..=40,     // failure rate, tenths of failures/proc/s
+        0u64..=50,     // mttr in ms; 0 = fail-stop
+        any::<bool>(), // in-flight policy
+        0u64..=30,     // spike rate, tenths of spikes/s
+        1u64..=20,     // spike mean length, ms
+        0u64..=5,      // spike delay, ms
+        0u64..=10,     // spike loss, tenths
+    )
+        .prop_map(
+            |(rate, mttr_ms, completes, s_rate, s_len, s_delay, s_loss)| {
+                let mut fc = match mttr_ms {
+                    0 => FaultConfig::fail_stop(rate as f64 / 10.0),
+                    ms => FaultConfig::fail_recover(rate as f64 / 10.0, Duration::from_millis(ms)),
+                };
+                if completes {
+                    fc = fc.in_flight(InFlightPolicy::Completes);
+                }
+                fc.spikes(
+                    s_rate as f64 / 10.0,
+                    Duration::from_millis(s_len),
+                    Duration::from_millis(s_delay),
+                    s_loss as f64 / 10.0,
+                )
+            },
+        )
+}
+
+/// Runs a scenario with a [`DecisionLedger`] attached and asserts the
+/// per-task attribution partition reproduces the report's accounting.
+fn assert_partition_matches(
+    specs: &[TaskSpec],
+    workers: usize,
+    seed: u64,
+    faults: FaultConfig,
+) -> Result<(RunReport, DecisionLedger), TestCaseError> {
+    let tasks = materialize(specs, workers);
+    let config = DriverConfig::new(workers, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_micros(500)))
+        .host(HostParams::new(Duration::from_micros(1)))
+        .seed(seed)
+        .faults(faults);
+    let mut ledger = DecisionLedger::new();
+    let report = Driver::new(config).run_traced(tasks, &mut ledger);
+
+    prop_assert!(report.is_consistent(), "report inconsistent: {report:?}");
+    let counts = ledger.counts();
+    prop_assert_eq!(counts.total, report.total_tasks, "one dossier per task");
+    prop_assert_eq!(counts.pending, 0, "a complete run leaves no task pending");
+    prop_assert_eq!(counts.hits, report.hits);
+    prop_assert_eq!(counts.executed_misses, report.executed_misses);
+    prop_assert_eq!(counts.dropped(), report.dropped);
+    prop_assert_eq!(counts.lost_in_flight, report.lost_in_flight);
+    prop_assert!(
+        counts.is_partition_of(report.total_tasks),
+        "partition broken: {counts:?} vs total {}",
+        report.total_tasks
+    );
+    Ok((report, ledger))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free: the summed attributions are exactly the report's
+    /// partition, and no ledger verdict involves a fault variant.
+    #[test]
+    fn attributions_partition_the_report_fault_free(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let (_, ledger) =
+            assert_partition_matches(&specs, workers, seed, FaultConfig::disabled())?;
+        for d in ledger.dossiers() {
+            prop_assert!(
+                !matches!(d.attribution, Attribution::LostInFlight { .. }),
+                "fault-free run lost task {} in flight",
+                d.task
+            );
+            prop_assert_eq!(d.orphanings, 0, "fault-free run orphaned task {}", d.task);
+        }
+    }
+
+    /// Fault-injected: orphanings, retroactive losses and re-batched tasks
+    /// must still fold into a clean partition.
+    #[test]
+    fn attributions_partition_the_report_under_faults(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 2usize..6,
+        seed in 0u64..10_000,
+        faults in fault_config(),
+    ) {
+        let (report, ledger) = assert_partition_matches(&specs, workers, seed, faults)?;
+        // Cross-check the fault-specific buckets against the report too.
+        let orphan_events: usize = ledger.dossiers().map(|d| d.orphanings).sum();
+        prop_assert_eq!(orphan_events, report.orphaned, "orphaning event counts");
+    }
+}
+
+/// A deterministic seeded spot check mirroring the fault-tolerance example:
+/// heavy recoverable faults, every task still attributed exactly once.
+#[test]
+fn seeded_faulty_run_attributes_every_task() {
+    let specs: Vec<TaskSpec> = (0..80)
+        .map(|i| TaskSpec {
+            p_us: 200 + (i * 97) % 3_000,
+            arrival_us: (i * 313) % 15_000,
+            laxity_x10: 12 + (i * 7) % 50,
+            affinity_mask: (i as u8).wrapping_mul(37) | 1,
+        })
+        .collect();
+    let faults = FaultConfig::fail_recover(2.0, Duration::from_millis(10));
+    let (report, ledger) = assert_partition_matches(&specs, 5, 1_998, faults).unwrap();
+    assert_eq!(report.total_tasks, 80);
+    assert_eq!(ledger.len(), 80);
+}

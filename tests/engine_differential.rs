@@ -128,6 +128,7 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
             vertex_cap,
             pruning,
             resources,
+            provenance: false,
         };
         // Identical meters: free on most instances, a tight quantum with a
         // real per-vertex cost on the rest.

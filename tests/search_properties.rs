@@ -99,6 +99,7 @@ proptest! {
             vertex_cap: Some(20_000),
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         let mut meter = SchedulingMeter::new(
             HostParams::new(Duration::from_micros(1)),
@@ -144,6 +145,7 @@ proptest! {
             vertex_cap: Some(200_000),
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
         let out = search_schedule(&params, &mut meter);
@@ -179,6 +181,7 @@ proptest! {
             vertex_cap: None,
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         let quantum = Duration::from_micros(quantum_us);
         let mut meter = SchedulingMeter::new(
@@ -221,6 +224,7 @@ proptest! {
             vertex_cap: Some(100_000),
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
         let out = search_schedule(&params, &mut meter);
@@ -263,6 +267,7 @@ proptest! {
             vertex_cap: Some(100_000),
             pruning: Pruning::default(),
             resources: ResourceEats::new(),
+            provenance: false,
         };
         let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
         let out = search_schedule(&params, &mut meter);
