@@ -2,12 +2,12 @@
 //! turns a batch into a feasible schedule under each representation, and
 //! how the baselines compare at the same job.
 
-use bench_support::synthetic_batch;
+use bench_support::{deep_dive_batch, synthetic_batch};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
-use rt_task::{CommModel, ResourceEats, Task, TaskId};
-use rtsads::Algorithm;
+use rt_task::{CommModel, ResourceEats};
+use rtsads::{Algorithm, PhaseScratch};
 use sched_search::{
     search_schedule, search_schedule_replay, ChildOrder, Pruning, Representation, SearchParams,
 };
@@ -27,6 +27,9 @@ fn phase(c: &mut Criterion) {
             Algorithm::GreedyEdf,
         ] {
             group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &tasks, |b, tasks| {
+                // One scratch per benchmark, reused across iterations —
+                // exactly how the driver runs phases in steady state.
+                let mut scratch = PhaseScratch::new();
                 b.iter(|| {
                     // an effectively unbounded quantum: profile the raw
                     // search, bounded by the vertex cap
@@ -46,8 +49,11 @@ fn phase(c: &mut Criterion) {
                         false,
                         &mut meter,
                         &mut rng,
+                        &mut scratch,
                     );
-                    black_box(out.assignments.len())
+                    let n = out.assignments.len();
+                    scratch.recycle(out.assignments);
+                    black_box(n)
                 });
             });
         }
@@ -67,14 +73,7 @@ fn deep_dive(c: &mut Criterion) {
     let repr = Representation::assignment_oriented();
     let mut group = c.benchmark_group("scheduling_phase_deep_dive");
     for n in [64usize, 128, 256] {
-        let tasks: Vec<Task> = (0..n as u64)
-            .map(|i| {
-                Task::builder(TaskId::new(i))
-                    .processing_time(Duration::from_micros(100))
-                    .deadline(Time::from_millis(100_000))
-                    .build()
-            })
-            .collect();
+        let tasks = deep_dive_batch(n);
         let initial = vec![Time::ZERO; workers];
         let params = SearchParams {
             tasks: &tasks,

@@ -71,6 +71,42 @@ pub fn synthetic_batch(n: usize, workers: usize) -> Vec<Task> {
         .collect()
 }
 
+/// The canonical deep-dive batch: `n` identical, unconstrained tasks with
+/// deadlines far beyond any completion, so the search expands root-to-leaf
+/// without backtracking. Depth 64 on 2 workers is the tracked baseline
+/// point for `BENCH_search.json` and the zero-allocation assertion.
+#[must_use]
+pub fn deep_dive_batch(n: usize) -> Vec<Task> {
+    use rt_task::TaskId;
+    (0..n as u64)
+        .map(|i| {
+            Task::builder(TaskId::new(i))
+                .processing_time(Duration::from_micros(100))
+                .deadline(Time::from_millis(100_000))
+                .build()
+        })
+        .collect()
+}
+
+/// A backtrack-heavy batch: deadlines only 2× the processing cost, so most
+/// placements fail the feasibility test once a processor carries any load
+/// and the search backtracks and undoes constantly. Exercises the undo-log
+/// and chain-walk buffers that the deep dive never touches.
+#[must_use]
+pub fn tight_batch(n: usize, workers: usize) -> Vec<Task> {
+    use rt_task::TaskId;
+    (0..n)
+        .map(|i| {
+            let p = Duration::from_micros(80 + (i as u64 % 5) * 40);
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .deadline(Time::ZERO + p * 2)
+                .affinity(rt_task::AffinitySet::all(workers))
+                .build()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,141 @@
+//! Pins the headline claim of the scratch refactor: after a short warm-up,
+//! a scheduling phase on the canonical bench scenarios performs **zero**
+//! heap allocations — every buffer the search touches lives in the reused
+//! [`SearchScratch`]/[`PhaseScratch`] at its high-water capacity.
+//!
+//! The counting allocator wraps [`System`] and counts `alloc`/`realloc`/
+//! `alloc_zeroed` calls only while armed. All scenarios run inside one test
+//! function so no sibling test can allocate concurrently while the counter
+//! is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `phase` `warmup` times unarmed (to grow every buffer to its
+/// high-water mark), then `measured` times armed, and returns the number of
+/// heap allocations observed during the armed window.
+fn count_allocs(warmup: usize, measured: usize, mut phase: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        phase();
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..measured {
+        phase();
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_phases_do_not_allocate() {
+    use bench_support::{deep_dive_batch, synthetic_batch, tight_batch};
+    use paragon_des::{Duration, SimRng, Time};
+    use paragon_platform::{HostParams, SchedulingMeter};
+    use rt_task::{CommModel, ResourceEats};
+    use rtsads::{Algorithm, PhaseScratch};
+    use sched_search::{
+        search_schedule_with, ChildOrder, Pruning, Representation, SearchParams, SearchScratch,
+    };
+
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 32;
+
+    // Canonical point 1: the raw engine on the depth-64 deep dive.
+    {
+        let tasks = deep_dive_batch(64);
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = vec![Time::ZERO; 2];
+        let params = SearchParams {
+            tasks: &tasks,
+            comm: &comm,
+            initial_finish: &initial,
+            representation: &repr,
+            child_order: ChildOrder::LoadBalance,
+            now: Time::ZERO,
+            vertex_cap: None,
+            pruning: Pruning::default(),
+            resources: ResourceEats::new(),
+            provenance: false,
+        };
+        let mut scratch = SearchScratch::new();
+        let n = count_allocs(WARMUP, MEASURED, || {
+            let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
+            let out = search_schedule_with(&params, &mut meter, &mut scratch);
+            assert_eq!(out.assignments.len(), 64);
+            scratch.recycle(out.assignments);
+        });
+        assert_eq!(n, 0, "deep-dive engine phase allocated {n} times");
+    }
+
+    // Canonical points 2 and 3: the full algorithm layer (the driver's
+    // exact call) on the mixed and backtrack-heavy batches.
+    let workers = 8;
+    let comm = CommModel::constant(Duration::from_millis(2));
+    let initial = vec![Time::ZERO; workers];
+    for (name, tasks) in [
+        ("mixed", synthetic_batch(150, workers)),
+        ("tight", tight_batch(150, workers)),
+    ] {
+        let algorithm = Algorithm::rt_sads();
+        let mut scratch = PhaseScratch::new();
+        let n = count_allocs(WARMUP, MEASURED, || {
+            let mut meter = SchedulingMeter::new(
+                HostParams::new(Duration::from_micros(1)),
+                Duration::from_secs(10),
+            );
+            let mut rng = SimRng::seed_from(7);
+            let out = algorithm.schedule_phase(
+                &tasks,
+                &comm,
+                &initial,
+                Time::ZERO,
+                Some(200_000),
+                Pruning::default(),
+                &ResourceEats::new(),
+                false,
+                &mut meter,
+                &mut rng,
+                &mut scratch,
+            );
+            scratch.recycle(out.assignments);
+        });
+        assert_eq!(n, 0, "{name} schedule_phase allocated {n} times");
+    }
+}

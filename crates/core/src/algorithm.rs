@@ -4,11 +4,43 @@ use paragon_des::{SimRng, Time};
 use paragon_platform::SchedulingMeter;
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 use sched_search::{
-    search_schedule, ChildOrder, PathState, PhaseProvenance, PlacementAlternative,
+    search_schedule_with, Assignment, ChildOrder, PathState, PhaseProvenance, PlacementAlternative,
     PlacementEvidence, ProcessorOrder, Pruning, Representation, SearchOutcome, SearchParams,
-    SearchStats, TaskOrder, Termination,
+    SearchScratch, SearchStats, TaskOrder, Termination,
 };
 use serde::{Deserialize, Serialize};
+
+/// Reusable working storage for the phase loop: the search engine's
+/// [`SearchScratch`] plus the buffers the one-pass baselines and the myopic
+/// scheduler need. One lives per driver run; every scheduling phase clears
+/// and refills it (clear-don't-drop), so steady-state phases perform no heap
+/// allocation. Behavior is identical whether the scratch is fresh or reused
+/// — pinned by the replay-oracle differential suite.
+#[derive(Debug, Default)]
+pub struct PhaseScratch {
+    /// The tree-search engine's per-phase buffers.
+    pub search: SearchScratch,
+    /// Path state for the non-search schedulers, reset per phase.
+    pub(crate) state: Option<PathState>,
+    /// Task-order index buffer.
+    pub(crate) order: Vec<usize>,
+    /// Feasible (processor, completion) candidates of one task.
+    pub(crate) feasible: Vec<(usize, Time)>,
+}
+
+impl PhaseScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a consumed [`SearchOutcome::assignments`] vector to the pool
+    /// so the next phase reuses its capacity.
+    pub fn recycle(&mut self, assignments: Vec<Assignment>) {
+        self.search.recycle(assignments);
+    }
+}
 
 /// Which scheduler runs the phases.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,7 +161,9 @@ impl Algorithm {
     /// baselines ignore it); `rng` is only used by
     /// [`Algorithm::RandomAssign`]; `provenance` asks for decision evidence
     /// ([`SearchOutcome::provenance`] — record-only, never alters the
-    /// schedule; the myopic baseline does not produce any).
+    /// schedule; the myopic baseline does not produce any). `scratch` holds
+    /// the reusable working buffers — pass a fresh one for a one-off call, or
+    /// carry one across phases to keep the hot path allocation-free.
     #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn schedule_phase(
@@ -144,6 +178,7 @@ impl Algorithm {
         provenance: bool,
         meter: &mut SchedulingMeter,
         rng: &mut SimRng,
+        scratch: &mut PhaseScratch,
     ) -> SearchOutcome {
         match self {
             Algorithm::RtSads {
@@ -165,7 +200,7 @@ impl Algorithm {
                     resources: resources.clone(),
                     provenance,
                 };
-                search_schedule(&params, meter)
+                search_schedule_with(&params, meter, &mut scratch.search)
             }
             Algorithm::DCols {
                 processor_order,
@@ -188,7 +223,7 @@ impl Algorithm {
                     resources: resources.clone(),
                     provenance,
                 };
-                search_schedule(&params, meter)
+                search_schedule_with(&params, meter, &mut scratch.search)
             }
             Algorithm::GreedyEdf => greedy_edf(
                 tasks,
@@ -198,6 +233,7 @@ impl Algorithm {
                 resources,
                 provenance,
                 meter,
+                scratch,
             ),
             Algorithm::Myopic {
                 window,
@@ -213,6 +249,7 @@ impl Algorithm {
                 *weight_pct,
                 *max_backtracks,
                 meter,
+                scratch,
             ),
             Algorithm::RandomAssign => random_assign(
                 tasks,
@@ -222,6 +259,7 @@ impl Algorithm {
                 provenance,
                 meter,
                 rng,
+                scratch,
             ),
         }
     }
@@ -229,6 +267,7 @@ impl Algorithm {
 
 /// List scheduling: EDF order, each task to its feasible
 /// earliest-completion processor, never undone.
+#[allow(clippy::too_many_arguments)]
 fn greedy_edf(
     tasks: &[Task],
     comm: &CommModel,
@@ -237,8 +276,9 @@ fn greedy_edf(
     resources: &ResourceEats,
     provenance: bool,
     meter: &mut SchedulingMeter,
+    scratch: &mut PhaseScratch,
 ) -> SearchOutcome {
-    let order = TaskOrder::EarliestDeadline.order(tasks, now);
+    TaskOrder::EarliestDeadline.order_into(tasks, now, &mut scratch.order);
     one_pass(
         tasks,
         comm,
@@ -246,7 +286,7 @@ fn greedy_edf(
         resources,
         provenance,
         meter,
-        order,
+        scratch,
         |cands| {
             cands
                 .iter()
@@ -257,6 +297,7 @@ fn greedy_edf(
 }
 
 /// Each task to a uniformly random feasible processor.
+#[allow(clippy::too_many_arguments)]
 fn random_assign(
     tasks: &[Task],
     comm: &CommModel,
@@ -265,8 +306,10 @@ fn random_assign(
     provenance: bool,
     meter: &mut SchedulingMeter,
     rng: &mut SimRng,
+    scratch: &mut PhaseScratch,
 ) -> SearchOutcome {
-    let order: Vec<usize> = (0..tasks.len()).collect();
+    scratch.order.clear();
+    scratch.order.extend(0..tasks.len());
     one_pass(
         tasks,
         comm,
@@ -274,7 +317,7 @@ fn random_assign(
         resources,
         provenance,
         meter,
-        order,
+        scratch,
         |cands| {
             if cands.is_empty() {
                 None
@@ -286,8 +329,9 @@ fn random_assign(
 }
 
 /// Shared single-pass (no-backtracking) scheduler skeleton for the two
-/// baselines; `pick` chooses among the feasible `(processor, completion)`
-/// candidates of one task.
+/// baselines; the caller has filled `scratch.order` with the task order, and
+/// `pick` chooses among the feasible `(processor, completion)` candidates of
+/// one task.
 #[allow(clippy::too_many_arguments)]
 fn one_pass(
     tasks: &[Task],
@@ -296,20 +340,38 @@ fn one_pass(
     resources: &ResourceEats,
     provenance: bool,
     meter: &mut SchedulingMeter,
-    order: Vec<usize>,
+    scratch: &mut PhaseScratch,
     mut pick: impl FnMut(&[(usize, Time)]) -> Option<(usize, Time)>,
 ) -> SearchOutcome {
-    let mut state =
-        PathState::with_resources(initial_finish.to_vec(), tasks.len(), resources.clone());
+    let PhaseScratch {
+        search,
+        state: state_slot,
+        order,
+        feasible,
+    } = scratch;
+    match state_slot.as_mut() {
+        Some(s) => s.reset(initial_finish, tasks.len(), resources),
+        None => {
+            *state_slot = Some(PathState::with_resources(
+                initial_finish.to_vec(),
+                tasks.len(),
+                resources.clone(),
+            ));
+        }
+    }
+    let state = state_slot.as_mut().expect("state initialized above");
     let mut stats = SearchStats::default();
     let mut skipped_any = false;
     let mut exhausted = false;
     let mut decisions: Vec<PlacementEvidence> = Vec::new();
 
-    'outer: for &t in &order {
+    'outer: for &t in order.iter() {
         stats.expansions += 1;
-        let mut feasible: Vec<(usize, Time)> = Vec::new();
+        feasible.clear();
         for p in ProcessorId::all(state.processors()) {
+            // Same accounting contract as the search engine: a failed charge
+            // still counts the vertex (stats equal `meter.vertices()`), and
+            // only charged vertices are classified feasible/infeasible.
             if !meter.charge_vertex() {
                 stats.vertices_generated += 1;
                 exhausted = true;
@@ -324,7 +386,7 @@ fn one_pass(
                 stats.infeasible_children += 1;
             }
         }
-        if let Some((p, completion)) = pick(&feasible) {
+        if let Some((p, completion)) = pick(feasible) {
             if provenance {
                 // Record-only: cost ce_k is the makespan had the candidate
                 // been chosen, computed against the pre-apply state for the
@@ -362,8 +424,12 @@ fn one_pass(
     // One-pass baselines do not screen: the whole batch counts as viable,
     // so `Leaf` only when every batch task was placed.
     let makespan = state.makespan();
+    // Copy into the pooled buffer (the state stays in the scratch for the
+    // next phase); the driver recycles the vector after consuming it.
+    let mut assignments = search.take_assignment_buffer();
+    assignments.extend_from_slice(state.assignments());
     SearchOutcome {
-        assignments: state.into_assignments(),
+        assignments,
         termination,
         n_viable: tasks.len(),
         makespan,
@@ -429,6 +495,7 @@ mod tests {
             false,
             &mut free_meter(),
             &mut rng,
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::Leaf);
         assert_eq!(out.processors_used(), 2);
@@ -458,6 +525,7 @@ mod tests {
             false,
             &mut free_meter(),
             &mut rng,
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::Leaf);
         let order: Vec<usize> = out.assignments.iter().map(|a| a.task).collect();
@@ -481,6 +549,7 @@ mod tests {
             false,
             &mut free_meter(),
             &mut rng,
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::DeadEnd);
         assert_eq!(out.assignments.len(), 1);
@@ -505,6 +574,7 @@ mod tests {
                 false,
                 &mut free_meter(),
                 &mut rng,
+                &mut PhaseScratch::new(),
             )
         };
         let a = run(7);
@@ -543,11 +613,65 @@ mod tests {
             false,
             &mut meter,
             &mut rng,
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::QuantumExhausted);
         // 9 vertex charges = 4 tasks fully evaluated (2 procs each) + 1 cut
         assert!(out.assignments.len() <= 5);
         assert!(!out.assignments.is_empty());
+        // Accounting contract (matches the search engine): the failed charge
+        // is counted but not classified.
+        assert_eq!(out.stats.vertices_generated, meter.vertices());
+        assert_eq!(
+            out.stats.feasible_children + out.stats.infeasible_children,
+            out.stats.vertices_generated - 1,
+            "exactly the uncharged vertex goes unclassified"
+        );
+    }
+
+    #[test]
+    fn reused_phase_scratch_matches_fresh_runs() {
+        // One scratch carried across every algorithm must reproduce each
+        // fresh-scratch outcome exactly, including stats and provenance.
+        let tasks: Vec<Task> = (0..8)
+            .map(|i| mk_task(i, 100 + (i % 3) * 40, 100_000, 2))
+            .collect();
+        let comm = CommModel::constant(Duration::from_micros(20));
+        let initial = [Time::ZERO, Time::from_micros(150)];
+        let algorithms = [
+            Algorithm::rt_sads(),
+            Algorithm::d_cols(),
+            Algorithm::GreedyEdf,
+            Algorithm::myopic(),
+            Algorithm::RandomAssign,
+        ];
+        let mut scratch = PhaseScratch::new();
+        for algorithm in &algorithms {
+            let run = |scratch: &mut PhaseScratch| {
+                let mut rng = SimRng::seed_from(11);
+                algorithm.schedule_phase(
+                    &tasks,
+                    &comm,
+                    &initial,
+                    Time::ZERO,
+                    Some(10_000),
+                    Pruning::default(),
+                    &ResourceEats::new(),
+                    true,
+                    &mut free_meter(),
+                    &mut rng,
+                    scratch,
+                )
+            };
+            let fresh = run(&mut PhaseScratch::new());
+            let reused = run(&mut scratch);
+            assert_eq!(fresh.assignments, reused.assignments);
+            assert_eq!(fresh.termination, reused.termination);
+            assert_eq!(fresh.makespan, reused.makespan);
+            assert_eq!(fresh.stats, reused.stats);
+            assert_eq!(fresh.provenance, reused.provenance);
+            scratch.recycle(reused.assignments);
+        }
     }
 
     #[test]
@@ -567,6 +691,7 @@ mod tests {
             false,
             &mut free_meter(),
             &mut rng,
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::Leaf);
         assert_eq!(out.processors_used(), 2, "round-robin spreads the tasks");

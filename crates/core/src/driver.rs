@@ -17,7 +17,7 @@ use rt_task::{Batch, CommModel, Task, TaskId};
 
 use sched_search::Pruning;
 
-use crate::algorithm::Algorithm;
+use crate::algorithm::{Algorithm, PhaseScratch};
 use crate::faults::{self, FaultConfig, FaultKind, FaultPlan, InFlightPolicy};
 use crate::quantum::QuantumPolicy;
 use crate::report::{PhaseRecord, RunReport};
@@ -233,6 +233,12 @@ impl Driver {
         let mut phases: Vec<PhaseRecord> = Vec::new();
         let mut dropped_total = 0usize;
 
+        // One scratch for the whole run: after the first few phases every
+        // buffer has reached its high-water capacity and scheduling phases
+        // stop allocating entirely (see `PhaseScratch`).
+        let mut scratch = PhaseScratch::new();
+        let mut initial_finish: Vec<Time> = Vec::new();
+
         loop {
             // Apply fault events that have come due. The host observes the
             // platform at phase boundaries, and `Machine::fail` partitions a
@@ -390,24 +396,23 @@ impl Driver {
             let exec_bound = started + quantum;
             // Down workers report `UNAVAILABLE` here, so the feasibility
             // test screens them out of every placement.
-            let initial_finish: Vec<Time> = machine
-                .iter_workers()
-                .map(|w| w.available_from(exec_bound))
-                .collect();
+            initial_finish.clear();
+            initial_finish.extend(machine.iter_workers().map(|w| w.available_from(exec_bound)));
 
             let wall_start =
                 (cfg.measure_overhead && tracer.enabled()).then(std::time::Instant::now);
-            let outcome = cfg.algorithm.schedule_phase(
+            let mut outcome = cfg.algorithm.schedule_phase(
                 batch.tasks(),
                 &cfg.comm,
                 &initial_finish,
                 started,
                 cfg.vertex_cap,
                 cfg.pruning,
-                &machine.resource_eats().clone(),
+                machine.resource_eats(),
                 tracer.enabled(),
                 &mut meter,
                 &mut rng,
+                &mut scratch,
             );
             let wall_ns = wall_start.map(|t0| t0.elapsed().as_nanos() as u64);
 
@@ -607,6 +612,9 @@ impl Driver {
                 lost_in_flight: pending_lost,
                 faults: pending_faults,
             });
+            // Return the assignment buffer to the pool so the next phase can
+            // reuse its capacity instead of allocating a fresh one.
+            scratch.recycle(std::mem::take(&mut outcome.assignments));
             pending_orphaned = 0;
             pending_lost = 0;
             pending_faults = 0;

@@ -70,7 +70,7 @@ mod myopic;
 mod quantum;
 mod report;
 
-pub use algorithm::Algorithm;
+pub use algorithm::{Algorithm, PhaseScratch};
 pub use driver::{Driver, DriverConfig};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, InFlightPolicy};
 pub use quantum::QuantumPolicy;

@@ -19,6 +19,7 @@
 //! than aborting the schedule (the original algorithm's "reject" outcome
 //! does not fit a soft real-time setting).
 
+use crate::algorithm::PhaseScratch;
 use paragon_des::Time;
 use paragon_platform::SchedulingMeter;
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
@@ -53,6 +54,7 @@ pub(crate) fn myopic_phase(
     weight_pct: u32,
     max_backtracks: u32,
     meter: &mut SchedulingMeter,
+    scratch: &mut PhaseScratch,
 ) -> SearchOutcome {
     let mut stats = SearchStats::default();
     if tasks.is_empty() {
@@ -66,33 +68,53 @@ pub(crate) fn myopic_phase(
         };
     }
 
-    let order = TaskOrder::EarliestDeadline.order(tasks, now);
+    let PhaseScratch {
+        search,
+        state: state_slot,
+        order,
+        ..
+    } = scratch;
+    TaskOrder::EarliestDeadline.order_into(tasks, now, order);
+    let order: &[usize] = order;
     let mut decisions: Vec<Decision> = Vec::new();
     let mut backtracks_left = max_backtracks;
     let mut skipped: Vec<bool> = vec![false; tasks.len()];
     let mut exhausted = false;
 
-    // Rebuilds the path state implied by the current decision stack.
-    let rebuild = |decisions: &[Decision]| -> PathState {
-        let mut state =
-            PathState::with_resources(initial_finish.to_vec(), tasks.len(), resources.clone());
+    // Rebuilds, in place, the path state implied by the current decision
+    // stack (reset + replay — backtracks are rare and shallow here, so the
+    // simple rebuild beats carrying an undo log through the window logic).
+    let rebuild = |state: &mut PathState, decisions: &[Decision]| {
+        state.reset(initial_finish, tasks.len(), resources);
         for d in decisions {
             let c = d.alternatives[d.chosen];
             state.apply(tasks, comm, c.task, ProcessorId::new(c.processor));
         }
-        state
     };
 
-    let mut state = rebuild(&decisions);
+    match state_slot.as_mut() {
+        Some(s) => s.reset(initial_finish, tasks.len(), resources),
+        None => {
+            *state_slot = Some(PathState::with_resources(
+                initial_finish.to_vec(),
+                tasks.len(),
+                resources.clone(),
+            ));
+        }
+    }
+    let state = state_slot.as_mut().expect("state initialized above");
+    let mut window_tasks: Vec<usize> = Vec::new();
     loop {
         // The feasibility window: the first `window` unassigned, unskipped
         // tasks in deadline order.
-        let window_tasks: Vec<usize> = order
-            .iter()
-            .copied()
-            .filter(|&t| !state.is_assigned(t) && !skipped[t])
-            .take(window.max(1))
-            .collect();
+        window_tasks.clear();
+        window_tasks.extend(
+            order
+                .iter()
+                .copied()
+                .filter(|&t| !state.is_assigned(t) && !skipped[t])
+                .take(window.max(1)),
+        );
         if window_tasks.is_empty() {
             break;
         }
@@ -151,7 +173,7 @@ pub(crate) fn myopic_phase(
                         break;
                     }
                 }
-                state = rebuild(&decisions);
+                rebuild(state, &decisions);
             } else {
                 skipped[window_tasks[0]] = true;
                 stats.level_skips += 1;
@@ -180,8 +202,11 @@ pub(crate) fn myopic_phase(
     // Myopic does not screen: every batch task counts as viable, so `Leaf`
     // here means the full batch is covered (see `SearchOutcome::n_viable`).
     let makespan = state.makespan();
+    // Copy into the pooled buffer; the state stays in the scratch.
+    let mut assignments = search.take_assignment_buffer();
+    assignments.extend_from_slice(state.assignments());
     SearchOutcome {
-        assignments: state.into_assignments(),
+        assignments,
         termination,
         n_viable: tasks.len(),
         makespan,
@@ -237,6 +262,7 @@ mod tests {
             100,
             backtracks,
             meter,
+            &mut PhaseScratch::new(),
         )
     }
 
@@ -297,6 +323,7 @@ mod tests {
             100,
             3,
             &mut free_meter(),
+            &mut PhaseScratch::new(),
         );
         assert_eq!(out.termination, Termination::Leaf, "stats: {:?}", out.stats);
         assert!(out.stats.backtracks > 0);
@@ -319,6 +346,7 @@ mod tests {
             100,
             0,
             &mut free_meter(),
+            &mut PhaseScratch::new(),
         );
         // without backtracking, task 1 is lost but task 0 still runs
         assert_eq!(out.termination, Termination::DeadEnd);

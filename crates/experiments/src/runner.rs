@@ -1,11 +1,10 @@
 //! Replication runner: executes `(scenario, driver) × runs` jobs across
 //! threads and aggregates the per-run reports into per-point statistics.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use crossbeam::thread as cb_thread;
-use parking_lot::Mutex;
 use rt_stats::{Summary, Table};
 use rt_workload::Scenario;
 use rtsads::{Driver, DriverConfig, RunReport};
@@ -108,29 +107,48 @@ pub fn run_point(
         // instead of spawning a worker that panics summarizing no samples.
         return PointResult::from_reports(&[]);
     }
-    let jobs: VecDeque<u64> = (0..runs as u64).map(|r| seed_base + r).collect();
-    let queue = Mutex::new(jobs);
-    let results: Mutex<Vec<(u64, RunReport)>> = Mutex::new(Vec::with_capacity(runs));
+    // Seeds to run, claimed in chunks off a shared cursor. A chunk amortizes
+    // the atomic over several replications while still balancing load when
+    // run times differ (a slow seed only delays its own chunk).
+    const CHUNK: usize = 8;
+    let seeds: Vec<u64> = (0..runs as u64).map(|r| seed_base + r).collect();
+    let cursor = AtomicUsize::new(0);
     let threads = thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(runs.max(1));
 
+    // Each worker accumulates into a thread-local vec and hands it back
+    // through its join handle; nothing is shared but the seed cursor, so
+    // workers never contend on a results lock.
+    let mut collected: Vec<(u64, RunReport)> = Vec::with_capacity(runs);
     cb_thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let Some(seed) = queue.lock().pop_front() else {
-                    break;
-                };
-                let built = scenario.build(seed);
-                let report = Driver::new(driver.clone().seed(seed)).run(built.tasks);
-                results.lock().push((seed, report));
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local: Vec<(u64, RunReport)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= seeds.len() {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(seeds.len());
+                        for &seed in &seeds[start..end] {
+                            let built = scenario.build(seed);
+                            let report = Driver::new(driver.clone().seed(seed)).run(built.tasks);
+                            local.push((seed, report));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            collected.extend(h.join().expect("experiment worker panicked"));
         }
     })
     .expect("experiment worker panicked");
 
-    let mut collected = results.into_inner();
     collected.sort_by_key(|(seed, _)| *seed);
     let reports: Vec<RunReport> = collected.into_iter().map(|(_, r)| r).collect();
     PointResult::from_reports(&reports)

@@ -254,19 +254,101 @@ struct Node {
     processor: ProcessorId,
 }
 
+/// Every per-phase buffer the search engine needs, owned in one place so a
+/// long-lived caller (the driver) allocates once and reuses across all
+/// scheduling phases.
+///
+/// Lifetime contract (DESIGN.md §8): buffers live for the whole run; each
+/// phase *clears* them on entry (clear-don't-drop) and leaves their capacity
+/// behind for the next phase. Once capacities have reached the workload's
+/// steady state, [`search_schedule_with`] performs **zero** heap allocations
+/// per phase (provenance off) — asserted by the counting-allocator test in
+/// `crates/bench/tests/zero_alloc.rs` and pinned against behavioral drift by
+/// the `replay-oracle` differential suite.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Append-only node arena of the phase tree.
+    arena: Vec<Node>,
+    /// Per-node (completion, makespan-if-chosen), provenance only.
+    node_costs: Vec<(Time, Time)>,
+    /// The candidate list `CL` (stack: end = front).
+    cl: Vec<usize>,
+    /// Arena ids along the current vertex's root path.
+    path: Vec<usize>,
+    /// Branch-switch walk buffer (ancestors of the next vertex).
+    chain: Vec<usize>,
+    /// Feasible successors of one expansion, before ordering.
+    children: Vec<Candidate>,
+    /// Raw (task, processor) candidates of one skip round.
+    raw: Vec<(usize, ProcessorId)>,
+    /// Viable tasks in level order (assignment-oriented layouts).
+    level_task: Vec<usize>,
+    /// Per-task verdict of the phase-level viability screen.
+    viable: Vec<bool>,
+    /// The incremental path state, lazily created on first use and reset
+    /// (not rebuilt) on later phases.
+    state: Option<PathState>,
+    /// Backing storage handed out as [`SearchOutcome::assignments`]; refill
+    /// it via [`SearchScratch::recycle`] to keep the hot path allocation-free.
+    out: Vec<Assignment>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a spent assignment vector (e.g. a consumed
+    /// [`SearchOutcome::assignments`]) to the pool so the next phase can
+    /// reuse its capacity instead of allocating.
+    pub fn recycle(&mut self, mut assignments: Vec<Assignment>) {
+        assignments.clear();
+        if assignments.capacity() > self.out.capacity() {
+            self.out = assignments;
+        }
+    }
+
+    /// Takes the pooled assignment buffer (empty, capacity preserved) for a
+    /// scheduler that builds its outcome outside the search engine (the
+    /// one-pass baselines, the myopic scheduler).
+    #[must_use]
+    pub fn take_assignment_buffer(&mut self) -> Vec<Assignment> {
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        out
+    }
+}
+
 /// Runs one scheduling phase (see the module docs for the algorithm)
 /// and [`SearchParams`] for the inputs. The `meter` both limits and measures
 /// the scheduling time consumed.
 ///
-/// The engine maintains a single incremental [`PathState`]: on each pop it
-/// undoes assignments up to the deepest common ancestor of the previous and
-/// next vertex and applies back down — O(branch distance) per pop instead of
-/// the O(depth) per-pop root replay, so a straight dive is O(depth) overall
-/// rather than O(depth²). The paper charges only vertex evaluations against
-/// the quantum; this keeps the engine's own bookkeeping within that budget.
+/// Allocates fresh working buffers per call; phase-loop callers should hold
+/// a [`SearchScratch`] and use [`search_schedule_with`] instead.
 #[must_use]
 pub fn search_schedule(params: &SearchParams<'_>, meter: &mut SchedulingMeter) -> SearchOutcome {
-    search_core(params, meter, false)
+    let mut scratch = SearchScratch::new();
+    search_core(params, meter, false, &mut scratch)
+}
+
+/// [`search_schedule`] with caller-owned working buffers: the engine
+/// maintains a single incremental [`PathState`]; on each pop it undoes
+/// assignments up to the deepest common ancestor of the previous and next
+/// vertex and applies back down — O(branch distance) per pop instead of the
+/// O(depth) per-pop root replay, so a straight dive is O(depth) overall
+/// rather than O(depth²). The paper charges only vertex evaluations against
+/// the quantum; reusing the scratch keeps the engine's own bookkeeping (and
+/// allocator traffic) within that budget. Behavior is identical to
+/// [`search_schedule`] regardless of what previous phases left in `scratch`.
+#[must_use]
+pub fn search_schedule_with(
+    params: &SearchParams<'_>,
+    meter: &mut SchedulingMeter,
+    scratch: &mut SearchScratch,
+) -> SearchOutcome {
+    search_core(params, meter, false, scratch)
 }
 
 /// The pre-incremental engine, kept as a differential oracle: identical
@@ -280,14 +362,44 @@ pub fn search_schedule_replay(
     params: &SearchParams<'_>,
     meter: &mut SchedulingMeter,
 ) -> SearchOutcome {
-    search_core(params, meter, true)
+    let mut scratch = SearchScratch::new();
+    search_core(params, meter, true, &mut scratch)
 }
 
 fn search_core(
     params: &SearchParams<'_>,
     meter: &mut SchedulingMeter,
     use_replay: bool,
+    scratch: &mut SearchScratch,
 ) -> SearchOutcome {
+    // Clear-don't-drop: every buffer is emptied on entry and refilled below,
+    // so a warmed scratch runs the whole phase without touching the
+    // allocator. Clearing here (rather than on phase exit) also makes a
+    // fresh scratch and a reused one indistinguishable.
+    let SearchScratch {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        level_task,
+        viable,
+        state: state_slot,
+        out,
+    } = scratch;
+    arena.clear();
+    node_costs.clear();
+    cl.clear();
+    path.clear();
+    chain.clear();
+    children.clear();
+    raw.clear();
+    level_task.clear();
+    viable.clear();
+    out.clear();
+
     let n = params.tasks.len();
     let mut stats = SearchStats::default();
     // Root makespan: the latest initial finish time (the empty schedule's CE).
@@ -318,8 +430,7 @@ fn search_core(
     // Under provenance every probe is materialized so a screen rejection
     // carries the actual test operands; the verdicts are identical.
     let mut screened_evidence: Vec<ScreenEvidence> = Vec::new();
-    let viable: Vec<bool> = if params.provenance {
-        let mut viable = Vec::with_capacity(n);
+    if params.provenance {
         for (idx, t) in params.tasks.iter().enumerate() {
             let probes: Vec<ScreenProbe> = ProcessorId::all(params.initial_finish.len())
                 .map(|p| {
@@ -339,18 +450,14 @@ fn search_core(
             }
             viable.push(ok);
         }
-        viable
     } else {
-        params
-            .tasks
-            .iter()
-            .map(|t| {
-                ProcessorId::all(params.initial_finish.len()).any(|p| {
-                    t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
-                })
+        viable.extend(params.tasks.iter().map(|t| {
+            ProcessorId::all(params.initial_finish.len()).any(|p| {
+                t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
             })
-            .collect()
-    };
+        }));
+    }
+    let viable: &[bool] = viable;
     let n_viable = viable.iter().filter(|&&v| v).count();
     stats.screened_tasks = (n - n_viable) as u64;
     if n_viable == 0 {
@@ -367,31 +474,36 @@ fn search_core(
         };
     }
 
-    let level_task: Vec<usize> = match params.representation {
-        Representation::AssignmentOriented { task_order } => task_order
-            .order(params.tasks, params.now)
-            .into_iter()
-            .filter(|&t| viable[t])
-            .collect(),
-        Representation::SequenceOriented { .. } => Vec::new(),
-    };
+    if let Representation::AssignmentOriented { task_order } = params.representation {
+        task_order.order_into(params.tasks, params.now, level_task);
+        level_task.retain(|&t| viable[t]);
+    }
+    let level_task: &[usize] = level_task;
 
-    let root_state =
-        || PathState::with_resources(params.initial_finish.to_vec(), n, params.resources.clone());
+    // The incremental state is part of the scratch: reset in place when a
+    // previous phase left one behind, built fresh only on first use.
+    match state_slot.as_mut() {
+        Some(s) => s.reset(params.initial_finish, n, &params.resources),
+        None => {
+            *state_slot = Some(PathState::with_resources(
+                params.initial_finish.to_vec(),
+                n,
+                params.resources.clone(),
+            ));
+        }
+    }
+    let state = state_slot.as_mut().expect("state initialized above");
 
-    let mut arena: Vec<Node> = Vec::new();
-    // Candidate costs per arena node — (completion, makespan-if-chosen) —
-    // recorded only under provenance, index-aligned with `arena`.
-    let mut node_costs: Vec<(Time, Time)> = Vec::new();
-    let mut cl: Vec<usize> = Vec::new(); // stack: end = front of CL
-                                         // Best feasible vertex so far: (depth, makespan, id). Root (empty
-                                         // schedule) is the fallback; `None` id means "deliver nothing".
-    let mut best: (usize, Time, Option<usize>) = (0, root_state().makespan(), None);
+    // Best feasible vertex so far: (depth, makespan, id). Root (empty
+    // schedule, makespan = root_makespan) is the fallback; `None` id means
+    // "deliver nothing".
+    let mut best: (usize, Time, Option<usize>) = (0, root_makespan, None);
     let mut last_expanded: Option<usize> = None;
     let termination;
 
     // Reconstructs the PathState of a vertex by replaying root->vertex — the
-    // O(depth) oracle path, taken only when `use_replay` is set.
+    // O(depth) oracle path, taken only when `use_replay` is set. Allocates
+    // freely: the oracle is never on the production hot path.
     let replay = |arena: &[Node], id: Option<usize>| -> PathState {
         let mut chain = Vec::new();
         let mut cursor = id;
@@ -399,7 +511,8 @@ fn search_core(
             chain.push(i);
             cursor = arena[i].parent;
         }
-        let mut state = root_state();
+        let mut state =
+            PathState::with_resources(params.initial_finish.to_vec(), n, params.resources.clone());
         for &i in chain.iter().rev() {
             let node = &arena[i];
             state.apply(params.tasks, params.comm, node.task, node.processor);
@@ -416,10 +529,11 @@ fn search_core(
     let switch_to = |arena: &[Node],
                      state: &mut PathState,
                      path: &mut Vec<usize>,
+                     chain: &mut Vec<usize>,
                      stats: &mut SearchStats,
                      cv: usize,
                      track: bool| {
-        let mut chain: Vec<usize> = Vec::new();
+        chain.clear();
         let mut cursor = Some(cv);
         let common_depth = loop {
             let Some(i) = cursor else { break 0 };
@@ -459,6 +573,8 @@ fn search_core(
                   arena: &mut Vec<Node>,
                   node_costs: &mut Vec<(Time, Time)>,
                   cl: &mut Vec<usize>,
+                  children: &mut Vec<Candidate>,
+                  raw: &mut Vec<(usize, ProcessorId)>,
                   meter: &mut SchedulingMeter,
                   stats: &mut SearchStats,
                   best: &mut (usize, Time, Option<usize>)|
@@ -474,11 +590,11 @@ fn search_core(
         }
         stats.expansions += 1;
         let max_skips = params.representation.max_skips(state);
-        let mut children: Vec<Candidate> = Vec::new();
+        children.clear();
         'skip_rounds: for skip in 0..=max_skips {
-            let mut raw = params
+            params
                 .representation
-                .raw_candidates(state, &level_task, skip);
+                .raw_candidates_into(state, level_task, skip, raw);
             // Screened (phase-infeasible) tasks are invisible to the search
             // and cost no quantum. An empty round means no viable task is
             // left at all — skipping further cannot help either layout.
@@ -486,15 +602,24 @@ fn search_core(
             if raw.is_empty() {
                 break;
             }
-            for (task, p) in raw {
+            // Per-candidate accounting order (pinned by the
+            // `vertex_cap_break_classifies_every_counted_vertex` and
+            // `quantum_break_counts_the_uncharged_vertex` tests):
+            //   1. vertex cap — checked *before* generating, so a cap break
+            //      counts nothing: every cap-counted vertex is classified.
+            //   2. quantum charge — counted whether or not it succeeds, so
+            //      `vertices_generated == meter.vertices()` always; but a
+            //      *failed* charge never reaches classification, so a
+            //      mid-round quantum break leaves exactly one counted,
+            //      unclassified vertex.
+            //   3. feasibility classification — only for charged vertices.
+            for &(task, p) in raw.iter() {
                 if params
                     .vertex_cap
                     .is_some_and(|cap| stats.vertices_generated >= cap)
                 {
                     break 'skip_rounds; // cap reached mid-expansion
                 }
-                // the meter counts the charge attempt either way, so the
-                // stats stay equal to `meter.vertices()`
                 let charged = meter.charge_vertex();
                 stats.vertices_generated += 1;
                 if !charged {
@@ -519,7 +644,7 @@ fn search_core(
             }
             stats.level_skips += 1;
         }
-        params.child_order.sort(&mut children);
+        params.child_order.sort(children);
         let depth = state.depth() + 1;
         let mut leaf = None;
         // Push lowest-priority first so the highest-priority child is popped
@@ -553,17 +678,8 @@ fn search_core(
 
     // Expand the root, then walk the candidate list with one incrementally
     // maintained state.
-    let mut state = root_state();
-    let mut path: Vec<usize> = Vec::new();
     let leaf = expand(
-        None,
-        &state,
-        &mut arena,
-        &mut node_costs,
-        &mut cl,
-        meter,
-        &mut stats,
-        &mut best,
+        None, state, arena, node_costs, cl, children, raw, meter, &mut stats, &mut best,
     );
     if let Some((leaf_id, leaf_makespan)) = leaf {
         best = (n_viable, leaf_makespan, Some(leaf_id));
@@ -590,14 +706,16 @@ fn search_core(
                     break Termination::Pruned;
                 }
             }
-            switch_to(&arena, &mut state, &mut path, &mut stats, cv, true);
+            switch_to(arena, state, path, chain, &mut stats, cv, true);
             last_expanded = Some(cv);
             let leaf = expand(
                 Some(cv),
-                &state,
-                &mut arena,
-                &mut node_costs,
-                &mut cl,
+                state,
+                arena,
+                node_costs,
+                cl,
+                children,
+                raw,
                 meter,
                 &mut stats,
                 &mut best,
@@ -611,10 +729,14 @@ fn search_core(
 
     // Deliver the best vertex's schedule. Untracked: the extraction switch
     // is not part of the search, so it must not skew the per-pop counters.
+    // The assignments are copied into the pooled `out` buffer (the state
+    // itself stays in the scratch for the next phase); callers return the
+    // vector via [`SearchScratch::recycle`] to close the reuse loop.
     let assignments = match best.2 {
         Some(id) => {
-            switch_to(&arena, &mut state, &mut path, &mut stats, id, false);
-            state.into_assignments()
+            switch_to(arena, state, path, chain, &mut stats, id, false);
+            out.extend_from_slice(state.assignments());
+            std::mem::take(out)
         }
         None => Vec::new(),
     };
@@ -786,6 +908,113 @@ mod tests {
         assert!(!out.assignments.is_empty(), "delivers what it found");
         assert!(out.assignments.len() < 50);
         assert_eq!(out.stats.vertices_generated, meter.vertices());
+    }
+
+    #[test]
+    fn quantum_break_counts_the_uncharged_vertex() {
+        // Accounting contract, step 2: the charge attempt that finds the
+        // quantum exhausted is still counted as a generated vertex (so the
+        // stats always equal `meter.vertices()`), but it is never
+        // classified. 10us quantum at 1us per vertex: charges 1..=9 fill
+        // 9us, charge 10 is the exact fill (succeeds, exhausts), charge 11
+        // fails -> 11 counted, 10 classified.
+        let tasks: Vec<Task> = (0..50).map(|i| mk_task(i, 100, 1_000_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 4];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let mut meter = SchedulingMeter::new(
+            HostParams::new(Duration::from_micros(1)),
+            Duration::from_micros(10),
+        );
+        let out = search_schedule(&p, &mut meter);
+        assert_eq!(out.termination, Termination::QuantumExhausted);
+        assert_eq!(out.stats.vertices_generated, 11);
+        assert_eq!(out.stats.vertices_generated, meter.vertices());
+        assert_eq!(
+            out.stats.feasible_children + out.stats.infeasible_children,
+            out.stats.vertices_generated - 1,
+            "exactly the one uncharged vertex goes unclassified"
+        );
+    }
+
+    #[test]
+    fn vertex_cap_break_classifies_every_counted_vertex() {
+        // Accounting contract, step 1: the cap is checked *before* a vertex
+        // is generated, so a mid-round cap break counts nothing — every
+        // counted vertex carries a feasibility verdict. Cap 6 on a
+        // 4-processor expansion breaks two candidates into the second round.
+        let tasks: Vec<Task> = (0..50).map(|i| mk_task(i, 100, 1_000_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 4];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.vertex_cap = Some(6);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::QuantumExhausted);
+        assert_eq!(out.stats.vertices_generated, 6, "never exceeds the cap");
+        assert_eq!(
+            out.stats.feasible_children + out.stats.infeasible_children,
+            out.stats.vertices_generated,
+            "a cap break leaves no unclassified vertex"
+        );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        // One scratch carried across phases of very different shapes (sizes,
+        // layouts, pruning, quantum pressure) must reproduce every fresh-run
+        // outcome bit for bit — the clearing invariant of DESIGN.md §8.
+        let comm_free = CommModel::free();
+        let comm_slow = CommModel::constant(Duration::from_micros(1_000));
+        let asg = Representation::assignment_oriented();
+        let seq = Representation::sequence_oriented();
+        let big: Vec<Task> = (0..30).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let tight: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 400, &[])).collect();
+        let affine = vec![mk_task(0, 100, 150, &[0, 1]), mk_task(1, 100, 150, &[0])];
+        type Scenario<'a> = (
+            &'a [Task],
+            &'a CommModel,
+            &'a Representation,
+            usize,
+            Pruning,
+            bool,
+        );
+        let scenarios: Vec<Scenario> = vec![
+            (&big, &comm_free, &asg, 3, Pruning::default(), false),
+            (&tight, &comm_free, &asg, 2, Pruning::default(), true),
+            (&affine, &comm_slow, &asg, 2, Pruning::default(), true),
+            (&big, &comm_free, &seq, 2, Pruning::default(), false),
+            (
+                &tight,
+                &comm_free,
+                &asg,
+                2,
+                Pruning {
+                    depth_bound: Some(4),
+                    backtrack_limit: Some(2),
+                },
+                false,
+            ),
+            // shrink back down: stale capacity must not leak into a small phase
+            (&affine, &comm_free, &asg, 2, Pruning::default(), true),
+        ];
+        let mut scratch = SearchScratch::new();
+        for (tasks, comm, repr, procs, pruning, provenance) in scenarios {
+            let initial = vec![Time::ZERO; procs];
+            let mut p = params(tasks, comm, &initial, repr, ChildOrder::LoadBalance);
+            p.pruning = pruning;
+            p.provenance = provenance;
+            let fresh = search_schedule(&p, &mut free_meter());
+            let reused = search_schedule_with(&p, &mut free_meter(), &mut scratch);
+            assert_eq!(fresh.assignments, reused.assignments);
+            assert_eq!(fresh.termination, reused.termination);
+            assert_eq!(fresh.n_viable, reused.n_viable);
+            assert_eq!(fresh.makespan, reused.makespan);
+            assert_eq!(fresh.stats, reused.stats);
+            assert_eq!(fresh.provenance, reused.provenance);
+            scratch.recycle(reused.assignments);
+        }
     }
 
     #[test]

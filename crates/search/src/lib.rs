@@ -36,8 +36,9 @@ mod state;
 #[cfg(any(test, feature = "replay-oracle"))]
 pub use engine::search_schedule_replay;
 pub use engine::{
-    search_schedule, PhaseProvenance, PlacementAlternative, PlacementEvidence, Pruning,
-    ScreenEvidence, ScreenProbe, SearchOutcome, SearchParams, SearchStats, Termination,
+    search_schedule, search_schedule_with, PhaseProvenance, PlacementAlternative,
+    PlacementEvidence, Pruning, ScreenEvidence, ScreenProbe, SearchOutcome, SearchParams,
+    SearchScratch, SearchStats, Termination,
 };
 pub use policy::{Candidate, ChildOrder, ProcessorOrder, TaskOrder};
 pub use repr::Representation;

@@ -25,20 +25,33 @@ impl TaskOrder {
     /// `now` (used by slack). Returns batch indices, one per level.
     #[must_use]
     pub fn order(&self, tasks: &[Task], now: Time) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..tasks.len()).collect();
+        let mut idx = Vec::new();
+        self.order_into(tasks, now, &mut idx);
+        idx
+    }
+
+    /// Like [`TaskOrder::order`], but sorts into a caller-provided index
+    /// buffer (cleared first) so the per-phase hot path can reuse one
+    /// allocation across phases.
+    ///
+    /// Every sort key ends with the batch index `i`, so keys are unique and
+    /// the unstable sort is deterministic — identical output to a stable
+    /// sort, without the stable sort's temporary buffer.
+    pub fn order_into(&self, tasks: &[Task], now: Time, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..tasks.len());
         match self {
             TaskOrder::EarliestDeadline => {
-                idx.sort_by_key(|&i| (tasks[i].deadline(), i));
+                out.sort_unstable_by_key(|&i| (tasks[i].deadline(), i));
             }
             TaskOrder::MinSlack => {
-                idx.sort_by_key(|&i| (tasks[i].slack(now), i));
+                out.sort_unstable_by_key(|&i| (tasks[i].slack(now), i));
             }
             TaskOrder::Arrival => {}
             TaskOrder::ShortestProcessing => {
-                idx.sort_by_key(|&i| (tasks[i].processing_time(), i));
+                out.sort_unstable_by_key(|&i| (tasks[i].processing_time(), i));
             }
         }
-        idx
     }
 }
 
@@ -112,16 +125,23 @@ pub struct Candidate {
 
 impl ChildOrder {
     /// Sorts candidates so that the highest-priority successor comes first.
+    ///
+    /// Unstable sorts are safe here: each key ends in the full
+    /// `(task, processor)` pair, which is unique within one expansion, so the
+    /// order is a deterministic total order regardless of sort stability —
+    /// and the unstable sort needs no temporary allocation.
     pub fn sort(&self, candidates: &mut [Candidate]) {
         match self {
             ChildOrder::LoadBalance => {
-                candidates.sort_by_key(|c| (c.makespan, c.completion, c.processor, c.task));
+                candidates
+                    .sort_unstable_by_key(|c| (c.makespan, c.completion, c.processor, c.task));
             }
             ChildOrder::EarliestCompletion => {
-                candidates.sort_by_key(|c| (c.completion, c.processor, c.task));
+                candidates.sort_unstable_by_key(|c| (c.completion, c.processor, c.task));
             }
             ChildOrder::EarliestDeadline => {
-                candidates.sort_by_key(|c| (c.deadline, c.completion, c.task, c.processor));
+                candidates
+                    .sort_unstable_by_key(|c| (c.deadline, c.completion, c.task, c.processor));
             }
             ChildOrder::None => {}
         }

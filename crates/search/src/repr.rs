@@ -101,6 +101,22 @@ impl Representation {
         level_task: &[usize],
         skip: usize,
     ) -> Vec<(usize, ProcessorId)> {
+        let mut out = Vec::new();
+        self.raw_candidates_into(state, level_task, skip, &mut out);
+        out
+    }
+
+    /// Like [`Representation::raw_candidates`], but writes into a
+    /// caller-provided buffer (cleared first) so the expansion loop can
+    /// reuse one allocation across every skip round of every expansion.
+    pub fn raw_candidates_into(
+        &self,
+        state: &PathState,
+        level_task: &[usize],
+        skip: usize,
+        out: &mut Vec<(usize, ProcessorId)>,
+    ) {
+        out.clear();
         let level = state.depth();
         match self {
             Representation::AssignmentOriented { .. } => {
@@ -112,11 +128,9 @@ impl Representation {
                     .filter(|&&t| !state.is_assigned(t))
                     .nth(skip)
                 else {
-                    return Vec::new();
+                    return;
                 };
-                ProcessorId::all(state.processors())
-                    .map(|p| (task, p))
-                    .collect()
+                out.extend(ProcessorId::all(state.processors()).map(|p| (task, p)));
             }
             Representation::SequenceOriented {
                 processor_order, ..
@@ -124,7 +138,7 @@ impl Representation {
                 let m = state.processors();
                 let base = processor_order.processor_at(level, m, state.n_tasks());
                 let p = ProcessorId::new((base + skip) % m);
-                state.unassigned().map(|t| (t, p)).collect()
+                out.extend(state.unassigned().map(|t| (t, p)));
             }
         }
     }

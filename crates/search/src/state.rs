@@ -108,6 +108,28 @@ impl PathState {
         }
     }
 
+    /// Rewinds this state to a fresh root, reusing every backing buffer.
+    ///
+    /// Equivalent to `*self = PathState::with_resources(initial_finish.to_vec(),
+    /// n_tasks, resources.clone())` but allocation-free once the buffers have
+    /// grown to their steady-state capacity — the per-phase reuse path of the
+    /// search scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no processors.
+    pub fn reset(&mut self, initial_finish: &[Time], n_tasks: usize, resources: &ResourceEats) {
+        assert!(!initial_finish.is_empty(), "PathState needs processors");
+        self.assigned.clear();
+        self.assigned.resize(n_tasks, false);
+        self.n_assigned = 0;
+        self.finish.clear();
+        self.finish.extend_from_slice(initial_finish);
+        self.assignments.clear();
+        self.resources.copy_from(resources);
+        self.undo_log.clear();
+    }
+
     /// Number of processors.
     #[must_use]
     pub fn processors(&self) -> usize {
@@ -396,6 +418,34 @@ mod tests {
         straight.apply(&tasks, &comm, 0, ProcessorId::new(0));
         straight.apply(&tasks, &comm, 2, ProcessorId::new(1));
         assert_eq!(zigzag, straight);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        use rt_task::ResourceRequest;
+        let tasks = mk_tasks(&[(100, 10_000, &[]), (150, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let mut s = PathState::new(vec![Time::ZERO; 2], 2);
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        s.apply(&tasks, &comm, 1, ProcessorId::new(1));
+
+        // reset to a different root: other finishes, other task count,
+        // non-trivial resource EATs
+        let finishes = [Time::from_micros(300), Time::from_micros(700)];
+        let mut eats = ResourceEats::new();
+        eats.commit(&[ResourceRequest::exclusive(1)], Time::from_micros(42));
+        s.reset(&finishes, 3, &eats);
+        let fresh = PathState::with_resources(finishes.to_vec(), 3, eats.clone());
+        assert_eq!(s, fresh, "reset is indistinguishable from fresh");
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.makespan(), Time::from_micros(700));
+    }
+
+    #[test]
+    #[should_panic(expected = "PathState needs processors")]
+    fn reset_without_processors_panics() {
+        let mut s = PathState::new(vec![Time::ZERO], 1);
+        s.reset(&[], 1, &ResourceEats::new());
     }
 
     #[test]

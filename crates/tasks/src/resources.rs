@@ -108,6 +108,16 @@ impl ResourceEats {
         Self::default()
     }
 
+    /// Overwrites `self` with `other`, reusing the existing backing storage.
+    ///
+    /// The derived `Clone` falls back to `*self = other.clone()` for
+    /// `clone_from`, which reallocates; this field-wise `Vec::clone_from`
+    /// keeps capacity, so a reused scratch state pays no heap traffic.
+    pub fn copy_from(&mut self, other: &ResourceEats) {
+        self.shared.clone_from(&other.shared);
+        self.exclusive.clone_from(&other.exclusive);
+    }
+
     /// Number of resources touched so far.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -69,6 +69,7 @@ impl IntoBenchmarkId for String {
 /// Passed to benchmark closures; runs and times the measured routine.
 pub struct Bencher {
     samples: usize,
+    test_mode: bool,
     /// Per-iteration times of the collected samples.
     results: Vec<Duration>,
 }
@@ -76,6 +77,14 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, collecting the configured number of samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // `--test`: run the routine once to check it works, skip timing.
+            self.results.clear();
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+            return;
+        }
         // Warm-up and batch sizing: aim for ~5ms per sample, at least 1 iter.
         let warm = Instant::now();
         black_box(routine());
@@ -109,6 +118,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
@@ -134,6 +144,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut bencher = Bencher {
             samples: self.sample_size,
+            test_mode: self.test_mode,
             results: Vec::new(),
         };
         f(&mut bencher);
@@ -150,6 +161,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let mut bencher = Bencher {
             samples: self.sample_size,
+            test_mode: self.test_mode,
             results: Vec::new(),
         };
         f(&mut bencher, input);
@@ -181,8 +193,20 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Top-level benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Honors `cargo bench -- --test` like real criterion: each benchmark
+    /// routine runs exactly once, untimed, as a smoke test.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Starts a named benchmark group.
@@ -190,6 +214,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            test_mode: self.test_mode,
             throughput: None,
             _parent: self,
         }

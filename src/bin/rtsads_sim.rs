@@ -9,6 +9,7 @@
 //!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
 //! rtsads-sim explain --task N --trace FILE.jsonl
 //! rtsads-sim report-diff a.json b.json
+//! rtsads-sim bench-snapshot [--out FILE.json] [--phases N]
 //! ```
 //!
 //! The `--*-out` flags enable telemetry: a structured JSONL event trace, a
@@ -183,6 +184,39 @@ fn cmd_explain(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `rtsads-sim bench-snapshot [--out FILE.json] [--phases N]` — measures
+/// search throughput at the canonical scenario points and writes the
+/// tracked baseline (`BENCH_search.json` by default).
+fn cmd_bench_snapshot(argv: &[String]) -> Result<(), String> {
+    use rtsads_repro::snapshot;
+    let mut out = PathBuf::from("BENCH_search.json");
+    let mut phases = snapshot::DEFAULT_MEASURED;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--phases" => phases = value("--phases")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown bench-snapshot flag '{other}'")),
+        }
+    }
+    let snap = snapshot::collect(phases);
+    for p in &snap.points {
+        println!(
+            "{:>14}: {:>10.0} phases/s  {:>12.0} vertices/s  {:>12.0} undos/s",
+            p.name, p.phases_per_sec, p.vertices_per_sec, p.undos_per_sec
+        );
+    }
+    std::fs::write(&out, snap.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!("# wrote {}", out.display());
+    Ok(())
+}
+
 /// `rtsads-sim report-diff a.json b.json` — exits nonzero on drift.
 fn cmd_report_diff(argv: &[String]) -> Result<bool, String> {
     let [a, b] = argv else {
@@ -217,6 +251,16 @@ fn main() -> ExitCode {
                 Err(msg) => {
                     eprintln!("error: {msg}");
                     eprintln!("usage: rtsads-sim report-diff a.json b.json");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("bench-snapshot") => {
+            return match cmd_bench_snapshot(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!("usage: rtsads-sim bench-snapshot [--out FILE.json] [--phases N]");
                     ExitCode::FAILURE
                 }
             };

@@ -13,7 +13,9 @@
 //! * [`telemetry`] — metrics registry, JSONL trace export, Perfetto
 //!   timelines, run manifests and the per-task decision ledger,
 //! * [`explain`] — report files, causal-chain `explain` rendering and the
-//!   `report-diff` drift comparison behind the CI determinism gate.
+//!   `report-diff` drift comparison behind the CI determinism gate,
+//! * [`snapshot`] — the tracked search-throughput baseline behind
+//!   `rtsads-sim bench-snapshot` (`BENCH_search.json`).
 //!
 //! # Quickstart
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod explain;
+pub mod snapshot;
 
 pub use paragon_des as des;
 pub use paragon_platform as platform;

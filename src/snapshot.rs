@@ -1,0 +1,218 @@
+//! Tracked search-throughput baseline: `rtsads-sim bench-snapshot` measures
+//! steady-state scheduling throughput at three canonical scenario points and
+//! writes `BENCH_search.json` — phases/sec, vertices/sec and undos/sec plus
+//! a [`RunManifest`] (seed, git describe) — so a perf regression shows up as
+//! a diff against the committed baseline rather than a vague feeling.
+//!
+//! The three points stress different parts of the hot path:
+//!
+//! * `deep_dive_64` — the raw engine on a depth-64 straight descent
+//!   (no backtracking; dominated by expansion and candidate ordering),
+//! * `mixed_150x8` — the full `schedule_phase` on the mixed synthetic
+//!   batch (affinity pins, heterogeneous costs),
+//! * `tight_150x8` — `schedule_phase` on the backtrack-heavy batch
+//!   (deadlines 2× cost; dominated by undo/backtrack traffic).
+//!
+//! All points run with one reused scratch — the driver's steady state, and
+//! the regime the `zero_alloc` test pins to zero heap allocations.
+
+use bench_support::{deep_dive_batch, synthetic_batch, tight_batch};
+use paragon_des::{Duration, SimRng, Time};
+use paragon_platform::{HostParams, SchedulingMeter};
+use rt_task::{CommModel, ResourceEats};
+use rt_telemetry::RunManifest;
+use rtsads::{Algorithm, PhaseScratch};
+use sched_search::{
+    search_schedule_with, ChildOrder, Pruning, Representation, SearchParams, SearchScratch,
+};
+use serde::{Deserialize, Serialize};
+
+/// Throughput at one canonical scenario point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotPoint {
+    /// Point id: `deep_dive_64`, `mixed_150x8` or `tight_150x8`.
+    pub name: String,
+    /// Phases measured (after warm-up).
+    pub phases: u64,
+    /// Wall-clock time for the measured phases, microseconds.
+    pub elapsed_us: u64,
+    /// Scheduling phases completed per second.
+    pub phases_per_sec: f64,
+    /// Search vertices generated per second.
+    pub vertices_per_sec: f64,
+    /// Incremental undo operations per second.
+    pub undos_per_sec: f64,
+}
+
+/// The whole snapshot: provenance plus the three measured points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Run provenance: seed, workers, calibration, `git describe`.
+    pub manifest: RunManifest,
+    /// One entry per canonical point.
+    pub points: Vec<SnapshotPoint>,
+}
+
+impl BenchSnapshot {
+    /// Renders the snapshot as pretty-printed JSON (trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes") + "\n"
+    }
+
+    /// Parses a snapshot back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error rendered as a string.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// The seed every snapshot point uses (matches the search benches).
+pub const SNAPSHOT_SEED: u64 = 7;
+
+fn point(
+    name: &str,
+    warmup: u64,
+    measured: u64,
+    mut phase: impl FnMut() -> (u64, u64),
+) -> SnapshotPoint {
+    for _ in 0..warmup {
+        phase();
+    }
+    let mut vertices = 0u64;
+    let mut undos = 0u64;
+    let start = std::time::Instant::now();
+    for _ in 0..measured {
+        let (v, u) = phase();
+        vertices += v;
+        undos += u;
+    }
+    let elapsed = start.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    SnapshotPoint {
+        name: name.to_string(),
+        phases: measured,
+        elapsed_us: elapsed.as_micros() as u64,
+        phases_per_sec: measured as f64 / secs,
+        vertices_per_sec: vertices as f64 / secs,
+        undos_per_sec: undos as f64 / secs,
+    }
+}
+
+/// Measures all three canonical points. `measured` is the number of timed
+/// phases per point (the CLI default is [`DEFAULT_MEASURED`]; tests pass a
+/// small count).
+#[must_use]
+pub fn collect(measured: u64) -> BenchSnapshot {
+    let warmup = (measured / 10).clamp(3, 50);
+
+    // Point 1: raw engine, depth-64 deep dive on 2 workers.
+    let dive = {
+        let tasks = deep_dive_batch(64);
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = vec![Time::ZERO; 2];
+        let params = SearchParams {
+            tasks: &tasks,
+            comm: &comm,
+            initial_finish: &initial,
+            representation: &repr,
+            child_order: ChildOrder::LoadBalance,
+            now: Time::ZERO,
+            vertex_cap: None,
+            pruning: Pruning::default(),
+            resources: ResourceEats::new(),
+            provenance: false,
+        };
+        let mut scratch = SearchScratch::new();
+        point("deep_dive_64", warmup, measured, || {
+            let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
+            let out = search_schedule_with(&params, &mut meter, &mut scratch);
+            let stats = (out.stats.vertices_generated as u64, out.stats.undos as u64);
+            scratch.recycle(out.assignments);
+            stats
+        })
+    };
+
+    // Points 2 and 3: the full algorithm layer on 8 workers. Phases here
+    // are ~1000× slower than the deep dive, so they get fewer iterations.
+    let workers = 8;
+    let comm = CommModel::constant(Duration::from_millis(2));
+    let initial = vec![Time::ZERO; workers];
+    let phase_measured = (measured / 40).max(3);
+    let full_point = |name: &str, tasks: &[rt_task::Task]| {
+        let algorithm = Algorithm::rt_sads();
+        let mut scratch = PhaseScratch::new();
+        point(
+            name,
+            (phase_measured / 10).clamp(2, 10),
+            phase_measured,
+            || {
+                let mut meter = SchedulingMeter::new(
+                    HostParams::new(Duration::from_micros(1)),
+                    Duration::from_secs(10),
+                );
+                let mut rng = SimRng::seed_from(SNAPSHOT_SEED);
+                let out = algorithm.schedule_phase(
+                    tasks,
+                    &comm,
+                    &initial,
+                    Time::ZERO,
+                    Some(200_000),
+                    Pruning::default(),
+                    &ResourceEats::new(),
+                    false,
+                    &mut meter,
+                    &mut rng,
+                    &mut scratch,
+                );
+                let stats = (out.stats.vertices_generated as u64, out.stats.undos as u64);
+                scratch.recycle(out.assignments);
+                stats
+            },
+        )
+    };
+    let mixed = full_point("mixed_150x8", &synthetic_batch(150, workers));
+    let tight = full_point("tight_150x8", &tight_batch(150, workers));
+
+    let manifest = RunManifest::new("RT-SADS", SNAPSHOT_SEED, workers)
+        .calibration(1, Some(2_000))
+        .with("points", "deep_dive_64,mixed_150x8,tight_150x8")
+        .with("measured_phases", measured.to_string());
+
+    BenchSnapshot {
+        manifest,
+        points: vec![dive, mixed, tight],
+    }
+}
+
+/// Timed phases per point for the CLI (`rtsads-sim bench-snapshot`).
+pub const DEFAULT_MEASURED: u64 = 2_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_and_reports_positive_rates() {
+        let snap = collect(120);
+        assert_eq!(snap.points.len(), 3);
+        assert_eq!(snap.points[0].name, "deep_dive_64");
+        for p in &snap.points {
+            assert!(p.phases > 0, "{}: no phases", p.name);
+            assert!(p.phases_per_sec > 0.0, "{}: zero rate", p.name);
+            assert!(p.vertices_per_sec > 0.0, "{}: zero vertices", p.name);
+        }
+        // The tight batch is built to backtrack; undo traffic must show up.
+        assert!(
+            snap.points[2].undos_per_sec > 0.0,
+            "tight point never undid"
+        );
+        let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
+        assert_eq!(back.points.len(), 3);
+        assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
+    }
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use rtsads_repro::des::{Duration, SimRng, Time};
 use rtsads_repro::platform::{HostParams, SchedulingMeter};
-use rtsads_repro::sads::Algorithm;
+use rtsads_repro::sads::{Algorithm, PhaseScratch};
 use rtsads_repro::search::Pruning;
 use rtsads_repro::task::{
     AffinitySet, CommModel, MeshSpec, ProcessorId, ResourceEats, Task, TaskId,
@@ -102,6 +102,7 @@ proptest! {
                 Duration::from_micros(quantum_us),
             );
             let mut rng = SimRng::seed_from(5);
+            let mut scratch = PhaseScratch::new();
             let out = alg.schedule_phase(
                 &tasks,
                 &comm,
@@ -113,6 +114,7 @@ proptest! {
                 false,
                 &mut meter,
                 &mut rng,
+                &mut scratch,
             );
             validate(&tasks, &comm, &initial, &out.assignments)?;
             prop_assert!(meter.consumed() <= meter.quantum(), "{}", alg.name());
@@ -136,6 +138,7 @@ proptest! {
                 Duration::from_micros(20_000),
             );
             let mut rng = SimRng::seed_from(9);
+            let mut scratch = PhaseScratch::new();
             let out = alg.schedule_phase(
                 &tasks,
                 &comm,
@@ -147,6 +150,7 @@ proptest! {
                 false,
                 &mut meter,
                 &mut rng,
+                &mut scratch,
             );
             validate(&tasks, &comm, &initial, &out.assignments)?;
         }
@@ -213,6 +217,7 @@ proptest! {
                 false,
                 &mut meter,
                 &mut rng,
+                &mut PhaseScratch::new(),
             )
         };
         let greedy = run(Algorithm::GreedyEdf);

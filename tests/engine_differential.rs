@@ -16,8 +16,8 @@ use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
 use rt_task::{AffinitySet, CommModel, ProcessorId, ResourceEats, ResourceRequest, Task, TaskId};
 use sched_search::{
-    search_schedule, search_schedule_replay, ChildOrder, Pruning, Representation, SearchParams,
-    TaskOrder,
+    search_schedule, search_schedule_replay, search_schedule_with, ChildOrder, ProcessorOrder,
+    Pruning, Representation, SearchParams, SearchScratch, TaskOrder,
 };
 
 const INSTANCES: u64 = 500;
@@ -66,6 +66,8 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
     let mut total_undos = 0u64;
     let mut total_screened = 0u64;
     let mut leaves = 0u64;
+    let mut provenance_decisions = 0u64;
+    let mut scratch = SearchScratch::new();
 
     for i in 0..INSTANCES {
         let mut rng = parent.child(i);
@@ -90,7 +92,13 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
                 ]),
             }
         } else {
-            Representation::sequence_oriented()
+            // Sweep both processor orders and the skip variant — the
+            // skipping path drives the per-skip raw-candidate buffer.
+            Representation::SequenceOriented {
+                processor_order: *rng
+                    .choose(&[ProcessorOrder::RoundRobin, ProcessorOrder::FillFirst]),
+                skip_processors: rng.bernoulli(0.5),
+            }
         };
         let child_order = *rng.choose(&[
             ChildOrder::LoadBalance,
@@ -118,6 +126,7 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
                 Time::from_micros(rng.uniform_u64(1..500)),
             );
         }
+        let provenance = rng.bernoulli(0.3);
         let params = SearchParams {
             tasks: &tasks,
             comm: &comm,
@@ -128,7 +137,7 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
             vertex_cap,
             pruning,
             resources,
-            provenance: false,
+            provenance,
         };
         // Identical meters: free on most instances, a tight quantum with a
         // real per-vertex cost on the rest.
@@ -145,25 +154,48 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
         let tight = rng.bernoulli(0.3);
         let mut meter_inc = mk_meter(tight);
         let mut meter_rep = mk_meter(tight);
+        let mut meter_scr = mk_meter(tight);
         if tight {
             let quantum = Duration::from_micros(rng.uniform_u64(10..2_000));
             meter_inc = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
             meter_rep = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
+            meter_scr = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
         }
 
         let inc = search_schedule(&params, &mut meter_inc);
         let rep = search_schedule_replay(&params, &mut meter_rep);
+        // Third run through ONE scratch carried across all instances: the
+        // reuse path must be bit-identical no matter what the previous
+        // instance left behind in the buffers.
+        let scr = search_schedule_with(&params, &mut meter_scr, &mut scratch);
 
         assert_eq!(inc.assignments, rep.assignments, "instance {i}");
         assert_eq!(inc.termination, rep.termination, "instance {i}");
         assert_eq!(inc.n_viable, rep.n_viable, "instance {i}");
         assert_eq!(inc.makespan, rep.makespan, "instance {i}");
         assert_eq!(inc.stats, rep.stats, "instance {i}");
+        assert_eq!(inc.provenance, rep.provenance, "instance {i}");
         assert_eq!(meter_inc.vertices(), meter_rep.vertices(), "instance {i}");
         assert_eq!(meter_inc.consumed(), meter_rep.consumed(), "instance {i}");
 
+        assert_eq!(inc.assignments, scr.assignments, "scratch instance {i}");
+        assert_eq!(inc.termination, scr.termination, "scratch instance {i}");
+        assert_eq!(inc.n_viable, scr.n_viable, "scratch instance {i}");
+        assert_eq!(inc.makespan, scr.makespan, "scratch instance {i}");
+        assert_eq!(inc.stats, scr.stats, "scratch instance {i}");
+        assert_eq!(inc.provenance, scr.provenance, "scratch instance {i}");
+        assert_eq!(meter_inc.vertices(), meter_scr.vertices(), "instance {i}");
+        assert_eq!(meter_inc.consumed(), meter_scr.consumed(), "instance {i}");
+        scratch.recycle(scr.assignments);
+
         total_undos += inc.stats.undos;
         total_screened += inc.stats.screened_tasks;
+        if provenance {
+            provenance_decisions += inc
+                .provenance
+                .as_ref()
+                .map_or(0, |p| p.decisions.len() as u64);
+        }
         if inc.covers_viable() {
             leaves += 1;
         }
@@ -175,4 +207,8 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
     assert!(total_screened > 0, "no instance ever screened a task");
     assert!(leaves > 0, "no instance ever reached a leaf");
     assert!(leaves < INSTANCES, "every instance trivially completed");
+    assert!(
+        provenance_decisions > 0,
+        "no provenance instance ever recorded a placement decision"
+    );
 }
