@@ -694,6 +694,10 @@ impl Driver {
             phases,
             workers_used: machine.workers_used(),
             worker_busy: machine.iter_workers().map(|w| w.busy_time()).collect(),
+            worker_idle: machine
+                .iter_workers()
+                .map(|w| w.idle_time(finished_at))
+                .collect(),
             finished_at,
             orphaned: orphaned_total,
             lost_in_flight: lost_total,

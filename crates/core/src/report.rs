@@ -86,6 +86,12 @@ pub struct RunReport {
     pub workers_used: usize,
     /// Total busy (service) time per worker, indexed by processor.
     pub worker_busy: Vec<Duration>,
+    /// Idle time per worker over `[0, finished_at]`, indexed by processor —
+    /// the platform's own `Worker::idle_time` accounting, cross-checked
+    /// against `worker_busy` in [`RunReport::is_consistent`]. Empty in
+    /// report files written before this field existed (`serde(default)`).
+    #[serde(default)]
+    pub worker_idle: Vec<Duration>,
     /// The instant the last completion finished (or the last phase ended).
     pub finished_at: Time,
     /// Orphaning events: tasks handed back to the host by failures or lost
@@ -228,6 +234,43 @@ impl RunReport {
             .collect()
     }
 
+    /// Per-worker busy fractions `busy / (busy + idle)` from the platform's
+    /// own busy/idle accounting, in `[0, 1]`. Falls back to the
+    /// `finished_at` horizon when `worker_idle` is absent (old report
+    /// files), matching [`RunReport::worker_utilizations`].
+    #[must_use]
+    pub fn busy_fractions(&self) -> Vec<f64> {
+        if self.worker_idle.len() != self.worker_busy.len() {
+            return self.worker_utilizations();
+        }
+        self.worker_busy
+            .iter()
+            .zip(&self.worker_idle)
+            .map(|(b, i)| {
+                let total = b.as_micros() + i.as_micros();
+                if total == 0 {
+                    0.0
+                } else {
+                    b.as_micros() as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Min/mean/max of [`RunReport::busy_fractions`]; `None` when the run
+    /// had no workers.
+    #[must_use]
+    pub fn utilization_summary(&self) -> Option<(f64, f64, f64)> {
+        let fractions = self.busy_fractions();
+        if fractions.is_empty() {
+            return None;
+        }
+        let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = fractions.iter().copied().fold(0.0_f64, f64::max);
+        let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        Some((min, mean, max))
+    }
+
     /// Load-imbalance factor: busiest worker's busy time divided by the
     /// mean busy time. 1.0 = perfectly balanced; `None` if no work ran.
     #[must_use]
@@ -246,14 +289,27 @@ impl RunReport {
         Some(max / mean)
     }
 
-    /// Internal consistency: every task is accounted for exactly once, and
-    /// the headline ratio is a well-defined probability (in particular not
-    /// `NaN` for an empty run).
+    /// Internal consistency: every task is accounted for exactly once, the
+    /// headline ratio is a well-defined probability (in particular not
+    /// `NaN` for an empty run), and — when the per-worker idle times are
+    /// present — busy and idle agree with the `[0, finished_at]` horizon
+    /// worker by worker (`idle == horizon - busy`, saturating at zero for
+    /// busy intervals a retroactive fault burned past the last surviving
+    /// completion).
     #[must_use]
     pub fn is_consistent(&self) -> bool {
         let ratio = self.hit_ratio();
+        let horizon = self.finished_at.saturating_since(Time::ZERO);
+        let idle_consistent = self.worker_idle.is_empty()
+            || (self.worker_idle.len() == self.worker_busy.len()
+                && self
+                    .worker_busy
+                    .iter()
+                    .zip(&self.worker_idle)
+                    .all(|(b, i)| *i == horizon.saturating_sub(*b)));
         self.hits + self.executed_misses + self.dropped + self.lost_in_flight == self.total_tasks
             && self.completions.len() == self.hits + self.executed_misses
+            && idle_consistent
             && ratio.is_finite()
             && (0.0..=1.0).contains(&ratio)
     }
@@ -308,6 +364,12 @@ mod tests {
                 Duration::from_millis(2),
                 Duration::from_millis(2),
                 Duration::ZERO,
+            ],
+            worker_idle: vec![
+                Duration::from_millis(1),
+                Duration::from_millis(3),
+                Duration::from_millis(3),
+                Duration::from_millis(5),
             ],
             finished_at: Time::from_millis(5),
             orphaned: 0,
@@ -385,6 +447,44 @@ mod tests {
         let mut idle = r.clone();
         idle.worker_busy = vec![Duration::ZERO; 4];
         assert_eq!(idle.load_imbalance(), None);
+    }
+
+    #[test]
+    fn busy_fractions_from_platform_accounting() {
+        let r = report(vec![]);
+        let f = r.busy_fractions();
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 0.8).abs() < 1e-12, "4ms busy / 5ms horizon");
+        assert_eq!(f[3], 0.0);
+        let (min, mean, max) = r.utilization_summary().unwrap();
+        assert_eq!(min, 0.0);
+        assert!((max - 0.8).abs() < 1e-12);
+        assert!((mean - 0.4).abs() < 1e-12);
+        // Old report files have no worker_idle: fall back to the horizon.
+        let mut old = r.clone();
+        old.worker_idle.clear();
+        assert_eq!(old.busy_fractions(), r.worker_utilizations());
+    }
+
+    #[test]
+    fn idle_accounting_must_agree_with_the_horizon() {
+        let mut r = report(vec![]);
+        r.hits = 0;
+        r.dropped = 10;
+        assert!(r.is_consistent());
+        r.worker_idle[1] = Duration::from_millis(4); // 2ms busy + 4ms idle != 5ms
+        assert!(!r.is_consistent(), "idle must equal horizon - busy");
+        r.worker_idle.clear();
+        assert!(r.is_consistent(), "absent idle vector is tolerated");
+        // Busy time past the horizon (a fault burned the tail) saturates.
+        r.worker_busy[0] = Duration::from_millis(7);
+        r.worker_idle = vec![
+            Duration::ZERO,
+            Duration::from_millis(3),
+            Duration::from_millis(3),
+            Duration::from_millis(5),
+        ];
+        assert!(r.is_consistent());
     }
 
     #[test]

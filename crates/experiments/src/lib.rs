@@ -15,6 +15,7 @@ pub mod config;
 pub mod ext;
 pub mod fig5;
 pub mod fig6;
+pub mod progress;
 pub mod runner;
 
 pub use config::ExperimentConfig;

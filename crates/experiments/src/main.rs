@@ -4,7 +4,7 @@
 //! experiments [all|fig5|fig6|ext-laxity|ext-quantum|ext-cost|ext-overhead|
 //!              ext-deadends|ext-baselines|ext-openload|ext-pruning|
 //!              ext-mesh|ext-resources|ext-faults]
-//!             [--quick] [--runs N] [--txns N] [--out DIR]
+//!             [--quick] [--runs N] [--txns N] [--out DIR] [--progress]
 //!             [--fault-rate R1,R2,...] [--mttr MS]
 //!             [--scenario FILE.json] [--dump-scenario FILE.json]
 //!             [--trace-out FILE.jsonl] [--metrics-out FILE.json]
@@ -15,6 +15,11 @@
 //! `--out` is given, writes one CSV per figure, each with a
 //! `*.manifest.json` sibling recording the seed base, calibration constants
 //! and source revision that produced it.
+//!
+//! `--progress` repaints a live stderr ticker while figures run —
+//! replications and scheduling phases per second, plus position and ETA
+//! within the current experiment point. It rides process-wide counters, so
+//! it never touches the replication results.
 //!
 //! The three `--*-out` flags additionally run one instrumented RT-SADS
 //! simulation of the base scenario (at `seed_base`) and export its JSONL
@@ -65,6 +70,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => config = ExperimentConfig::quick(),
+            "--progress" => experiments::progress::enable(),
             "--runs" => {
                 config.runs = it
                     .next()
@@ -222,7 +228,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: experiments [{}|all] [--quick] [--runs N] [--txns N] [--out DIR] \
-                 [--fault-rate R1,R2,...] [--mttr MS] \
+                 [--progress] [--fault-rate R1,R2,...] [--mttr MS] \
                  [--scenario FILE.json] [--dump-scenario FILE.json] [--trace-out FILE.jsonl] \
                  [--metrics-out FILE.json] [--perfetto-out FILE.trace.json]",
                 ALL.join("|")
@@ -244,7 +250,10 @@ fn main() -> ExitCode {
 
     for name in &cli.which {
         let started = std::time::Instant::now();
+        experiments::progress::set_label(name);
+        let ticker = experiments::progress::ProgressTicker::start();
         let fig = run_one(name, &cli.config);
+        ticker.finish();
         println!("{}", fig.render());
         eprintln!("# {name} took {:.1}s", started.elapsed().as_secs_f64());
         if let Some(dir) = &cli.out {

@@ -111,6 +111,7 @@ pub fn run_point(
     // the atomic over several replications while still balancing load when
     // run times differ (a slow seed only delays its own chunk).
     const CHUNK: usize = 8;
+    crate::progress::begin_point(runs as u64);
     let seeds: Vec<u64> = (0..runs as u64).map(|r| seed_base + r).collect();
     let cursor = AtomicUsize::new(0);
     let threads = thread::available_parallelism()
@@ -136,6 +137,7 @@ pub fn run_point(
                         for &seed in &seeds[start..end] {
                             let built = scenario.build(seed);
                             let report = Driver::new(driver.clone().seed(seed)).run(built.tasks);
+                            crate::progress::record_run(report.phases.len() as u64);
                             local.push((seed, report));
                         }
                     }

@@ -16,6 +16,10 @@
 //! * [`ledger`] — a [`DecisionLedger`] folding the stream into per-task
 //!   dossiers with a final miss [`Attribution`], so every hit and miss has
 //!   a causal chain on record.
+//! * [`timeseries`] — a [`TimeSeriesRecorder`] folding the stream into
+//!   fixed virtual-time windows (rates, per-processor utilization and queue
+//!   depth, lateness/slack sketches, scheduler overhead), exportable as
+//!   CSV/JSONL, Perfetto counter tracks or an ASCII sparkline timeline.
 //!
 //! [`MetricsCollector`] turns the event stream into metrics, and
 //! [`MultiSink`] fans one stream out to several sinks, so a run can produce
@@ -29,6 +33,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod session;
 pub mod sink;
+pub mod timeseries;
 
 pub use collector::MetricsCollector;
 pub use jsonl::{JsonlTracer, TraceHeader, TraceLine, SCHEMA_VERSION};
@@ -38,6 +43,7 @@ pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot}
 pub use perfetto::PerfettoTracer;
 pub use session::TelemetrySession;
 pub use sink::MultiSink;
+pub use timeseries::{TimeSeries, TimeSeriesRecorder, WindowStats, DEFAULT_WINDOW_US};
 
 // Re-exported so downstream callers don't need a direct paragon-des path
 // just to name the seam they are plugging into.

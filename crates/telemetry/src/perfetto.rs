@@ -14,6 +14,14 @@
 //!   the end of the trace for a fail-stop), and orphaned/lost tasks appear
 //!   as instant events on the processor that held them.
 //!
+//! When a windowed [`TimeSeries`] is attached via
+//! [`PerfettoTracer::set_counters`], the export additionally carries
+//! *counter tracks* (`"ph": "C"`): one continuous utilization gauge per
+//! processor, a stacked per-processor queue-depth track, a deadline-outcome
+//! track (hits/misses per window) and a scheduler-load track — so
+//! saturation and backlog growth are visible at a glance next to the span
+//! tracks.
+//!
 //! All timestamps are microseconds, which is exactly the simulator's
 //! resolution, so the timeline is tick-accurate.
 
@@ -22,6 +30,8 @@ use std::io::Write;
 use paragon_des::trace::{TraceEvent, TraceSink};
 use paragon_des::Time;
 
+use crate::timeseries::TimeSeries;
+
 /// Process id used for every track (one simulated machine = one process).
 const PID: u64 = 1;
 
@@ -29,6 +39,7 @@ const PID: u64 = 1;
 #[derive(Debug, Default)]
 pub struct PerfettoTracer {
     events: Vec<(Time, TraceEvent)>,
+    counters: Option<TimeSeries>,
 }
 
 /// A task execution being assembled from its dispatch/start/completion
@@ -57,6 +68,61 @@ impl PerfettoTracer {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Attaches a windowed time series; the next
+    /// [`PerfettoTracer::write_chrome_trace`] renders it as counter tracks
+    /// (per-processor utilization, queue depth, deadline outcomes,
+    /// scheduler load) next to the span tracks.
+    pub fn set_counters(&mut self, series: TimeSeries) {
+        self.counters = Some(series);
+    }
+
+    /// Renders the attached time series as `"ph": "C"` counter rows, one
+    /// sample per window (plus a closing sample so the last stairstep has
+    /// width).
+    fn counter_rows(&self, rows: &mut Vec<String>) {
+        let Some(series) = &self.counters else {
+            return;
+        };
+        let mut sample = |ts: u64, w: &crate::timeseries::WindowStats| {
+            for k in 0..series.procs {
+                rows.push(format!(
+                    "{{\"name\":\"utilization P{k}\",\"ph\":\"C\",\"pid\":{PID},\"tid\":0,\
+                     \"ts\":{ts},\"args\":{{\"busy_frac\":{:.4}}}}}",
+                    w.utilization(k)
+                ));
+            }
+            let depth: String = (0..series.procs)
+                .map(|k| {
+                    format!(
+                        "{}\"P{k}\":{}",
+                        if k == 0 { "" } else { "," },
+                        w.depth_end.get(k).copied().unwrap_or(0).max(0)
+                    )
+                })
+                .collect();
+            rows.push(format!(
+                "{{\"name\":\"queue depth\",\"ph\":\"C\",\"pid\":{PID},\"tid\":0,\
+                 \"ts\":{ts},\"args\":{{{depth}}}}}"
+            ));
+            rows.push(format!(
+                "{{\"name\":\"deadline outcomes\",\"ph\":\"C\",\"pid\":{PID},\"tid\":0,\
+                 \"ts\":{ts},\"args\":{{\"hits\":{},\"misses\":{},\"dropped\":{},\"lost\":{}}}}}",
+                w.hits, w.misses, w.dropped, w.lost
+            ));
+            rows.push(format!(
+                "{{\"name\":\"scheduler load\",\"ph\":\"C\",\"pid\":{PID},\"tid\":0,\
+                 \"ts\":{ts},\"args\":{{\"consumed_us\":{}}}}}",
+                w.sched_consumed_us
+            ));
+        };
+        for w in &series.windows {
+            sample(w.start_us, w);
+        }
+        if let Some(last) = series.windows.last() {
+            sample(last.end_us, last);
+        }
     }
 
     /// Renders the buffered events as Chrome trace-event JSON.
@@ -285,6 +351,8 @@ impl PerfettoTracer {
                 end_ts.saturating_sub(from),
             ));
         }
+
+        self.counter_rows(&mut rows);
 
         writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
         for (i, row) in rows.iter().enumerate() {
@@ -544,6 +612,36 @@ mod tests {
         assert!(text.contains("\"quantum_us\":30"));
         assert!(text.contains("\"sched_wall_ns\":12345"));
         assert!(text.contains("task 6 screened out (phase 0)"));
+    }
+
+    #[test]
+    fn attached_time_series_renders_counter_tracks() {
+        use crate::timeseries::TimeSeriesRecorder;
+        let mut p = sample_run();
+        let mut rec = TimeSeriesRecorder::new(50);
+        // Re-feed the sample events so the counters describe the same run.
+        for (t, e) in p.events.clone() {
+            rec.emit(t, e);
+        }
+        p.set_counters(rec.finish());
+        let mut buf = Vec::new();
+        p.write_chrome_trace(&mut buf, 2).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_ok(),
+            "bad JSON: {text}"
+        );
+        // One utilization counter track per processor, plus the shared
+        // gauges.
+        assert!(text.contains("\"utilization P0\""));
+        assert!(text.contains("\"utilization P1\""));
+        assert!(text.contains("\"queue depth\""));
+        assert!(text.contains("\"deadline outcomes\""));
+        assert!(text.contains("\"scheduler load\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        // Task 4 ran on P1 over [30, 90): 40us of window [50, 100) is a
+        // busy fraction of 0.8.
+        assert!(text.contains("\"busy_frac\":0.8000"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::jsonl::JsonlTracer;
 use crate::metrics::MetricsRegistry;
 use crate::perfetto::PerfettoTracer;
 use crate::sink::MultiSink;
+use crate::timeseries::{TimeSeriesRecorder, DEFAULT_WINDOW_US};
 
 /// The telemetry outputs of one simulation run.
 ///
@@ -25,11 +26,17 @@ pub struct TelemetrySession {
     perfetto: Option<(PathBuf, PerfettoTracer)>,
     metrics_out: Option<PathBuf>,
     collector: MetricsCollector,
+    timeseries: Option<TimeSeriesRecorder>,
+    timeseries_out: Option<PathBuf>,
 }
 
 impl TelemetrySession {
     /// Opens the requested outputs. Metrics are always collected (they are
-    /// cheap); `metrics_out` only controls whether they are written.
+    /// cheap); `metrics_out` only controls whether they are written. A
+    /// Perfetto output implies a windowed time-series recorder (at the
+    /// default window width) so the timeline gains counter tracks; call
+    /// [`TelemetrySession::enable_timeseries`] to also write the series to
+    /// a file or change the window width.
     pub fn create(
         trace_out: Option<&Path>,
         metrics_out: Option<&Path>,
@@ -44,10 +51,24 @@ impl TelemetrySession {
         };
         Ok(TelemetrySession {
             jsonl,
+            timeseries: perfetto_out
+                .is_some()
+                .then(|| TimeSeriesRecorder::new(DEFAULT_WINDOW_US)),
             perfetto: perfetto_out.map(|p| (p.to_path_buf(), PerfettoTracer::new())),
             metrics_out: metrics_out.map(Path::to_path_buf),
             collector: MetricsCollector::new(),
+            timeseries_out: None,
         })
+    }
+
+    /// Enables (or reconfigures) the windowed time-series recorder: the
+    /// series is written to `out` on [`TelemetrySession::finish`] (CSV, or
+    /// JSONL when the extension is `.jsonl`), with windows of `window_us`
+    /// microseconds of virtual time. Call before [`TelemetrySession::sink`]
+    /// so the recorder sees the whole run.
+    pub fn enable_timeseries(&mut self, out: Option<&Path>, window_us: u64) {
+        self.timeseries = Some(TimeSeriesRecorder::new(window_us));
+        self.timeseries_out = out.map(Path::to_path_buf);
     }
 
     /// The combined sink to run the simulation against.
@@ -58,6 +79,9 @@ impl TelemetrySession {
         }
         if let Some((_, p)) = self.perfetto.as_mut() {
             multi = multi.with(p);
+        }
+        if let Some(ts) = self.timeseries.as_mut() {
+            multi = multi.with(ts);
         }
         multi
     }
@@ -82,7 +106,21 @@ impl TelemetrySession {
             sink.finish()?;
             written.push(path);
         }
-        if let Some((path, buffer)) = self.perfetto {
+        let series = self.timeseries.map(TimeSeriesRecorder::finish);
+        if let (Some(series), Some(path)) = (&series, self.timeseries_out) {
+            let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+            let text = if jsonl {
+                series.to_jsonl()
+            } else {
+                series.to_csv()
+            };
+            std::fs::write(&path, text)?;
+            written.push(path);
+        }
+        if let Some((path, mut buffer)) = self.perfetto {
+            if let Some(series) = series {
+                buffer.set_counters(series);
+            }
             let file = File::create(&path)?;
             buffer.write_chrome_trace(BufWriter::new(file), workers)?;
             written.push(path);
@@ -131,6 +169,43 @@ mod tests {
         assert!(std::fs::read_to_string(&perfetto)
             .unwrap()
             .contains("traceEvents"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeseries_output_is_written_and_perfetto_gains_counters() {
+        let dir = std::env::temp_dir().join("rt-telemetry-session-ts-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (ts_csv, perfetto) = (dir.join("ts.csv"), dir.join("p.trace.json"));
+        let mut session = TelemetrySession::create(None, None, Some(&perfetto)).unwrap();
+        session.enable_timeseries(Some(&ts_csv), 100);
+        {
+            let mut sink = session.sink();
+            sink.emit(
+                Time::from_micros(20),
+                TraceEvent::TaskStarted {
+                    task: 1,
+                    processor: 0,
+                },
+            );
+            sink.emit(
+                Time::from_micros(250),
+                TraceEvent::TaskCompleted {
+                    task: 1,
+                    processor: 0,
+                    met_deadline: true,
+                    lateness_us: -3,
+                },
+            );
+        }
+        let written = session.finish(1).unwrap();
+        assert_eq!(written.len(), 2);
+        let csv = std::fs::read_to_string(&ts_csv).unwrap();
+        assert!(csv.starts_with("window,start_us"));
+        assert_eq!(csv.lines().count(), 1 + 3, "header + 3 windows");
+        let chrome = std::fs::read_to_string(&perfetto).unwrap();
+        assert!(chrome.contains("\"utilization P0\""));
+        assert!(chrome.contains("\"ph\":\"C\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,907 @@
+//! Streaming windowed time series: when did the run saturate, not just
+//! whether it did.
+//!
+//! [`TimeSeriesRecorder`] is a [`TraceSink`] that folds the event stream
+//! into fixed virtual-time windows as it flows past: per-window
+//! admission/hit/miss/drop/lost counts, per-processor busy time and queue
+//! depth (O(P) gauges per window, memory bounded by the window count
+//! regardless of run length), per-window lateness/slack sketches and
+//! per-window scheduler overhead. [`TimeSeriesRecorder::finish`] yields a
+//! [`TimeSeries`] exportable as CSV, JSONL, Perfetto counter tracks (via
+//! [`crate::perfetto::PerfettoTracer::set_counters`]) or an ASCII sparkline
+//! timeline.
+//!
+//! # Exactness under fault retraction
+//!
+//! The driver emits `TaskCompleted` at delivery time, and a retroactively
+//! applied processor failure can later retract that completion (the task is
+//! orphaned back to the host or lost in flight). The recorder mirrors the
+//! driver's last-event-wins semantics: a `TaskOrphaned`/`TaskLost` event
+//! matching a counted completion decrements the window that counted it and
+//! un-distributes its busy time, so the summed window counters reproduce
+//! the final run report's four-way partition *bit-exactly*, faults
+//! included. The lateness/slack sketches are the one exception: histogram
+//! samples cannot be un-recorded, so (like the metric collector's lifecycle
+//! counters) they count executions, including later-retracted ones.
+//!
+//! Events are not globally time-ordered (completions are timestamped with
+//! their — possibly later — execution instants; fault events can be
+//! retroactive), so every event indexes its window directly from its own
+//! timestamp rather than assuming monotone arrival.
+
+use std::collections::HashMap;
+
+use paragon_des::trace::{TraceEvent, TraceSink};
+use paragon_des::Time;
+use serde::Serialize;
+
+use crate::metrics::Histogram;
+
+/// Default window width: 10 ms of virtual time.
+pub const DEFAULT_WINDOW_US: u64 = 10_000;
+
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A completion the recorder has counted, kept so a later retraction can
+/// undo it exactly.
+#[derive(Debug, Clone, Copy)]
+struct Counted {
+    processor: usize,
+    /// Window whose hit/miss counter absorbed this completion.
+    window: usize,
+    hit: bool,
+    /// Execution interval whose busy time was distributed over windows.
+    start_us: u64,
+    end_us: u64,
+}
+
+/// Accumulator for one window while the stream is still flowing.
+#[derive(Debug, Default)]
+struct WindowAcc {
+    admitted: u64,
+    screened: u64,
+    dropped: u64,
+    expired_mid_phase: u64,
+    dispatched: u64,
+    completed: u64,
+    hits: u64,
+    misses: u64,
+    orphaned: u64,
+    lost: u64,
+    faults: u64,
+    recoveries: u64,
+    phases: u64,
+    vertices: u64,
+    backtracks: u64,
+    sched_consumed_us: u64,
+    sched_wall_ns: u64,
+    /// Busy (service) time per processor inside this window, microseconds.
+    busy_us: Vec<u64>,
+    /// Net queue-depth change per processor (+dispatch, -leave).
+    depth_delta: Vec<i64>,
+    lateness: Histogram,
+    slack: Histogram,
+}
+
+impl WindowAcc {
+    fn proc_slot(vec: &mut Vec<u64>, k: usize) -> &mut u64 {
+        if vec.len() <= k {
+            vec.resize(k + 1, 0);
+        }
+        &mut vec[k]
+    }
+
+    fn depth_slot(&mut self, k: usize) -> &mut i64 {
+        if self.depth_delta.len() <= k {
+            self.depth_delta.resize(k + 1, 0);
+        }
+        &mut self.depth_delta[k]
+    }
+}
+
+/// Summary of one window's lateness or slack sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SketchSummary {
+    /// Samples recorded (executions, including later-retracted ones).
+    pub count: u64,
+    /// Median estimate, microseconds (log-linear bucket resolution).
+    pub p50_us: i64,
+    /// 90th-percentile estimate, microseconds.
+    pub p90_us: i64,
+    /// Largest sample, microseconds.
+    pub max_us: i64,
+}
+
+impl SketchSummary {
+    fn from_histogram(h: &Histogram) -> Option<Self> {
+        Some(SketchSummary {
+            count: h.count(),
+            p50_us: h.p50()?,
+            p90_us: h.quantile(0.90)?,
+            max_us: h.max()?,
+        })
+    }
+}
+
+/// One finalized window of the series.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowStats {
+    /// Window index (`start_us / window_us`).
+    pub index: u64,
+    /// Window start, microseconds of virtual time (inclusive).
+    pub start_us: u64,
+    /// Window end, microseconds (exclusive).
+    pub end_us: u64,
+    /// Tasks admitted into the batch.
+    pub admitted: u64,
+    /// Viability-screen rejections (diagnostic; screened tasks stay
+    /// batched).
+    pub screened: u64,
+    /// Tasks dropped by the phase-start expiry filter.
+    pub dropped: u64,
+    /// Deadlines observed lapsing while a phase computed.
+    pub expired_mid_phase: u64,
+    /// Tasks dispatched to processors.
+    pub dispatched: u64,
+    /// Completions surviving retraction (`hits + misses`).
+    pub completed: u64,
+    /// Completions that met their deadline.
+    pub hits: u64,
+    /// Completions that missed their deadline (executed misses).
+    pub misses: u64,
+    /// Orphaning events (tasks handed back to the host).
+    pub orphaned: u64,
+    /// Tasks lost in flight (terminal).
+    pub lost: u64,
+    /// Processor failures.
+    pub faults: u64,
+    /// Processor recoveries.
+    pub recoveries: u64,
+    /// Scheduling phases ended in this window.
+    pub phases: u64,
+    /// Search vertices generated by those phases.
+    pub vertices: u64,
+    /// Backtracks performed by those phases.
+    pub backtracks: u64,
+    /// Virtual scheduling time consumed by those phases, microseconds.
+    pub sched_consumed_us: u64,
+    /// Measured wall-clock scheduling time, nanoseconds (0 unless the run
+    /// measured overhead).
+    pub sched_wall_ns: u64,
+    /// Busy (service) time per processor inside this window, microseconds.
+    pub busy_us: Vec<u64>,
+    /// Queue depth per processor at the window's end (dispatched, not yet
+    /// completed/orphaned/lost).
+    pub depth_end: Vec<i64>,
+    /// Lateness sketch of completions in this window, if any.
+    pub lateness: Option<SketchSummary>,
+    /// Slack-at-dispatch sketch of dispatches in this window, if any.
+    pub slack: Option<SketchSummary>,
+}
+
+impl WindowStats {
+    /// Mean utilization across processors over this window, in `[0, 1]`.
+    #[must_use]
+    pub fn mean_utilization(&self, procs: usize) -> f64 {
+        if procs == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_us.iter().sum();
+        let width = (self.end_us - self.start_us).max(1);
+        busy as f64 / (width * procs as u64) as f64
+    }
+
+    /// One processor's utilization over this window, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, k: usize) -> f64 {
+        let width = (self.end_us - self.start_us).max(1);
+        self.busy_us.get(k).copied().unwrap_or(0) as f64 / width as f64
+    }
+
+    /// Total queue depth across processors at the window's end.
+    #[must_use]
+    pub fn total_depth(&self) -> i64 {
+        self.depth_end.iter().sum()
+    }
+}
+
+/// Whole-run sums of the windowed counters, for cross-checking against a
+/// run report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesTotals {
+    /// Tasks admitted.
+    pub admitted: u64,
+    /// Deadline hits.
+    pub hits: u64,
+    /// Executed misses.
+    pub misses: u64,
+    /// Dropped tasks.
+    pub dropped: u64,
+    /// Tasks lost in flight.
+    pub lost: u64,
+    /// Orphaning events.
+    pub orphaned: u64,
+    /// Dispatch events.
+    pub dispatched: u64,
+    /// Scheduling phases.
+    pub phases: u64,
+    /// Search vertices.
+    pub vertices: u64,
+    /// Busy time per processor, microseconds.
+    pub busy_us: Vec<u64>,
+}
+
+/// A finalized windowed time series.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeSeries {
+    /// Window width, microseconds of virtual time.
+    pub window_us: u64,
+    /// Number of processors the per-processor vectors cover.
+    pub procs: usize,
+    /// The windows, contiguous from virtual time zero.
+    pub windows: Vec<WindowStats>,
+}
+
+impl TimeSeries {
+    /// Sums the windowed counters over the whole run.
+    #[must_use]
+    pub fn totals(&self) -> SeriesTotals {
+        let mut t = SeriesTotals {
+            busy_us: vec![0; self.procs],
+            ..SeriesTotals::default()
+        };
+        for w in &self.windows {
+            t.admitted += w.admitted;
+            t.hits += w.hits;
+            t.misses += w.misses;
+            t.dropped += w.dropped;
+            t.lost += w.lost;
+            t.orphaned += w.orphaned;
+            t.dispatched += w.dispatched;
+            t.phases += w.phases;
+            t.vertices += w.vertices;
+            for (k, b) in w.busy_us.iter().enumerate() {
+                t.busy_us[k] += b;
+            }
+        }
+        t
+    }
+
+    /// The CSV column header [`TimeSeries::to_csv`] writes.
+    pub const CSV_HEADER: &'static str = "window,start_us,end_us,admitted,screened,dropped,\
+         expired_mid_phase,dispatched,completed,hits,misses,orphaned,lost,faults,recoveries,\
+         phases,vertices,backtracks,sched_consumed_us,sched_wall_ns,util_mean,depth_total,\
+         lateness_p50_us,lateness_p90_us,slack_p50_us";
+
+    /// Renders the series as CSV, one row per window (per-processor gauges
+    /// are folded to mean utilization and total depth; the JSONL export
+    /// keeps the full vectors).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(Self::CSV_HEADER);
+        out.push('\n');
+        for w in &self.windows {
+            let late = w.lateness.as_ref();
+            let slack = w.slack.as_ref();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{}\n",
+                w.index,
+                w.start_us,
+                w.end_us,
+                w.admitted,
+                w.screened,
+                w.dropped,
+                w.expired_mid_phase,
+                w.dispatched,
+                w.completed,
+                w.hits,
+                w.misses,
+                w.orphaned,
+                w.lost,
+                w.faults,
+                w.recoveries,
+                w.phases,
+                w.vertices,
+                w.backtracks,
+                w.sched_consumed_us,
+                w.sched_wall_ns,
+                w.mean_utilization(self.procs),
+                w.total_depth(),
+                late.map(|s| s.p50_us.to_string()).unwrap_or_default(),
+                late.map(|s| s.p90_us.to_string()).unwrap_or_default(),
+                slack.map(|s| s.p50_us.to_string()).unwrap_or_default(),
+            ));
+        }
+        out
+    }
+
+    /// Renders the series as JSONL: a header line with the window width and
+    /// processor count, then one JSON object per window (full per-processor
+    /// vectors included).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\":1,\"window_us\":{},\"procs\":{}}}\n",
+            self.window_us, self.procs
+        );
+        for w in &self.windows {
+            out.push_str(&serde_json::to_string(w).expect("window serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an ASCII sparkline timeline: one line per headline metric,
+    /// each downsampled to at most `width` glyphs.
+    #[must_use]
+    pub fn render_timeline(&self, width: usize) -> String {
+        let span_ms = self
+            .windows
+            .last()
+            .map(|w| w.end_us as f64 / 1_000.0)
+            .unwrap_or(0.0);
+        let mut out = format!(
+            "timeline: {} windows x {}us ({:.1} ms virtual), {} processors\n",
+            self.windows.len(),
+            self.window_us,
+            span_ms,
+            self.procs
+        );
+        let series: [(&str, Vec<f64>); 7] = [
+            (
+                "admitted",
+                self.windows.iter().map(|w| w.admitted as f64).collect(),
+            ),
+            (
+                "completed",
+                self.windows.iter().map(|w| w.completed as f64).collect(),
+            ),
+            ("hits", self.windows.iter().map(|w| w.hits as f64).collect()),
+            (
+                "drop+lost",
+                self.windows
+                    .iter()
+                    .map(|w| (w.dropped + w.lost) as f64)
+                    .collect(),
+            ),
+            (
+                "util_mean",
+                self.windows
+                    .iter()
+                    .map(|w| w.mean_utilization(self.procs))
+                    .collect(),
+            ),
+            (
+                "backlog",
+                self.windows
+                    .iter()
+                    .map(|w| w.total_depth().max(0) as f64)
+                    .collect(),
+            ),
+            (
+                "sched_us",
+                self.windows
+                    .iter()
+                    .map(|w| w.sched_consumed_us as f64)
+                    .collect(),
+            ),
+        ];
+        for (name, values) in &series {
+            let peak = values.iter().copied().fold(0.0_f64, f64::max);
+            out.push_str(&format!(
+                "  {name:>9} |{}| peak {peak:.2}\n",
+                sparkline(values, width)
+            ));
+        }
+        let t = self.totals();
+        out.push_str(&format!(
+            "  totals: {} admitted, {} hits, {} misses, {} dropped, {} lost, {} phases\n",
+            t.admitted, t.hits, t.misses, t.dropped, t.lost, t.phases
+        ));
+        out
+    }
+}
+
+/// Renders `values` as a sparkline of at most `width` glyphs, averaging
+/// adjacent values when downsampling. All-zero (or empty) input renders as
+/// the lowest glyph.
+#[must_use]
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let width = width.max(1);
+    if values.is_empty() {
+        return String::new();
+    }
+    // Downsample by averaging contiguous chunks.
+    let folded: Vec<f64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width)
+            .map(|i| {
+                let lo = i * values.len() / width;
+                let hi = ((i + 1) * values.len() / width).max(lo + 1);
+                values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    };
+    let peak = folded.iter().copied().fold(0.0_f64, f64::max);
+    folded
+        .iter()
+        .map(|&v| {
+            if peak <= 0.0 || v <= 0.0 {
+                SPARKS[0]
+            } else {
+                let idx = ((v / peak) * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[idx.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// A [`TraceSink`] folding the event stream into fixed virtual-time
+/// windows. See the module docs for the retraction semantics.
+#[derive(Debug)]
+pub struct TimeSeriesRecorder {
+    window_us: u64,
+    windows: Vec<WindowAcc>,
+    procs: usize,
+    /// Tasks dispatched and not yet completed/orphaned/lost, for queue
+    /// depth: task id -> processor.
+    in_queue: HashMap<u64, usize>,
+    /// Started-but-not-yet-completed executions: (task, processor) -> start
+    /// timestamp.
+    started: HashMap<(u64, usize), u64>,
+    /// Counted completions, for exact retraction: task id -> record.
+    counted: HashMap<u64, Counted>,
+}
+
+impl Default for TimeSeriesRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW_US)
+    }
+}
+
+impl TimeSeriesRecorder {
+    /// A recorder with the given window width in microseconds of virtual
+    /// time (clamped to at least 1).
+    #[must_use]
+    pub fn new(window_us: u64) -> Self {
+        TimeSeriesRecorder {
+            window_us: window_us.max(1),
+            windows: Vec::new(),
+            procs: 0,
+            in_queue: HashMap::new(),
+            started: HashMap::new(),
+            counted: HashMap::new(),
+        }
+    }
+
+    /// The configured window width, microseconds.
+    #[must_use]
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    fn window_index(&self, ts: u64) -> usize {
+        (ts / self.window_us) as usize
+    }
+
+    fn window_mut(&mut self, ts: u64) -> &mut WindowAcc {
+        let idx = self.window_index(ts);
+        if self.windows.len() <= idx {
+            self.windows.resize_with(idx + 1, WindowAcc::default);
+        }
+        &mut self.windows[idx]
+    }
+
+    fn note_proc(&mut self, k: usize) {
+        self.procs = self.procs.max(k + 1);
+    }
+
+    /// Distributes (or retracts, when `sign` is negative) the busy interval
+    /// `[start, end)` on processor `k` across the windows it overlaps.
+    fn spread_busy(&mut self, k: usize, start: u64, end: u64, add: bool) {
+        let width = self.window_us;
+        let mut t = start;
+        while t < end {
+            let next_edge = (t / width + 1) * width;
+            let seg = end.min(next_edge) - t;
+            let acc = self.window_mut(t);
+            let slot = WindowAcc::proc_slot(&mut acc.busy_us, k);
+            if add {
+                *slot += seg;
+            } else {
+                *slot = slot.saturating_sub(seg);
+            }
+            t = next_edge;
+        }
+    }
+
+    /// A task left processor `k`'s queue at `ts` (completed, orphaned or
+    /// lost).
+    fn depart(&mut self, task: u64, k: usize, ts: u64) {
+        if self.in_queue.remove(&task).is_some() {
+            *self.window_mut(ts).depth_slot(k) -= 1;
+        }
+    }
+
+    /// Retracts a previously counted completion of `task` on processor `k`
+    /// (a retroactive fault superseded it). The queue-depth decrement that
+    /// was applied at the fictitious completion instant moves to `ts`, the
+    /// fault instant.
+    fn retract_completion(&mut self, task: u64, k: usize, ts: u64) {
+        let Some(c) = self.counted.get(&task).copied() else {
+            return;
+        };
+        if c.processor != k {
+            return;
+        }
+        self.counted.remove(&task);
+        let w = &mut self.windows[c.window];
+        w.completed -= 1;
+        if c.hit {
+            w.hits -= 1;
+        } else {
+            w.misses -= 1;
+        }
+        self.spread_busy(k, c.start_us, c.end_us, false);
+        // Move the depth decrement from the retracted completion to the
+        // fault instant: the task was in fact still held at retraction.
+        *self.window_mut(c.end_us).depth_slot(k) += 1;
+        *self.window_mut(ts).depth_slot(k) -= 1;
+    }
+
+    /// Finalizes the series: contiguous windows, per-processor vectors
+    /// normalized to the same length, queue depths prefix-summed to
+    /// depth-at-window-end.
+    #[must_use]
+    pub fn finish(self) -> TimeSeries {
+        let procs = self.procs;
+        let width = self.window_us;
+        let mut depth_running = vec![0i64; procs];
+        let windows = self
+            .windows
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut acc)| {
+                acc.busy_us.resize(procs, 0);
+                acc.depth_delta.resize(procs, 0);
+                for (r, d) in depth_running.iter_mut().zip(&acc.depth_delta) {
+                    *r += d;
+                }
+                WindowStats {
+                    index: i as u64,
+                    start_us: i as u64 * width,
+                    end_us: (i as u64 + 1) * width,
+                    admitted: acc.admitted,
+                    screened: acc.screened,
+                    dropped: acc.dropped,
+                    expired_mid_phase: acc.expired_mid_phase,
+                    dispatched: acc.dispatched,
+                    completed: acc.completed,
+                    hits: acc.hits,
+                    misses: acc.misses,
+                    orphaned: acc.orphaned,
+                    lost: acc.lost,
+                    faults: acc.faults,
+                    recoveries: acc.recoveries,
+                    phases: acc.phases,
+                    vertices: acc.vertices,
+                    backtracks: acc.backtracks,
+                    sched_consumed_us: acc.sched_consumed_us,
+                    sched_wall_ns: acc.sched_wall_ns,
+                    busy_us: acc.busy_us,
+                    depth_end: depth_running.clone(),
+                    lateness: SketchSummary::from_histogram(&acc.lateness),
+                    slack: SketchSummary::from_histogram(&acc.slack),
+                }
+            })
+            .collect();
+        TimeSeries {
+            window_us: width,
+            procs,
+            windows,
+        }
+    }
+}
+
+impl TraceSink for TimeSeriesRecorder {
+    fn emit(&mut self, now: Time, event: TraceEvent) {
+        let ts = now.as_micros();
+        match event {
+            TraceEvent::TaskAdmitted { .. } => self.window_mut(ts).admitted += 1,
+            TraceEvent::TaskScreened { .. } => self.window_mut(ts).screened += 1,
+            TraceEvent::TaskDropped { .. } => self.window_mut(ts).dropped += 1,
+            TraceEvent::TaskExpiredMidPhase { .. } => self.window_mut(ts).expired_mid_phase += 1,
+            TraceEvent::PhaseEnded {
+                consumed,
+                vertices,
+                backtracks,
+                ..
+            } => {
+                let w = self.window_mut(ts);
+                w.phases += 1;
+                w.vertices += vertices;
+                w.backtracks += backtracks;
+                w.sched_consumed_us += consumed.as_micros();
+            }
+            TraceEvent::SchedulerOverhead { wall_ns, .. } => {
+                self.window_mut(ts).sched_wall_ns += wall_ns;
+            }
+            TraceEvent::TaskDispatched {
+                task,
+                processor,
+                slack_us,
+            } => {
+                self.note_proc(processor);
+                {
+                    let w = self.window_mut(ts);
+                    w.dispatched += 1;
+                    w.slack.record(slack_us);
+                }
+                // A task re-dispatched after an orphaning simply moves
+                // queues; the previous queue already saw its departure.
+                self.in_queue.insert(task, processor);
+                *self.window_mut(ts).depth_slot(processor) += 1;
+            }
+            TraceEvent::TaskStarted { task, processor } => {
+                self.note_proc(processor);
+                self.started.insert((task, processor), ts);
+            }
+            TraceEvent::TaskCompleted {
+                task,
+                processor,
+                met_deadline,
+                lateness_us,
+            } => {
+                self.note_proc(processor);
+                let start = self
+                    .started
+                    .remove(&(task, processor))
+                    .unwrap_or(ts)
+                    .min(ts);
+                let window = self.window_index(ts);
+                {
+                    let w = self.window_mut(ts);
+                    w.completed += 1;
+                    if met_deadline {
+                        w.hits += 1;
+                    } else {
+                        w.misses += 1;
+                    }
+                    w.lateness.record(lateness_us);
+                }
+                self.spread_busy(processor, start, ts, true);
+                self.depart(task, processor, ts);
+                self.counted.insert(
+                    task,
+                    Counted {
+                        processor,
+                        window,
+                        hit: met_deadline,
+                        start_us: start,
+                        end_us: ts,
+                    },
+                );
+            }
+            TraceEvent::TaskOrphaned { task, processor } => {
+                self.note_proc(processor);
+                self.window_mut(ts).orphaned += 1;
+                self.retract_completion(task, processor, ts);
+                // A spike-lost dispatch never produced a completion; it is
+                // still queued from the recorder's point of view.
+                self.depart(task, processor, ts);
+            }
+            TraceEvent::TaskLost { task, processor } => {
+                self.note_proc(processor);
+                self.window_mut(ts).lost += 1;
+                self.retract_completion(task, processor, ts);
+                self.depart(task, processor, ts);
+            }
+            TraceEvent::ProcessorFailed { processor, .. } => {
+                self.note_proc(processor);
+                self.window_mut(ts).faults += 1;
+            }
+            TraceEvent::ProcessorRecovered { processor } => {
+                self.note_proc(processor);
+                self.window_mut(ts).recoveries += 1;
+            }
+            TraceEvent::PhaseStarted { .. }
+            | TraceEvent::PlacementDecided { .. }
+            | TraceEvent::CommDelay { .. }
+            | TraceEvent::Note(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paragon_des::Duration;
+
+    fn completed(task: u64, processor: usize, met: bool, lateness: i64) -> TraceEvent {
+        TraceEvent::TaskCompleted {
+            task,
+            processor,
+            met_deadline: met,
+            lateness_us: lateness,
+        }
+    }
+
+    #[test]
+    fn counts_land_in_their_windows() {
+        let mut rec = TimeSeriesRecorder::new(100);
+        rec.emit(
+            Time::from_micros(10),
+            TraceEvent::TaskAdmitted {
+                task: 1,
+                arrival_us: 10,
+                deadline_us: 500,
+                processing_us: 50,
+            },
+        );
+        rec.emit(
+            Time::from_micros(120),
+            TraceEvent::TaskDispatched {
+                task: 1,
+                processor: 0,
+                slack_us: 300,
+            },
+        );
+        rec.emit(
+            Time::from_micros(120),
+            TraceEvent::TaskStarted {
+                task: 1,
+                processor: 0,
+            },
+        );
+        rec.emit(Time::from_micros(350), completed(1, 0, true, -150));
+        let series = rec.finish();
+        assert_eq!(series.windows.len(), 4);
+        assert_eq!(series.windows[0].admitted, 1);
+        assert_eq!(series.windows[1].dispatched, 1);
+        assert_eq!(series.windows[3].hits, 1);
+        // Busy [120, 350) splits 80 + 100 + 50 across windows 1..=3.
+        assert_eq!(series.windows[1].busy_us[0], 80);
+        assert_eq!(series.windows[2].busy_us[0], 100);
+        assert_eq!(series.windows[3].busy_us[0], 50);
+        let t = series.totals();
+        assert_eq!(t.busy_us[0], 230);
+        // Queued over windows 1 and 2, gone by the completion in 3.
+        assert_eq!(series.windows[1].depth_end[0], 1);
+        assert_eq!(series.windows[2].depth_end[0], 1);
+        assert_eq!(series.windows[3].depth_end[0], 0);
+        assert_eq!(series.windows[3].lateness.unwrap().count, 1);
+        assert_eq!(series.windows[1].slack.unwrap().p50_us, 300);
+    }
+
+    #[test]
+    fn retraction_exactly_undoes_a_counted_completion() {
+        let mut rec = TimeSeriesRecorder::new(100);
+        rec.emit(
+            Time::from_micros(0),
+            TraceEvent::TaskDispatched {
+                task: 7,
+                processor: 2,
+                slack_us: 10,
+            },
+        );
+        rec.emit(
+            Time::from_micros(0),
+            TraceEvent::TaskStarted {
+                task: 7,
+                processor: 2,
+            },
+        );
+        // The eager completion record (emitted at delivery, timestamped in
+        // the future) ...
+        rec.emit(Time::from_micros(250), completed(7, 2, true, -5));
+        // ... is retracted by a retroactive failure at t=50.
+        rec.emit(
+            Time::from_micros(50),
+            TraceEvent::TaskLost {
+                task: 7,
+                processor: 2,
+            },
+        );
+        let series = rec.finish();
+        let t = series.totals();
+        assert_eq!(t.hits, 0);
+        assert_eq!(t.misses, 0);
+        assert_eq!(t.lost, 1);
+        assert_eq!(t.busy_us[2], 0, "retracted busy must be un-distributed");
+        // Depth: +1 at t=0, -1 moved to the fault instant t=50 (window 0),
+        // so every window ends at depth 0.
+        assert!(series.windows.iter().all(|w| w.depth_end[2] == 0));
+    }
+
+    #[test]
+    fn orphan_then_redispatch_counts_the_second_completion() {
+        let mut rec = TimeSeriesRecorder::new(1_000);
+        rec.emit(
+            Time::from_micros(0),
+            TraceEvent::TaskDispatched {
+                task: 3,
+                processor: 0,
+                slack_us: 500,
+            },
+        );
+        rec.emit(Time::from_micros(400), completed(3, 0, true, -100));
+        rec.emit(
+            Time::from_micros(100),
+            TraceEvent::TaskOrphaned {
+                task: 3,
+                processor: 0,
+            },
+        );
+        rec.emit(
+            Time::from_micros(500),
+            TraceEvent::TaskDispatched {
+                task: 3,
+                processor: 1,
+                slack_us: 20,
+            },
+        );
+        rec.emit(
+            Time::from_micros(600),
+            TraceEvent::TaskStarted {
+                task: 3,
+                processor: 1,
+            },
+        );
+        rec.emit(Time::from_micros(900), completed(3, 1, false, 40));
+        let series = rec.finish();
+        let t = series.totals();
+        assert_eq!((t.hits, t.misses), (0, 1));
+        assert_eq!(t.orphaned, 1);
+        assert_eq!(t.busy_us[0], 0);
+        assert_eq!(t.busy_us[1], 300);
+        assert_eq!(series.windows[0].depth_end, vec![0, 0]);
+    }
+
+    #[test]
+    fn csv_and_jsonl_round_out() {
+        let mut rec = TimeSeriesRecorder::new(50);
+        rec.emit(
+            Time::from_micros(10),
+            TraceEvent::PhaseEnded {
+                phase: 0,
+                scheduled: 1,
+                consumed: Duration::from_micros(9),
+                vertices: 12,
+                backtracks: 1,
+                undos: 2,
+                replay_avoided: 3,
+            },
+        );
+        rec.emit(Time::from_micros(60), completed(1, 0, true, 0));
+        let series = rec.finish();
+        let csv = series.to_csv();
+        assert!(csv.starts_with("window,start_us"));
+        assert_eq!(csv.lines().count(), 3, "header + 2 windows");
+        let jsonl = series.to_jsonl();
+        assert!(jsonl.starts_with("{\"schema_version\":1"));
+        for line in jsonl.lines().skip(1) {
+            assert!(serde_json::from_str::<serde_json::Value>(line).is_ok());
+        }
+    }
+
+    #[test]
+    fn sparkline_downsamples_and_handles_zeroes() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[0.0, 0.0, 0.0], 10);
+        assert!(flat.chars().all(|c| c == SPARKS[0]));
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&ramp, 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.ends_with(SPARKS[7]));
+        let timeline = TimeSeriesRecorder::new(10).finish().render_timeline(40);
+        assert!(timeline.contains("timeline:"));
+    }
+
+    #[test]
+    fn window_width_is_clamped_positive() {
+        let rec = TimeSeriesRecorder::new(0);
+        assert_eq!(rec.window_us(), 1);
+    }
+}

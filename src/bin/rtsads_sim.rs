@@ -7,9 +7,12 @@
 //!            [--comm-us C] [--seed S] [--phases]
 //!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
 //!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
+//!            [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]
 //! rtsads-sim explain --task N --trace FILE.jsonl
+//! rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]
 //! rtsads-sim report-diff a.json b.json
-//! rtsads-sim bench-snapshot [--out FILE.json] [--phases N]
+//! rtsads-sim bench-snapshot [--out FILE.json] [--phases N] [--allow-dirty]
+//! rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]
 //! ```
 //!
 //! The `--*-out` flags enable telemetry: a structured JSONL event trace, a
@@ -21,12 +24,22 @@
 //! measures each phase's wall-clock scheduling time, shown next to the
 //! allocated `Q_s(j)` in the timeline.
 //!
+//! `--timeseries-out` folds the run into fixed virtual-time windows
+//! (admission/outcome rates, per-processor utilization and queue depth,
+//! lateness/slack sketches, scheduler overhead) written as CSV — or JSONL
+//! when the extension is `.jsonl`. With `--perfetto-out` the same windows
+//! also render as counter tracks next to the span tracks.
+//!
 //! `explain` reconstructs one task's causal chain — admission, screenings
 //! with the actual feasibility-test operands, placements with chosen and
 //! rejected costs, dispatch, faults, verdict — from a JSONL trace alone.
+//! `timeline` folds an existing JSONL trace into the same windows and
+//! prints an ASCII sparkline summary in the terminal.
 //! `report-diff` compares two `--report-out` files (counter deltas,
 //! lateness-quantile shifts, per-task outcome flips) and exits nonzero on
-//! any drift, making it usable as a CI determinism gate.
+//! any drift, making it usable as a CI determinism gate. `bench-diff` does
+//! the same for two `bench-snapshot` files with a throughput tolerance,
+//! making it usable as a CI perf-regression gate.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,7 +50,9 @@ use rtsads_repro::platform::HostParams;
 use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
 use rtsads_repro::task::CommModel;
 use rtsads_repro::telemetry::jsonl::parse_trace;
-use rtsads_repro::telemetry::{DecisionLedger, MetricsRegistry, TelemetrySession};
+use rtsads_repro::telemetry::{
+    DecisionLedger, MetricsRegistry, TelemetrySession, TimeSeriesRecorder, DEFAULT_WINDOW_US,
+};
 use rtsads_repro::workload::Scenario;
 
 struct Args {
@@ -53,6 +68,8 @@ struct Args {
     metrics_out: Option<PathBuf>,
     perfetto_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
+    timeseries_out: Option<PathBuf>,
+    timeseries_window_us: u64,
 }
 
 fn parse() -> Result<Args, String> {
@@ -69,6 +86,8 @@ fn parse() -> Result<Args, String> {
         metrics_out: None,
         perfetto_out: None,
         report_out: None,
+        timeseries_out: None,
+        timeseries_window_us: DEFAULT_WINDOW_US,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +113,17 @@ fn parse() -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--perfetto-out" => args.perfetto_out = Some(PathBuf::from(value("--perfetto-out")?)),
             "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
+            "--timeseries-out" => {
+                args.timeseries_out = Some(PathBuf::from(value("--timeseries-out")?))
+            }
+            "--timeseries-window-us" => {
+                args.timeseries_window_us = value("--timeseries-window-us")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if args.timeseries_window_us == 0 {
+                    return Err("--timeseries-window-us must be positive".to_string());
+                }
+            }
             "--algorithm" => {
                 args.algorithm = match value("--algorithm")?.as_str() {
                     "rt-sads" => Algorithm::rt_sads(),
@@ -134,6 +164,9 @@ fn run_with_telemetry(
         args.perfetto_out.as_deref(),
     )
     .map_err(|e| format!("cannot open telemetry output: {e}"))?;
+    if args.timeseries_out.is_some() || args.perfetto_out.is_some() {
+        session.enable_timeseries(args.timeseries_out.as_deref(), args.timeseries_window_us);
+    }
     let mut ledger = DecisionLedger::new();
     let report = {
         let mut sink = session.sink();
@@ -184,13 +217,58 @@ fn cmd_explain(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `rtsads-sim bench-snapshot [--out FILE.json] [--phases N]` — measures
-/// search throughput at the canonical scenario points and writes the
-/// tracked baseline (`BENCH_search.json` by default).
+/// `rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]` —
+/// folds an existing JSONL trace into fixed windows and prints an ASCII
+/// sparkline summary.
+fn cmd_timeline(argv: &[String]) -> Result<(), String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut window_us = DEFAULT_WINDOW_US;
+    let mut width = 72usize;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--window-us" => {
+                window_us = value("--window-us")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--width" => width = value("--width")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown timeline flag '{other}'")),
+        }
+    }
+    if window_us == 0 {
+        return Err("--window-us must be positive".to_string());
+    }
+    let trace = trace.ok_or("timeline requires --trace FILE.jsonl")?;
+    let text = std::fs::read_to_string(&trace)
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let mut recorder = TimeSeriesRecorder::new(window_us);
+    {
+        use rtsads_repro::telemetry::TraceSink;
+        for (ts, event) in parse_trace(&text)? {
+            recorder.emit(ts, event);
+        }
+    }
+    let series = recorder.finish();
+    print!("{}", series.render_timeline(width.max(8)));
+    Ok(())
+}
+
+/// `rtsads-sim bench-snapshot [--out FILE.json] [--phases N]
+/// [--allow-dirty]` — measures search throughput at the canonical scenario
+/// points and writes the tracked baseline (`BENCH_search.json` by
+/// default). Refuses to overwrite the committed baseline from a dirty tree
+/// unless `--allow-dirty` is passed; either way the flag's value is
+/// recorded in the snapshot manifest.
 fn cmd_bench_snapshot(argv: &[String]) -> Result<(), String> {
     use rtsads_repro::snapshot;
     let mut out = PathBuf::from("BENCH_search.json");
     let mut phases = snapshot::DEFAULT_MEASURED;
+    let mut allow_dirty = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -201,10 +279,18 @@ fn cmd_bench_snapshot(argv: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--out" => out = PathBuf::from(value("--out")?),
             "--phases" => phases = value("--phases")?.parse().map_err(|e| format!("{e}"))?,
+            "--allow-dirty" => allow_dirty = true,
             other => return Err(format!("unknown bench-snapshot flag '{other}'")),
         }
     }
-    let snap = snapshot::collect(phases);
+    if out.file_name().is_some_and(|n| n == "BENCH_search.json") {
+        let describe = rtsads_repro::telemetry::manifest::git_describe();
+        snapshot::dirty_guard(describe.as_deref(), allow_dirty)?;
+    }
+    let mut snap = snapshot::collect(phases);
+    snap.manifest
+        .extra
+        .insert("allow_dirty".to_string(), allow_dirty.to_string());
     for p in &snap.points {
         println!(
             "{:>14}: {:>10.0} phases/s  {:>12.0} vertices/s  {:>12.0} undos/s",
@@ -215,6 +301,41 @@ fn cmd_bench_snapshot(argv: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     eprintln!("# wrote {}", out.display());
     Ok(())
+}
+
+/// `rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]` —
+/// compares two `bench-snapshot` files; returns `Ok(false)` (nonzero exit)
+/// when throughput dropped past the tolerance on any point.
+fn cmd_bench_diff(argv: &[String]) -> Result<bool, String> {
+    use rtsads_repro::snapshot::{self, BenchSnapshot};
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = snapshot::DEFAULT_TOLERANCE;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be a fraction in [0, 1)".to_string());
+                }
+            }
+            _ => files.push(flag),
+        }
+    }
+    let [base, new] = files[..] else {
+        return Err("bench-diff takes exactly two snapshot files".to_string());
+    };
+    let read = |p: &String| -> Result<BenchSnapshot, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        BenchSnapshot::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let diff = snapshot::diff_snapshots(&read(base)?, &read(new)?, tolerance);
+    print!("{}", diff.render());
+    Ok(!diff.has_regression())
 }
 
 /// `rtsads-sim report-diff a.json b.json` — exits nonzero on drift.
@@ -255,12 +376,40 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Some("timeline") => {
+            return match cmd_timeline(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!(
+                        "usage: rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]"
+                    );
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some("bench-snapshot") => {
             return match cmd_bench_snapshot(&argv[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("error: {msg}");
-                    eprintln!("usage: rtsads-sim bench-snapshot [--out FILE.json] [--phases N]");
+                    eprintln!(
+                        "usage: rtsads-sim bench-snapshot [--out FILE.json] [--phases N] \
+                         [--allow-dirty]"
+                    );
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("bench-diff") => {
+            return match cmd_bench_diff(&argv[1..]) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!(
+                        "usage: rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]"
+                    );
                     ExitCode::FAILURE
                 }
             };
@@ -275,9 +424,12 @@ fn main() -> ExitCode {
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
                  [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
                  [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
-                 [--perfetto-out FILE.trace.json] [--report-out FILE.json]\n\
+                 [--perfetto-out FILE.trace.json] [--report-out FILE.json] \
+                 [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]\n\
                         rtsads-sim explain --task N --trace FILE.jsonl\n\
-                        rtsads-sim report-diff a.json b.json"
+                        rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]\n\
+                        rtsads-sim report-diff a.json b.json\n\
+                        rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]"
             );
             return ExitCode::FAILURE;
         }
@@ -352,13 +504,16 @@ fn main() -> ExitCode {
             rt.as_millis_f64()
         );
     }
-    if let Some(imbalance) = report.load_imbalance() {
-        let utils = report.worker_utilizations();
-        let mean_util = utils.iter().sum::<f64>() / utils.len() as f64;
+    if let (Some(imbalance), Some((min, mean, max))) =
+        (report.load_imbalance(), report.utilization_summary())
+    {
         println!(
-            "  workers            {:>6} used, mean utilization {:.1}%, imbalance {imbalance:.2}x",
+            "  workers            {:>6} used, busy fraction {:.1}%..{:.1}% (mean {:.1}%), \
+             imbalance {imbalance:.2}x",
             report.workers_used,
-            mean_util * 100.0
+            min * 100.0,
+            max * 100.0,
+            mean * 100.0
         );
     }
     println!("  finished at        {}", report.finished_at);

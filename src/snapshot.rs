@@ -73,6 +73,146 @@ impl BenchSnapshot {
 /// The seed every snapshot point uses (matches the search benches).
 pub const SNAPSHOT_SEED: u64 = 7;
 
+/// Relative throughput drop tolerated by `bench-diff` before it calls a
+/// regression (20% — wide enough for CI-runner noise, tight enough to catch
+/// a real slowdown).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One compared metric of one snapshot point.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Point id the metric belongs to.
+    pub point: String,
+    /// Metric name (`phases_per_sec` or `vertices_per_sec`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub base: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change, `(new - base) / base`.
+    pub change: f64,
+    /// Whether the drop exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapshotDiff {
+    /// Tolerance the comparison ran with.
+    pub tolerance: f64,
+    /// Every compared metric, in baseline point order.
+    pub deltas: Vec<MetricDelta>,
+    /// Baseline points the new snapshot does not have (counts as regression).
+    pub missing: Vec<String>,
+}
+
+impl SnapshotDiff {
+    /// True when any metric regressed or a baseline point disappeared.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        !self.missing.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Human-readable comparison table with a PASS/FAIL verdict line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:<17} {:>14} {:>14} {:>9}  {}\n",
+            "point", "metric", "baseline", "new", "change", "verdict"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<14} {:<17} {:>14.0} {:>14.0} {:>+8.1}%  {}\n",
+                d.point,
+                d.metric,
+                d.base,
+                d.new,
+                d.change * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!(
+                "{name:<14} missing from new snapshot  REGRESSED\n"
+            ));
+        }
+        out.push_str(&format!(
+            "verdict: {} (tolerance {:.0}%)\n",
+            if self.has_regression() {
+                "FAIL"
+            } else {
+                "PASS"
+            },
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+/// Compares throughput point by point: `phases_per_sec` and
+/// `vertices_per_sec` for every baseline point. A metric regresses when it
+/// drops by more than `tolerance` relative to the baseline; improvements
+/// never fail. Baseline points absent from `new` are reported in
+/// [`SnapshotDiff::missing`] and count as a regression; extra points in
+/// `new` are ignored (a baseline refresh will pick them up).
+#[must_use]
+pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64) -> SnapshotDiff {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for bp in &base.points {
+        let Some(np) = new.points.iter().find(|p| p.name == bp.name) else {
+            missing.push(bp.name.clone());
+            continue;
+        };
+        for (metric, b, n) in [
+            ("phases_per_sec", bp.phases_per_sec, np.phases_per_sec),
+            ("vertices_per_sec", bp.vertices_per_sec, np.vertices_per_sec),
+        ] {
+            let change = if b > 0.0 { (n - b) / b } else { 0.0 };
+            deltas.push(MetricDelta {
+                point: bp.name.clone(),
+                metric,
+                base: b,
+                new: n,
+                change,
+                regressed: change < -tolerance,
+            });
+        }
+    }
+    SnapshotDiff {
+        tolerance,
+        deltas,
+        missing,
+    }
+}
+
+/// Guard for overwriting the committed baseline from an unclean tree:
+/// refuses when `git describe` carries a `-dirty` suffix unless the caller
+/// passed `--allow-dirty`.
+///
+/// # Errors
+///
+/// Returns the refusal message to print. `None` provenance (no git
+/// available) is allowed — there is nothing to mis-attribute.
+pub fn dirty_guard(git_describe: Option<&str>, allow_dirty: bool) -> Result<(), String> {
+    match git_describe {
+        Some(desc) if desc.ends_with("-dirty") && !allow_dirty => Err(format!(
+            "refusing to write the baseline from a dirty tree ({desc}); \
+             commit first or pass --allow-dirty"
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Measured passes per point; the fastest is kept. Throughput noise is
+/// one-sided — scheduler preemption and frequency scaling only ever slow a
+/// pass down — so the max over a few passes estimates the machine's actual
+/// capability and keeps `bench-diff`'s one-sided tolerance meaningful on
+/// busy hosts. Five passes stretch the sampling window far enough to catch
+/// a quiet slice even when a noisy neighbor holds the host for seconds.
+const PASSES: u32 = 5;
+
 fn point(
     name: &str,
     warmup: u64,
@@ -82,24 +222,34 @@ fn point(
     for _ in 0..warmup {
         phase();
     }
-    let mut vertices = 0u64;
-    let mut undos = 0u64;
-    let start = std::time::Instant::now();
-    for _ in 0..measured {
-        let (v, u) = phase();
-        vertices += v;
-        undos += u;
+    let mut best: Option<SnapshotPoint> = None;
+    for _ in 0..PASSES {
+        let mut vertices = 0u64;
+        let mut undos = 0u64;
+        let start = std::time::Instant::now();
+        for _ in 0..measured {
+            let (v, u) = phase();
+            vertices += v;
+            undos += u;
+        }
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let pass = SnapshotPoint {
+            name: name.to_string(),
+            phases: measured,
+            elapsed_us: elapsed.as_micros() as u64,
+            phases_per_sec: measured as f64 / secs,
+            vertices_per_sec: vertices as f64 / secs,
+            undos_per_sec: undos as f64 / secs,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| pass.phases_per_sec > b.phases_per_sec)
+        {
+            best = Some(pass);
+        }
     }
-    let elapsed = start.elapsed();
-    let secs = elapsed.as_secs_f64().max(1e-9);
-    SnapshotPoint {
-        name: name.to_string(),
-        phases: measured,
-        elapsed_us: elapsed.as_micros() as u64,
-        phases_per_sec: measured as f64 / secs,
-        vertices_per_sec: vertices as f64 / secs,
-        undos_per_sec: undos as f64 / secs,
-    }
+    best.expect("at least one measured pass")
 }
 
 /// Measures all three canonical points. `measured` is the number of timed
@@ -214,5 +364,51 @@ mod tests {
         let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
         assert_eq!(back.points.len(), 3);
         assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
+    }
+
+    fn synthetic_snapshot(scale: f64) -> BenchSnapshot {
+        let mk = |name: &str, rate: f64| SnapshotPoint {
+            name: name.to_string(),
+            phases: 100,
+            elapsed_us: 1_000,
+            phases_per_sec: rate * scale,
+            vertices_per_sec: rate * 50.0 * scale,
+            undos_per_sec: rate * 2.0 * scale,
+        };
+        BenchSnapshot {
+            manifest: RunManifest::new("RT-SADS", SNAPSHOT_SEED, 8),
+            points: vec![mk("deep_dive_64", 90_000.0), mk("mixed_150x8", 40.0)],
+        }
+    }
+
+    #[test]
+    fn diff_passes_within_tolerance_and_on_improvement() {
+        let base = synthetic_snapshot(1.0);
+        assert!(!diff_snapshots(&base, &synthetic_snapshot(0.85), 0.20).has_regression());
+        assert!(!diff_snapshots(&base, &synthetic_snapshot(3.0), 0.20).has_regression());
+    }
+
+    #[test]
+    fn diff_fails_past_tolerance_and_on_missing_points() {
+        let base = synthetic_snapshot(1.0);
+        let slow = diff_snapshots(&base, &synthetic_snapshot(0.5), 0.20);
+        assert!(slow.has_regression());
+        assert_eq!(slow.deltas.iter().filter(|d| d.regressed).count(), 4);
+        assert!(slow.render().contains("REGRESSED"));
+        assert!(slow.render().contains("verdict: FAIL"));
+
+        let mut truncated = synthetic_snapshot(1.0);
+        truncated.points.pop();
+        let gone = diff_snapshots(&base, &truncated, 0.20);
+        assert!(gone.has_regression());
+        assert_eq!(gone.missing, vec!["mixed_150x8".to_string()]);
+    }
+
+    #[test]
+    fn dirty_guard_blocks_only_dirty_without_override() {
+        assert!(dirty_guard(Some("v0-5-gabc123-dirty"), false).is_err());
+        assert!(dirty_guard(Some("v0-5-gabc123-dirty"), true).is_ok());
+        assert!(dirty_guard(Some("v0-5-gabc123"), false).is_ok());
+        assert!(dirty_guard(None, false).is_ok());
     }
 }

@@ -8,7 +8,8 @@ use rtsads_repro::platform::HostParams;
 use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
 use rtsads_repro::task::CommModel;
 use rtsads_repro::telemetry::{
-    jsonl::parse_trace, JsonlTracer, MetricsCollector, MultiSink, PerfettoTracer, TraceEvent,
+    jsonl::parse_trace, JsonlTracer, MetricsCollector, MultiSink, PerfettoTracer,
+    TimeSeriesRecorder, TraceEvent,
 };
 use rtsads_repro::workload::Scenario;
 
@@ -103,6 +104,81 @@ fn full_telemetry_changes_results_by_exactly_zero() {
             "missing processor track P{k}"
         );
     }
+}
+
+/// The pinned-seed acceptance check: the windowed CSV's per-window counts
+/// sum bit-exactly to the run report's counters, and the Perfetto export
+/// carries per-processor utilization counter tracks next to the spans.
+#[test]
+fn timeseries_csv_sums_bit_exactly_to_the_report() {
+    let mut recorder = TimeSeriesRecorder::new(10_000);
+    let mut perfetto = PerfettoTracer::new();
+    let report = {
+        let mut sink = MultiSink::new().with(&mut recorder).with(&mut perfetto);
+        driver().run_traced(workload(), &mut sink)
+    };
+    let series = recorder.finish();
+
+    // Sum the CSV rows themselves (not the in-memory windows) so the check
+    // covers the export path end to end.
+    let csv = series.to_csv();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("missing CSV column {name}"))
+    };
+    let (admitted_c, dropped_c) = (col("admitted"), col("dropped"));
+    let (hits_c, misses_c, lost_c) = (col("hits"), col("misses"), col("lost"));
+    let (phases_c, vertices_c) = (col("phases"), col("vertices"));
+    let mut sums = vec![0u64; header.len()];
+    for line in lines {
+        for (i, field) in line.split(',').enumerate() {
+            if let Ok(v) = field.parse::<u64>() {
+                sums[i] += v;
+            }
+        }
+    }
+    assert_eq!(sums[admitted_c] as usize, report.total_tasks);
+    assert_eq!(sums[hits_c] as usize, report.hits);
+    assert_eq!(sums[misses_c] as usize, report.executed_misses);
+    assert_eq!(sums[dropped_c] as usize, report.dropped);
+    assert_eq!(sums[lost_c] as usize, report.lost_in_flight);
+    assert_eq!(
+        (sums[hits_c] + sums[misses_c] + sums[dropped_c] + sums[lost_c]) as usize,
+        report.total_tasks,
+        "CSV rows must sum to the report's four-way partition"
+    );
+    assert_eq!(sums[phases_c] as usize, report.phases.len());
+    assert_eq!(sums[vertices_c], report.total_vertices());
+
+    // Busy time per processor, split across windows, must reassemble into
+    // the platform's own accounting to the microsecond.
+    let totals = series.totals();
+    for (k, busy) in report.worker_busy.iter().enumerate() {
+        assert_eq!(
+            totals.busy_us.get(k).copied().unwrap_or(0),
+            busy.as_micros(),
+            "worker {k} windowed busy time"
+        );
+    }
+
+    // The same windows render as counter tracks in the Perfetto export.
+    perfetto.set_counters(series);
+    let mut out = Vec::new();
+    perfetto.write_chrome_trace(&mut out, WORKERS).unwrap();
+    let chrome = String::from_utf8(out).unwrap();
+    assert!(chrome.contains("\"ph\":\"C\""), "no counter samples");
+    for k in 0..WORKERS {
+        assert!(
+            chrome.contains(&format!("\"utilization P{k}\"")),
+            "missing utilization counter track for P{k}"
+        );
+    }
+    assert!(chrome.contains("\"queue depth\""));
+    assert!(chrome.contains("\"deadline outcomes\""));
 }
 
 #[test]

@@ -1,0 +1,199 @@
+//! Property tests for the windowed time-series recorder: folding a run's
+//! event stream into fixed virtual-time windows and summing the windows
+//! back up must exactly reproduce the run report's accounting — the
+//! four-way task partition (`hits + executed_misses + dropped +
+//! lost_in_flight == total_tasks`), the phase/vertex totals, and (fault
+//! free) the per-processor busy time — for arbitrary window widths, on
+//! fault-free platforms and under sampled fault plans alike. The recorder
+//! sees only trace events, the report only driver state, so agreement is a
+//! genuine cross-check, not bookkeeping.
+
+use proptest::prelude::*;
+
+use rtsads_repro::des::{Duration, Time};
+use rtsads_repro::platform::HostParams;
+use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, FaultConfig, InFlightPolicy, RunReport};
+use rtsads_repro::task::{AffinitySet, CommModel, ProcessorId, Task, TaskId};
+use rtsads_repro::telemetry::{TimeSeries, TimeSeriesRecorder};
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    p_us: u64,
+    arrival_us: u64,
+    laxity_x10: u64,
+    affinity_mask: u8,
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (1u64..5_000, 0u64..20_000, 10u64..80, 0u8..=255).prop_map(
+        |(p_us, arrival_us, laxity_x10, affinity_mask)| TaskSpec {
+            p_us,
+            arrival_us,
+            laxity_x10,
+            affinity_mask,
+        },
+    )
+}
+
+fn materialize(specs: &[TaskSpec], workers: usize) -> Vec<Task> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let arrival = Time::from_micros(s.arrival_us);
+            let p = Duration::from_micros(s.p_us);
+            let affinity: AffinitySet = (0..workers)
+                .filter(|k| s.affinity_mask & (1 << (k % 8)) != 0)
+                .map(ProcessorId::new)
+                .collect();
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .arrival(arrival)
+                .deadline(arrival + p.mul_f64(s.laxity_x10 as f64 / 10.0))
+                .affinity(affinity)
+                .build()
+        })
+        .collect()
+}
+
+fn fault_config() -> impl Strategy<Value = FaultConfig> {
+    (
+        0u64..=40,     // failure rate, tenths of failures/proc/s
+        0u64..=50,     // mttr in ms; 0 = fail-stop
+        any::<bool>(), // in-flight policy
+        0u64..=30,     // spike rate, tenths of spikes/s
+        1u64..=20,     // spike mean length, ms
+        0u64..=5,      // spike delay, ms
+        0u64..=10,     // spike loss, tenths
+    )
+        .prop_map(
+            |(rate, mttr_ms, completes, s_rate, s_len, s_delay, s_loss)| {
+                let mut fc = match mttr_ms {
+                    0 => FaultConfig::fail_stop(rate as f64 / 10.0),
+                    ms => FaultConfig::fail_recover(rate as f64 / 10.0, Duration::from_millis(ms)),
+                };
+                if completes {
+                    fc = fc.in_flight(InFlightPolicy::Completes);
+                }
+                fc.spikes(
+                    s_rate as f64 / 10.0,
+                    Duration::from_millis(s_len),
+                    Duration::from_millis(s_delay),
+                    s_loss as f64 / 10.0,
+                )
+            },
+        )
+}
+
+/// Runs a scenario with a [`TimeSeriesRecorder`] attached and asserts the
+/// summed windows reproduce the report's accounting exactly.
+fn assert_windows_sum_to_report(
+    specs: &[TaskSpec],
+    workers: usize,
+    seed: u64,
+    window_us: u64,
+    faults: FaultConfig,
+) -> Result<(RunReport, TimeSeries), TestCaseError> {
+    let tasks = materialize(specs, workers);
+    let config = DriverConfig::new(workers, Algorithm::rt_sads())
+        .comm(CommModel::constant(Duration::from_micros(500)))
+        .host(HostParams::new(Duration::from_micros(1)))
+        .seed(seed)
+        .faults(faults);
+    let mut recorder = TimeSeriesRecorder::new(window_us);
+    let report = Driver::new(config).run_traced(tasks, &mut recorder);
+    let series = recorder.finish();
+
+    prop_assert!(report.is_consistent(), "report inconsistent: {report:?}");
+    let t = series.totals();
+    prop_assert_eq!(
+        t.admitted as usize,
+        report.total_tasks,
+        "one admission per task"
+    );
+    prop_assert_eq!(t.hits as usize, report.hits);
+    prop_assert_eq!(t.misses as usize, report.executed_misses);
+    prop_assert_eq!(t.dropped as usize, report.dropped);
+    prop_assert_eq!(t.lost as usize, report.lost_in_flight);
+    prop_assert_eq!(
+        (t.hits + t.misses + t.dropped + t.lost) as usize,
+        report.total_tasks,
+        "windowed outcomes must partition the run"
+    );
+    prop_assert_eq!(t.phases as usize, report.phases.len());
+    prop_assert_eq!(t.vertices, report.total_vertices());
+    Ok((report, series))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free: windowed counts sum to the report's partition for any
+    /// window width, and the per-processor busy time in the windows equals
+    /// the platform's own busy accounting to the microsecond.
+    #[test]
+    fn windows_sum_to_the_report_fault_free(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 2usize..6,
+        seed in 0u64..10_000,
+        window_us in 500u64..20_000,
+    ) {
+        let (report, series) = assert_windows_sum_to_report(
+            &specs, workers, seed, window_us, FaultConfig::disabled(),
+        )?;
+        let totals = series.totals();
+        prop_assert_eq!(totals.orphaned, 0, "fault-free run saw orphanings");
+        // The recorder only grows its vectors to the highest processor it
+        // saw; workers beyond that must have done nothing.
+        for (k, busy) in report.worker_busy.iter().enumerate() {
+            let windowed = totals.busy_us.get(k).copied().unwrap_or(0);
+            prop_assert_eq!(
+                windowed,
+                busy.as_micros(),
+                "worker {} busy time split across windows",
+                k
+            );
+        }
+    }
+
+    /// Fault-injected: retroactive completion retractions, orphanings and
+    /// in-flight losses must still leave window sums that match the report.
+    #[test]
+    fn windows_sum_to_the_report_under_faults(
+        specs in prop::collection::vec(task_spec(), 1..40),
+        workers in 2usize..6,
+        seed in 0u64..10_000,
+        window_us in 500u64..20_000,
+        faults in fault_config(),
+    ) {
+        let (report, series) =
+            assert_windows_sum_to_report(&specs, workers, seed, window_us, faults)?;
+        prop_assert_eq!(
+            series.totals().orphaned as usize,
+            report.orphaned,
+            "orphaning event counts"
+        );
+    }
+}
+
+/// A deterministic seeded spot check: heavy recoverable faults, a window
+/// width deliberately misaligned with the workload's timing, and the
+/// window sums still reproduce the report.
+#[test]
+fn seeded_faulty_run_windows_sum_exactly() {
+    let specs: Vec<TaskSpec> = (0..80)
+        .map(|i| TaskSpec {
+            p_us: 200 + (i * 97) % 3_000,
+            arrival_us: (i * 313) % 15_000,
+            laxity_x10: 12 + (i * 7) % 50,
+            affinity_mask: (i as u8).wrapping_mul(37) | 1,
+        })
+        .collect();
+    let faults = FaultConfig::fail_recover(2.0, Duration::from_millis(10));
+    let (report, series) = assert_windows_sum_to_report(&specs, 5, 1_998, 777, faults).unwrap();
+    assert_eq!(report.total_tasks, 80);
+    assert!(
+        series.windows.len() > 1,
+        "misaligned width must window the run"
+    );
+}
