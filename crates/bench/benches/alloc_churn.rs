@@ -100,6 +100,7 @@ fn phase_scratch(c: &mut Criterion) {
                         Pruning::default(),
                         &ResourceEats::new(),
                         false,
+                        1,
                         &mut meter,
                         &mut rng,
                         &mut scratch,

@@ -47,6 +47,7 @@ fn phase(c: &mut Criterion) {
                         Pruning::default(),
                         &ResourceEats::new(),
                         false,
+                        1,
                         &mut meter,
                         &mut rng,
                         &mut scratch,

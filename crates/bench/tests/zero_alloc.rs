@@ -130,6 +130,7 @@ fn steady_state_phases_do_not_allocate() {
                 Pruning::default(),
                 &ResourceEats::new(),
                 false,
+                1,
                 &mut meter,
                 &mut rng,
                 &mut scratch,

@@ -38,6 +38,7 @@ pub struct DriverConfig {
     faults: FaultConfig,
     fault_plan: Option<FaultPlan>,
     measure_overhead: bool,
+    search_threads: usize,
 }
 
 impl DriverConfig {
@@ -63,6 +64,7 @@ impl DriverConfig {
             faults: FaultConfig::disabled(),
             fault_plan: None,
             measure_overhead: false,
+            search_threads: 1,
         }
     }
 
@@ -138,6 +140,17 @@ impl DriverConfig {
     #[must_use]
     pub fn measure_overhead(mut self, measure: bool) -> Self {
         self.measure_overhead = measure;
+        self
+    }
+
+    /// Sets the number of worker threads the search-based algorithms may use
+    /// inside one scheduling phase. `1` (the default) runs the serial engine;
+    /// `>= 2` splits the root candidate set across that many OS threads with
+    /// a deterministic reduction, so the outcome is bit-identical at any
+    /// width. Baseline (non-search) algorithms ignore this setting.
+    #[must_use]
+    pub fn search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads.max(1);
         self
     }
 
@@ -410,6 +423,7 @@ impl Driver {
                 cfg.pruning,
                 machine.resource_eats(),
                 tracer.enabled(),
+                cfg.search_threads,
                 &mut meter,
                 &mut rng,
                 &mut scratch,

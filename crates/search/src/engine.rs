@@ -13,7 +13,7 @@
 use paragon_des::{Duration, Time};
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 
-use paragon_platform::SchedulingMeter;
+use paragon_platform::{HostParams, SchedulingMeter};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::{Candidate, ChildOrder};
@@ -281,6 +281,10 @@ pub struct SearchScratch {
     children: Vec<Candidate>,
     /// Raw (task, processor) candidates of one skip round.
     raw: Vec<(usize, ProcessorId)>,
+    /// Dense completion column of one skip round, index-aligned with `raw`
+    /// (the struct-of-arrays candidate evaluation writes all completions in
+    /// one batched pass before the accounting loop consumes them).
+    comp: Vec<Time>,
     /// Viable tasks in level order (assignment-oriented layouts).
     level_task: Vec<usize>,
     /// Per-task verdict of the phase-level viability screen.
@@ -384,6 +388,7 @@ fn search_core(
         chain,
         children,
         raw,
+        comp,
         level_task,
         viable,
         state: state_slot,
@@ -396,6 +401,7 @@ fn search_core(
     chain.clear();
     children.clear();
     raw.clear();
+    comp.clear();
     level_task.clear();
     viable.clear();
     out.clear();
@@ -429,34 +435,7 @@ fn search_core(
     // not charged against the quantum; screened tasks stay in the batch.)
     // Under provenance every probe is materialized so a screen rejection
     // carries the actual test operands; the verdicts are identical.
-    let mut screened_evidence: Vec<ScreenEvidence> = Vec::new();
-    if params.provenance {
-        for (idx, t) in params.tasks.iter().enumerate() {
-            let probes: Vec<ScreenProbe> = ProcessorId::all(params.initial_finish.len())
-                .map(|p| {
-                    let available = params.initial_finish[p.index()];
-                    let demand = params.comm.demand(t, p);
-                    ScreenProbe {
-                        processor: p,
-                        available,
-                        demand,
-                        completion: available + demand,
-                    }
-                })
-                .collect();
-            let ok = probes.iter().any(|pr| t.meets_deadline(pr.completion));
-            if !ok {
-                screened_evidence.push(ScreenEvidence { task: idx, probes });
-            }
-            viable.push(ok);
-        }
-    } else {
-        viable.extend(params.tasks.iter().map(|t| {
-            ProcessorId::all(params.initial_finish.len()).any(|p| {
-                t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
-            })
-        }));
-    }
+    let screened_evidence = screen_batch(params, viable);
     let viable: &[bool] = viable;
     let n_viable = viable.iter().filter(|&&v| v).count();
     stats.screened_tasks = (n - n_viable) as u64;
@@ -494,114 +473,264 @@ fn search_core(
     }
     let state = state_slot.as_mut().expect("state initialized above");
 
-    // Best feasible vertex so far: (depth, makespan, id). Root (empty
-    // schedule, makespan = root_makespan) is the fallback; `None` id means
-    // "deliver nothing".
-    let mut best: (usize, Time, Option<usize>) = (0, root_makespan, None);
-    let mut last_expanded: Option<usize> = None;
+    // Best feasible vertex so far: the root (empty schedule, makespan =
+    // root_makespan) is the fallback.
+    let mut best: Best = (0, root_makespan, None);
+    let ctx = Ctx {
+        params,
+        viable,
+        level_task,
+        n_viable,
+        use_replay,
+        vertex_cap: params.vertex_cap,
+        backtrack_limit: params.pruning.backtrack_limit,
+    };
+    let mut work = Work {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        comp,
+        state,
+    };
     let termination;
 
-    // Reconstructs the PathState of a vertex by replaying root->vertex — the
-    // O(depth) oracle path, taken only when `use_replay` is set. Allocates
-    // freely: the oracle is never on the production hot path.
-    let replay = |arena: &[Node], id: Option<usize>| -> PathState {
+    // Expand the root, then walk the candidate list with one incrementally
+    // maintained state.
+    if let Some((leaf_id, leaf_makespan)) =
+        ctx.expand(&mut work, None, meter, &mut stats, &mut best)
+    {
+        best = (n_viable, leaf_makespan, Some(leaf_id));
+        termination = Termination::Leaf;
+    } else {
+        termination = ctx
+            .dfs_loop(&mut work, meter, &mut stats, &mut best, None)
+            .termination;
+    }
+
+    // Deliver the best vertex's schedule. Untracked: the extraction switch
+    // is not part of the search, so it must not skew the per-pop counters.
+    // The assignments are copied into the pooled `out` buffer (the state
+    // itself stays in the scratch for the next phase); callers return the
+    // vector via [`SearchScratch::recycle`] to close the reuse loop.
+    let assignments = match best.2 {
+        Some(id) => {
+            ctx.switch_to(&mut work, &mut stats, id, false);
+            out.extend_from_slice(work.state.assignments());
+            std::mem::take(out)
+        }
+        None => Vec::new(),
+    };
+    let provenance = params
+        .provenance
+        .then(|| phase_provenance(work.arena, work.node_costs, best.2, screened_evidence));
+    SearchOutcome {
+        assignments,
+        termination,
+        n_viable,
+        makespan: best.1,
+        stats,
+        provenance,
+    }
+}
+
+/// Best feasible vertex so far: `(depth, makespan, arena id)`; a `None` id
+/// means "deliver nothing" (the empty root schedule).
+type Best = (usize, Time, Option<usize>);
+
+/// The read-only context of one candidate-list walk: the caller's
+/// parameters plus the phase-level screen verdicts and level order
+/// (computed once per phase) and the budget this particular walk runs
+/// under. The serial engine uses the caller's budget verbatim; the
+/// parallel engine hands each subtree a slice of it.
+struct Ctx<'a, 'b> {
+    params: &'b SearchParams<'a>,
+    viable: &'b [bool],
+    level_task: &'b [usize],
+    n_viable: usize,
+    use_replay: bool,
+    /// Generated-vertex budget of this walk (the phase cap, or one
+    /// subtree's slice of it).
+    vertex_cap: Option<u64>,
+    /// Backtrack budget of this walk (the phase limit, or one subtree's
+    /// slice of it).
+    backtrack_limit: Option<u64>,
+}
+
+/// The mutable working set of one walk — disjoint borrows of one
+/// [`SearchScratch`]'s buffers plus its incremental state, bundled so the
+/// expansion/switch/loop steps can be methods shared between the serial
+/// engine and the per-subtree walks of the parallel engine.
+struct Work<'s> {
+    arena: &'s mut Vec<Node>,
+    node_costs: &'s mut Vec<(Time, Time)>,
+    cl: &'s mut Vec<usize>,
+    path: &'s mut Vec<usize>,
+    chain: &'s mut Vec<usize>,
+    children: &'s mut Vec<Candidate>,
+    raw: &'s mut Vec<(usize, ProcessorId)>,
+    comp: &'s mut Vec<Time>,
+    state: &'s mut PathState,
+}
+
+impl<'s> Work<'s> {
+    /// Borrows every buffer of `scratch` (plus its state, which the caller
+    /// must have initialized) as one working set.
+    fn over(scratch: &'s mut SearchScratch) -> Self {
+        let SearchScratch {
+            arena,
+            node_costs,
+            cl,
+            path,
+            chain,
+            children,
+            raw,
+            comp,
+            level_task: _,
+            viable: _,
+            state,
+            out: _,
+        } = scratch;
+        Work {
+            arena,
+            node_costs,
+            cl,
+            path,
+            chain,
+            children,
+            raw,
+            comp,
+            state: state.as_mut().expect("scratch state initialized"),
+        }
+    }
+}
+
+/// How one candidate-list walk ended: the termination reason plus the exit
+/// telemetry the parallel merge needs (`end_depth` = length of the current
+/// path at exit, `pops` = vertices popped from `CL`).
+struct LoopOut {
+    termination: Termination,
+    end_depth: usize,
+    pops: u64,
+}
+
+impl Ctx<'_, '_> {
+    /// Reconstructs the PathState of a vertex by replaying root->vertex —
+    /// the O(depth) oracle path, taken only when `use_replay` is set.
+    /// Allocates freely: the oracle is never on the production hot path.
+    fn replay(&self, arena: &[Node], id: Option<usize>) -> PathState {
+        let params = self.params;
         let mut chain = Vec::new();
         let mut cursor = id;
         while let Some(i) = cursor {
             chain.push(i);
             cursor = arena[i].parent;
         }
-        let mut state =
-            PathState::with_resources(params.initial_finish.to_vec(), n, params.resources.clone());
+        let mut state = PathState::with_resources(
+            params.initial_finish.to_vec(),
+            params.tasks.len(),
+            params.resources.clone(),
+        );
         for &i in chain.iter().rev() {
             let node = &arena[i];
             state.apply(params.tasks, params.comm, node.task, node.processor);
         }
         state
-    };
+    }
 
-    // Moves the incremental `state` (whose current vertex path is `path`,
-    // with `path[d-1]` the arena id at depth d) to vertex `cv`: walk cv's
-    // ancestors until one lies on the current path at its own depth, undo
-    // down to that common ancestor, then apply the collected chain. Both
-    // engines run the same bookkeeping (so stats are bit-identical); only
-    // the state materialization differs.
-    let switch_to = |arena: &[Node],
-                     state: &mut PathState,
-                     path: &mut Vec<usize>,
-                     chain: &mut Vec<usize>,
-                     stats: &mut SearchStats,
-                     cv: usize,
-                     track: bool| {
-        chain.clear();
+    /// Moves the incremental state (whose current vertex path is
+    /// `work.path`, with `path[d-1]` the arena id at depth d) to vertex
+    /// `cv`: walk cv's ancestors until one lies on the current path at its
+    /// own depth, undo down to that common ancestor, then apply the
+    /// collected chain. Both engines run the same bookkeeping (so stats are
+    /// bit-identical); only the state materialization differs.
+    fn switch_to(&self, work: &mut Work<'_>, stats: &mut SearchStats, cv: usize, track: bool) {
+        work.chain.clear();
         let mut cursor = Some(cv);
         let common_depth = loop {
             let Some(i) = cursor else { break 0 };
-            let node = &arena[i];
-            if path.get(node.depth - 1) == Some(&i) {
+            let node = &work.arena[i];
+            if work.path.get(node.depth - 1) == Some(&i) {
                 break node.depth;
             }
-            chain.push(i);
+            work.chain.push(i);
             cursor = node.parent;
         };
         if track {
-            stats.undos += (path.len() - common_depth) as u64;
+            stats.undos += (work.path.len() - common_depth) as u64;
             stats.replay_avoided += common_depth as u64;
         }
-        if use_replay {
-            path.truncate(common_depth);
-            path.extend(chain.iter().rev());
-            *state = replay(arena, Some(cv));
+        if self.use_replay {
+            work.path.truncate(common_depth);
+            work.path.extend(work.chain.iter().rev());
+            *work.state = self.replay(work.arena, Some(cv));
         } else {
-            while path.len() > common_depth {
-                state.undo();
-                path.pop();
+            while work.path.len() > common_depth {
+                work.state.undo();
+                work.path.pop();
             }
-            for &i in chain.iter().rev() {
-                let node = &arena[i];
-                state.apply(params.tasks, params.comm, node.task, node.processor);
-                path.push(i);
+            for &i in work.chain.iter().rev() {
+                let node = work.arena[i];
+                work.state.apply(
+                    self.params.tasks,
+                    self.params.comm,
+                    node.task,
+                    node.processor,
+                );
+                work.path.push(i);
             }
         }
-    };
+    }
 
-    // Expands `cv` (None = root): generates, filters, orders and pushes its
-    // successors. Returns Some((leaf id, leaf makespan)) if a schedule
-    // covering every viable task was generated.
-    let expand = |cv: Option<usize>,
-                  state: &PathState,
-                  arena: &mut Vec<Node>,
-                  node_costs: &mut Vec<(Time, Time)>,
-                  cl: &mut Vec<usize>,
-                  children: &mut Vec<Candidate>,
-                  raw: &mut Vec<(usize, ProcessorId)>,
-                  meter: &mut SchedulingMeter,
-                  stats: &mut SearchStats,
-                  best: &mut (usize, Time, Option<usize>)|
-     -> Option<(usize, Time)> {
+    /// Expands `cv` (`None` = the root): generates, filters, orders and
+    /// pushes its successors. Returns `Some((leaf id, leaf makespan))` if a
+    /// schedule covering every viable task was generated.
+    fn expand(
+        &self,
+        work: &mut Work<'_>,
+        cv: Option<usize>,
+        meter: &mut SchedulingMeter,
+        stats: &mut SearchStats,
+        best: &mut Best,
+    ) -> Option<(usize, Time)> {
+        let params = self.params;
         // Depth bound (Section 3 pruning): do not expand below the bound.
         if params
             .pruning
             .depth_bound
-            .is_some_and(|bound| state.depth() >= bound)
+            .is_some_and(|bound| work.state.depth() >= bound)
         {
             stats.depth_prunes += 1;
             return None;
         }
         stats.expansions += 1;
-        let max_skips = params.representation.max_skips(state);
-        children.clear();
+        let max_skips = params.representation.max_skips(work.state);
+        // The cost function ce compares each candidate's completion against
+        // the partial schedule's makespan; the state is fixed for the whole
+        // expansion, so the O(P) makespan reduction is hoisted out of the
+        // candidate loop.
+        let base_makespan = work.state.makespan();
+        work.children.clear();
         'skip_rounds: for skip in 0..=max_skips {
             params
                 .representation
-                .raw_candidates_into(state, level_task, skip, raw);
+                .raw_candidates_into(work.state, self.level_task, skip, work.raw);
             // Screened (phase-infeasible) tasks are invisible to the search
             // and cost no quantum. An empty round means no viable task is
             // left at all — skipping further cannot help either layout.
-            raw.retain(|&(t, _)| viable[t]);
-            if raw.is_empty() {
+            work.raw.retain(|&(t, _)| self.viable[t]);
+            if work.raw.is_empty() {
                 break;
             }
+            // Struct-of-arrays evaluation: the whole round's completions
+            // are computed in one batched pass over the candidate column
+            // (contiguous finish-time loads, one resource lookup per task
+            // run) before the accounting loop below consumes them.
+            work.state
+                .completions_into(params.tasks, params.comm, work.raw, work.comp);
             // Per-candidate accounting order (pinned by the
             // `vertex_cap_break_classifies_every_counted_vertex` and
             // `quantum_break_counts_the_uncharged_vertex` tests):
@@ -613,8 +742,8 @@ fn search_core(
             //      mid-round quantum break leaves exactly one counted,
             //      unclassified vertex.
             //   3. feasibility classification — only for charged vertices.
-            for &(task, p) in raw.iter() {
-                if params
+            for (i, &(task, p)) in work.raw.iter().enumerate() {
+                if self
                     .vertex_cap
                     .is_some_and(|cap| stats.vertices_generated >= cap)
                 {
@@ -625,150 +754,799 @@ fn search_core(
                 if !charged {
                     break 'skip_rounds; // quantum ran out mid-expansion
                 }
-                let completion = state.completion_if(params.tasks, params.comm, task, p);
+                let completion = work.comp[i];
                 if params.tasks[task].meets_deadline(completion) {
                     stats.feasible_children += 1;
-                    children.push(Candidate {
+                    work.children.push(Candidate {
                         task,
                         processor: p.index(),
                         completion,
-                        makespan: state.makespan().max(completion),
+                        makespan: base_makespan.max(completion),
                         deadline: params.tasks[task].deadline(),
                     });
                 } else {
                     stats.infeasible_children += 1;
                 }
             }
-            if !children.is_empty() {
+            if !work.children.is_empty() {
                 break;
             }
             stats.level_skips += 1;
         }
-        params.child_order.sort(children);
-        let depth = state.depth() + 1;
+        params.child_order.sort(work.children);
+        let depth = work.state.depth() + 1;
         let mut leaf = None;
         // Push lowest-priority first so the highest-priority child is popped
         // next (CL front).
-        for child in children.iter().rev() {
-            let id = arena.len();
-            arena.push(Node {
+        for child in work.children.iter().rev() {
+            let id = work.arena.len();
+            work.arena.push(Node {
                 parent: cv,
                 depth,
                 task: child.task,
                 processor: ProcessorId::new(child.processor),
             });
             if params.provenance {
-                node_costs.push((child.completion, child.makespan));
+                work.node_costs.push((child.completion, child.makespan));
             }
-            cl.push(id);
+            work.cl.push(id);
             // Every generated feasible vertex is a candidate "best".
             let key = (depth, child.makespan);
             if key.0 > best.0 || (key.0 == best.0 && key.1 < best.1) {
                 *best = (depth, child.makespan, Some(id));
             }
             stats.deepest = stats.deepest.max(depth);
-            if depth == n_viable {
+            if depth == self.n_viable {
                 // Prefer the highest-priority leaf of this expansion: since
                 // we iterate lowest-priority first, keep overwriting.
                 leaf = Some((id, child.makespan));
             }
         }
         leaf
-    };
+    }
 
-    // Expand the root, then walk the candidate list with one incrementally
-    // maintained state.
-    let leaf = expand(
-        None, state, arena, node_costs, cl, children, raw, meter, &mut stats, &mut best,
-    );
-    if let Some((leaf_id, leaf_makespan)) = leaf {
-        best = (n_viable, leaf_makespan, Some(leaf_id));
-        termination = Termination::Leaf;
-    } else {
-        termination = loop {
+    /// Walks the candidate list until a leaf, a dead-end, a budget break or
+    /// a pruning bound: the serial engine's main loop, also run per subtree
+    /// by the parallel engine (against that subtree's own budget slices).
+    fn dfs_loop(
+        &self,
+        work: &mut Work<'_>,
+        meter: &mut SchedulingMeter,
+        stats: &mut SearchStats,
+        best: &mut Best,
+        mut last_expanded: Option<usize>,
+    ) -> LoopOut {
+        let mut pops = 0u64;
+        let termination = loop {
             if meter.exhausted()
-                || params
+                || self
                     .vertex_cap
                     .is_some_and(|cap| stats.vertices_generated >= cap)
             {
                 break Termination::QuantumExhausted;
             }
-            let Some(cv) = cl.pop() else {
+            let Some(cv) = work.cl.pop() else {
                 break Termination::DeadEnd;
             };
-            if arena[cv].parent != last_expanded {
+            pops += 1;
+            if work.arena[cv].parent != last_expanded {
                 stats.backtracks += 1;
-                if params
-                    .pruning
+                if self
                     .backtrack_limit
                     .is_some_and(|limit| stats.backtracks > limit)
                 {
                     break Termination::Pruned;
                 }
             }
-            switch_to(arena, state, path, chain, &mut stats, cv, true);
+            self.switch_to(work, stats, cv, true);
             last_expanded = Some(cv);
-            let leaf = expand(
-                Some(cv),
-                state,
-                arena,
-                node_costs,
-                cl,
-                children,
-                raw,
-                meter,
-                &mut stats,
-                &mut best,
-            );
-            if let Some((leaf_id, leaf_makespan)) = leaf {
-                best = (n_viable, leaf_makespan, Some(leaf_id));
+            if let Some((leaf_id, leaf_makespan)) = self.expand(work, Some(cv), meter, stats, best)
+            {
+                *best = (self.n_viable, leaf_makespan, Some(leaf_id));
                 break Termination::Leaf;
             }
         };
+        LoopOut {
+            termination,
+            end_depth: work.path.len(),
+            pops,
+        }
+    }
+}
+
+/// The phase-level viability screen over the whole batch: fills `viable`
+/// with one verdict per task and returns the evidence for rejected tasks
+/// (empty unless [`SearchParams::provenance`] is set, which materializes
+/// every probe's operands; the verdicts are identical either way).
+fn screen_batch(params: &SearchParams<'_>, viable: &mut Vec<bool>) -> Vec<ScreenEvidence> {
+    let mut screened_evidence: Vec<ScreenEvidence> = Vec::new();
+    if params.provenance {
+        for (idx, t) in params.tasks.iter().enumerate() {
+            let probes: Vec<ScreenProbe> = ProcessorId::all(params.initial_finish.len())
+                .map(|p| {
+                    let available = params.initial_finish[p.index()];
+                    let demand = params.comm.demand(t, p);
+                    ScreenProbe {
+                        processor: p,
+                        available,
+                        demand,
+                        completion: available + demand,
+                    }
+                })
+                .collect();
+            let ok = probes.iter().any(|pr| t.meets_deadline(pr.completion));
+            if !ok {
+                screened_evidence.push(ScreenEvidence { task: idx, probes });
+            }
+            viable.push(ok);
+        }
+    } else {
+        viable.extend(params.tasks.iter().map(|t| {
+            ProcessorId::all(params.initial_finish.len()).any(|p| {
+                t.meets_deadline(params.initial_finish[p.index()] + params.comm.demand(t, p))
+            })
+        }));
+    }
+    screened_evidence
+}
+
+/// Same-expansion alternatives for one delivered node: every sibling in
+/// `arena` with the same parent and task, in generation order.
+fn rejected_siblings(
+    arena: &[Node],
+    node_costs: &[(Time, Time)],
+    exclude: usize,
+    parent: Option<usize>,
+    task: usize,
+) -> Vec<PlacementAlternative> {
+    arena
+        .iter()
+        .enumerate()
+        .filter(|&(sid, sib)| sid != exclude && sib.parent == parent && sib.task == task)
+        .map(|(sid, sib)| PlacementAlternative {
+            processor: sib.processor,
+            completion: node_costs[sid].0,
+            cost: node_costs[sid].1,
+        })
+        .collect()
+}
+
+/// Decision evidence for the delivered path: each assignment's chosen cost
+/// next to its same-task siblings (the rejected alternatives of the same
+/// expansion). Reconstructed after the fact so collection cannot perturb
+/// the search.
+fn phase_provenance(
+    arena: &[Node],
+    node_costs: &[(Time, Time)],
+    best_id: Option<usize>,
+    screened: Vec<ScreenEvidence>,
+) -> PhaseProvenance {
+    let mut decisions = Vec::new();
+    if let Some(best_id) = best_id {
+        let mut path_ids = Vec::new();
+        let mut cursor = Some(best_id);
+        while let Some(i) = cursor {
+            path_ids.push(i);
+            cursor = arena[i].parent;
+        }
+        path_ids.reverse();
+        for &id in &path_ids {
+            let node = &arena[id];
+            let (completion, cost) = node_costs[id];
+            decisions.push(PlacementEvidence {
+                task: node.task,
+                processor: node.processor,
+                completion,
+                cost,
+                rejected: rejected_siblings(arena, node_costs, id, node.parent, node.task),
+            });
+        }
+    }
+    PhaseProvenance {
+        screened,
+        decisions,
+    }
+}
+
+/// Adds one subtree walk's counters into the merged phase counters.
+/// Everything is additive except `deepest` (a max) — `screened_tasks` is
+/// additive too, but subtree walks never screen, so only the shared
+/// prologue contributes.
+fn merge_stats(acc: &mut SearchStats, sub: &SearchStats) {
+    acc.vertices_generated += sub.vertices_generated;
+    acc.expansions += sub.expansions;
+    acc.backtracks += sub.backtracks;
+    acc.infeasible_children += sub.infeasible_children;
+    acc.feasible_children += sub.feasible_children;
+    acc.deepest = acc.deepest.max(sub.deepest);
+    acc.level_skips += sub.level_skips;
+    acc.depth_prunes += sub.depth_prunes;
+    acc.screened_tasks += sub.screened_tasks;
+    acc.undos += sub.undos;
+    acc.replay_avoided += sub.replay_avoided;
+}
+
+/// Per-subtree scratch pool for the deterministic parallel engine: one
+/// [`SearchScratch`] per root subtree, grown on demand and reused across
+/// phases exactly like the serial scratch.
+#[derive(Debug, Default)]
+pub struct ParallelScratch {
+    subs: Vec<SearchScratch>,
+}
+
+impl ParallelScratch {
+    /// An empty pool; per-subtree scratches grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Telemetry of one subtree walk of a parallel phase (report only — the
+/// merged [`SearchOutcome`] is the authoritative result).
+#[derive(Debug, Clone)]
+pub struct SubReport {
+    /// How this subtree's walk ended.
+    pub termination: Termination,
+    /// The subtree's own counters. Its depth-1 root vertex was generated
+    /// and charged by the shared root expansion, so it is *not* counted
+    /// here.
+    pub stats: SearchStats,
+    /// Vertices popped from the subtree's candidate list.
+    pub pops: u64,
+    /// Length of the subtree's current path when the walk ended.
+    pub end_depth: usize,
+    /// Whether the merge committed this subtree. Subtrees after the first
+    /// leaf are discarded, exactly as the serial engine never reaches them.
+    pub committed: bool,
+    /// Vertices charged against the subtree's private meter slice.
+    pub vertices: u64,
+    /// Scheduling time consumed from the subtree's private meter slice.
+    pub consumed: Duration,
+}
+
+/// How a parallel phase executed: whether it split, how the subtree walks
+/// ended, and the shared-prologue counters the merge started from.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelReport {
+    /// Whether the phase actually split (two or more subtrees and budget
+    /// left after the root expansion). When false the phase ran the serial
+    /// loop and `subs` is empty.
+    pub split: bool,
+    /// Number of root subtrees (feasible root children).
+    pub subtrees: usize,
+    /// Subtrees the merge committed (`<= subtrees`; the rest were discarded
+    /// because an earlier subtree reached a leaf).
+    pub committed: usize,
+    /// Counters after the shared root expansion, before any subtree ran —
+    /// the merge's starting point.
+    pub stage_stats: SearchStats,
+    /// Per-subtree telemetry, in root-priority order (index 0 = the
+    /// highest-priority root child, the branch the serial engine dives
+    /// first).
+    pub subs: Vec<SubReport>,
+}
+
+/// One root subtree handed to a worker: its root child (already in the
+/// stage arena) and the budget slices its walk runs under.
+#[derive(Debug, Clone, Copy)]
+struct SubSpec {
+    /// Arena id of the subtree's root child in the *stage* arena.
+    root_id: usize,
+    task: usize,
+    processor: ProcessorId,
+    completion: Time,
+    makespan: Time,
+    vertex_cap: Option<u64>,
+    backtrack_limit: Option<u64>,
+    quantum: Duration,
+}
+
+/// What one subtree walk produced ([`SubReport`] is the public
+/// projection).
+struct SubRun {
+    termination: Termination,
+    stats: SearchStats,
+    best: Best,
+    pops: u64,
+    end_depth: usize,
+    vertices: u64,
+    consumed: Duration,
+    exhausted: bool,
+}
+
+/// Runs one subtree walk on its own scratch and private meter slice: seeds
+/// the scratch with the subtree's root child (depth 1 — the vertex the
+/// shared root expansion already generated and charged), then runs the same
+/// candidate-list loop as the serial engine.
+fn run_sub(
+    ctx: &Ctx<'_, '_>,
+    spec: &SubSpec,
+    scratch: &mut SearchScratch,
+    host: HostParams,
+) -> SubRun {
+    let params = ctx.params;
+    let SearchScratch {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        comp,
+        level_task: _,
+        viable: _,
+        state: state_slot,
+        out: _,
+    } = scratch;
+    arena.clear();
+    node_costs.clear();
+    cl.clear();
+    path.clear();
+    chain.clear();
+    children.clear();
+    raw.clear();
+    comp.clear();
+    match state_slot.as_mut() {
+        Some(s) => s.reset(params.initial_finish, params.tasks.len(), &params.resources),
+        None => {
+            *state_slot = Some(PathState::with_resources(
+                params.initial_finish.to_vec(),
+                params.tasks.len(),
+                params.resources.clone(),
+            ));
+        }
+    }
+    let state = state_slot.as_mut().expect("state initialized above");
+    arena.push(Node {
+        parent: None,
+        depth: 1,
+        task: spec.task,
+        processor: spec.processor,
+    });
+    if params.provenance {
+        node_costs.push((spec.completion, spec.makespan));
+    }
+    cl.push(0);
+    let sub_ctx = Ctx {
+        params,
+        viable: ctx.viable,
+        level_task: ctx.level_task,
+        n_viable: ctx.n_viable,
+        use_replay: false,
+        vertex_cap: spec.vertex_cap,
+        backtrack_limit: spec.backtrack_limit,
+    };
+    let mut meter = SchedulingMeter::new(host, spec.quantum);
+    let mut stats = SearchStats::default();
+    let mut best: Best = (1, spec.makespan, Some(0));
+    let mut work = Work {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        comp,
+        state,
+    };
+    let walk = sub_ctx.dfs_loop(&mut work, &mut meter, &mut stats, &mut best, None);
+    SubRun {
+        termination: walk.termination,
+        stats,
+        best,
+        pops: walk.pops,
+        end_depth: walk.end_depth,
+        vertices: meter.vertices(),
+        consumed: meter.consumed(),
+        // A slice meter that filled up exactly as the walk finished on its
+        // own (dead-end/leaf) is a slicing artifact, not phase exhaustion —
+        // the serial engine, holding the undivided quantum, would not be
+        // exhausted there. Only a walk the budget actually cut short
+        // carries the flag up (the merged meter still re-derives exact-fill
+        // exhaustion from its own totals in `SchedulingMeter::absorb`).
+        exhausted: meter.exhausted() && walk.termination == Termination::QuantumExhausted,
+    }
+}
+
+/// The deterministic parallel engine: [`search_schedule_with`] whose
+/// exploration below the root is split across `threads` worker threads.
+///
+/// The root is expanded once, on the caller's meter, identically to the
+/// serial engine; each feasible root child then seeds an independent
+/// subtree walk with its own scratch and a private meter carrying `1/k` of
+/// the remaining quantum, plus `1/k` slices of the vertex cap and backtrack
+/// limit. The split is by *subtree*, never by thread: `threads` only sets
+/// how many OS threads drain the `k` walks, so the outcome is bit-identical
+/// at any thread count (including 1). Whenever no subtree budget slice
+/// binds, the merged outcome is also bit-identical to the serial engine's
+/// (see DESIGN.md — the deterministic-reduction invariant).
+#[must_use]
+pub fn search_schedule_parallel(
+    params: &SearchParams<'_>,
+    threads: usize,
+    meter: &mut SchedulingMeter,
+    scratch: &mut SearchScratch,
+    par: &mut ParallelScratch,
+) -> SearchOutcome {
+    search_parallel_core(params, threads, meter, scratch, par).0
+}
+
+/// [`search_schedule_parallel`] returning the per-subtree execution report
+/// next to the merged outcome (differential tests and diagnostics).
+#[must_use]
+pub fn search_schedule_parallel_with_report(
+    params: &SearchParams<'_>,
+    threads: usize,
+    meter: &mut SchedulingMeter,
+    scratch: &mut SearchScratch,
+    par: &mut ParallelScratch,
+) -> (SearchOutcome, ParallelReport) {
+    search_parallel_core(params, threads, meter, scratch, par)
+}
+
+/// The parallel phase: the serial prologue and root expansion, a
+/// deterministic subtree split, and the stats/meter/best/provenance merge.
+fn search_parallel_core(
+    params: &SearchParams<'_>,
+    threads: usize,
+    meter: &mut SchedulingMeter,
+    scratch: &mut SearchScratch,
+    par: &mut ParallelScratch,
+) -> (SearchOutcome, ParallelReport) {
+    let SearchScratch {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        comp,
+        level_task,
+        viable,
+        state: state_slot,
+        out,
+    } = scratch;
+    arena.clear();
+    node_costs.clear();
+    cl.clear();
+    path.clear();
+    chain.clear();
+    children.clear();
+    raw.clear();
+    comp.clear();
+    level_task.clear();
+    viable.clear();
+    out.clear();
+
+    let n = params.tasks.len();
+    let mut stats = SearchStats::default();
+    let root_makespan = params
+        .initial_finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(Time::ZERO);
+    let mut report = ParallelReport::default();
+
+    if n == 0 {
+        return (
+            SearchOutcome {
+                assignments: Vec::new(),
+                termination: Termination::Leaf,
+                n_viable: 0,
+                makespan: root_makespan,
+                stats,
+                provenance: params.provenance.then(PhaseProvenance::default),
+            },
+            report,
+        );
     }
 
-    // Deliver the best vertex's schedule. Untracked: the extraction switch
-    // is not part of the search, so it must not skew the per-pop counters.
-    // The assignments are copied into the pooled `out` buffer (the state
-    // itself stays in the scratch for the next phase); callers return the
-    // vector via [`SearchScratch::recycle`] to close the reuse loop.
-    let assignments = match best.2 {
-        Some(id) => {
-            switch_to(arena, state, path, chain, &mut stats, id, false);
-            out.extend_from_slice(state.assignments());
+    let screened_evidence = screen_batch(params, viable);
+    let viable: &[bool] = viable;
+    let n_viable = viable.iter().filter(|&&v| v).count();
+    stats.screened_tasks = (n - n_viable) as u64;
+    if n_viable == 0 {
+        return (
+            SearchOutcome {
+                assignments: Vec::new(),
+                termination: Termination::DeadEnd,
+                n_viable: 0,
+                makespan: root_makespan,
+                stats,
+                provenance: params.provenance.then(|| PhaseProvenance {
+                    screened: screened_evidence,
+                    decisions: Vec::new(),
+                }),
+            },
+            report,
+        );
+    }
+
+    if let Representation::AssignmentOriented { task_order } = params.representation {
+        task_order.order_into(params.tasks, params.now, level_task);
+        level_task.retain(|&t| viable[t]);
+    }
+    let level_task: &[usize] = level_task;
+
+    match state_slot.as_mut() {
+        Some(s) => s.reset(params.initial_finish, n, &params.resources),
+        None => {
+            *state_slot = Some(PathState::with_resources(
+                params.initial_finish.to_vec(),
+                n,
+                params.resources.clone(),
+            ));
+        }
+    }
+    let state = state_slot.as_mut().expect("state initialized above");
+
+    let mut best: Best = (0, root_makespan, None);
+    let ctx = Ctx {
+        params,
+        viable,
+        level_task,
+        n_viable,
+        use_replay: false,
+        vertex_cap: params.vertex_cap,
+        backtrack_limit: params.pruning.backtrack_limit,
+    };
+    let mut work = Work {
+        arena,
+        node_costs,
+        cl,
+        path,
+        chain,
+        children,
+        raw,
+        comp,
+        state,
+    };
+
+    // Stage: the shared root expansion, charged against the caller's meter
+    // exactly like the serial engine.
+    let leaf = ctx.expand(&mut work, None, meter, &mut stats, &mut best);
+    let k = work.cl.len();
+    report.subtrees = k;
+    report.stage_stats = stats;
+
+    // Serial fallbacks: a root leaf, fewer than two subtrees, or a budget
+    // already dead at the root. Each continues on the serial engine's exact
+    // code path (and is therefore bit-identical to it).
+    let budget_dead = meter.exhausted()
+        || ctx
+            .vertex_cap
+            .is_some_and(|cap| stats.vertices_generated >= cap);
+    if leaf.is_some() || k < 2 || budget_dead {
+        let termination = if let Some((leaf_id, leaf_makespan)) = leaf {
+            best = (n_viable, leaf_makespan, Some(leaf_id));
+            Termination::Leaf
+        } else {
+            ctx.dfs_loop(&mut work, meter, &mut stats, &mut best, None)
+                .termination
+        };
+        let assignments = match best.2 {
+            Some(id) => {
+                ctx.switch_to(&mut work, &mut stats, id, false);
+                out.extend_from_slice(work.state.assignments());
+                std::mem::take(out)
+            }
+            None => Vec::new(),
+        };
+        let provenance = params
+            .provenance
+            .then(|| phase_provenance(work.arena, work.node_costs, best.2, screened_evidence));
+        return (
+            SearchOutcome {
+                assignments,
+                termination,
+                n_viable,
+                makespan: best.1,
+                stats,
+                provenance,
+            },
+            report,
+        );
+    }
+    report.split = true;
+
+    // Deterministic subtree specs, highest root priority first. `CL` is a
+    // stack (end = front), so subtree 0 — the branch the serial engine
+    // dives first — owns the last `CL` entry. Budget slices: each subtree
+    // gets 1/k of the remaining quantum, vertex cap and backtrack limit
+    // (the first `cap % k` subtrees absorb the vertex-cap remainder).
+    let quantum_slice = meter.remaining() / (k as u64);
+    let cap_left = ctx
+        .vertex_cap
+        .map(|cap| cap.saturating_sub(stats.vertices_generated));
+    let bt_slice = ctx.backtrack_limit.map(|limit| limit / (k as u64));
+    let specs: Vec<SubSpec> = (0..k)
+        .map(|i| {
+            let root_id = work.cl[k - 1 - i];
+            let node = work.arena[root_id];
+            // The state still sits at the root, so this recomputes exactly
+            // the completion the root expansion evaluated.
+            let completion =
+                work.state
+                    .completion_if(params.tasks, params.comm, node.task, node.processor);
+            SubSpec {
+                root_id,
+                task: node.task,
+                processor: node.processor,
+                completion,
+                makespan: root_makespan.max(completion),
+                vertex_cap: cap_left
+                    .map(|c| c / (k as u64) + u64::from((i as u64) < c % (k as u64))),
+                backtrack_limit: bt_slice,
+                quantum: quantum_slice,
+            }
+        })
+        .collect();
+
+    // Drain the k walks on `threads` OS threads (contiguous chunks of the
+    // per-subtree scratch pool). The thread count affects scheduling only —
+    // each walk's result is keyed by its subtree index, so the merge below
+    // sees the same inputs at any width.
+    if par.subs.len() < k {
+        par.subs.resize_with(k, SearchScratch::default);
+    }
+    let host = meter.host_params();
+    let width = threads.max(1).min(k);
+    let mut runs: Vec<Option<SubRun>> = Vec::with_capacity(k);
+    runs.resize_with(k, || None);
+    if width == 1 {
+        for (slot, (sub_scratch, spec)) in runs.iter_mut().zip(par.subs[..k].iter_mut().zip(&specs))
+        {
+            *slot = Some(run_sub(&ctx, spec, sub_scratch, host));
+        }
+    } else {
+        let chunk = k.div_ceil(width);
+        let ctx_ref = &ctx;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = par.subs[..k]
+                .chunks_mut(chunk)
+                .zip(specs.chunks(chunk))
+                .map(|(scratches, chunk_specs)| {
+                    scope.spawn(move || {
+                        scratches
+                            .iter_mut()
+                            .zip(chunk_specs)
+                            .map(|(s, spec)| run_sub(ctx_ref, spec, s, host))
+                            .collect::<Vec<SubRun>>()
+                    })
+                })
+                .collect();
+            for (ci, handle) in handles.into_iter().enumerate() {
+                let walks = handle.join().expect("subtree search thread panicked");
+                for (j, walk) in walks.into_iter().enumerate() {
+                    runs[ci * chunk + j] = Some(walk);
+                }
+            }
+        });
+    }
+    let runs: Vec<SubRun> = runs
+        .into_iter()
+        .map(|r| r.expect("every subtree ran"))
+        .collect();
+
+    // Commit rule: the serial engine stops at the first leaf, so only the
+    // subtrees up to and including the lowest-index Leaf are "real" — later
+    // subtrees would never have run serially and are discarded wholesale.
+    let leaf_sub = runs.iter().position(|r| r.termination == Termination::Leaf);
+    let committed = leaf_sub.map_or(k, |l| l + 1);
+    report.committed = committed;
+
+    // Merge counters and meters in subtree-priority order, then add the
+    // cross-subtree bookkeeping the serial engine charges when hopping from
+    // the end of one exhausted subtree to the next root child: one
+    // backtrack per entered subtree after the first, and an undo of the
+    // previous subtree's final path (the common ancestor is the root, so
+    // no replay is avoided).
+    let mut entered_depths: Vec<u64> = Vec::new();
+    for run in &runs[..committed] {
+        merge_stats(&mut stats, &run.stats);
+        meter.absorb(run.vertices, run.consumed, run.exhausted);
+        if run.pops > 0 {
+            entered_depths.push(run.end_depth as u64);
+        }
+    }
+    stats.backtracks += (entered_depths.len() as u64).saturating_sub(1);
+    if entered_depths.len() >= 2 {
+        stats.undos += entered_depths[..entered_depths.len() - 1]
+            .iter()
+            .sum::<u64>();
+    }
+
+    // Best-vertex reduction. The stage fold over the root children already
+    // reproduces the serial engine's depth-1 ordering (lowest priority
+    // folded first), so only *interior* subtree bests (depth >= 2) compete:
+    // folding them in priority order under the same strict-improvement rule
+    // recovers exactly the serial "first optimum in exploration order". A
+    // leaf overrides unconditionally, as in the serial loop.
+    let mut owner: Option<usize> = None; // best's subtree; None = stage arena
+    let termination = if let Some(l) = leaf_sub {
+        best = runs[l].best;
+        owner = Some(l);
+        Termination::Leaf
+    } else {
+        for (i, run) in runs[..committed].iter().enumerate() {
+            let cand = run.best;
+            if cand.0 >= 2 && (cand.0 > best.0 || (cand.0 == best.0 && cand.1 < best.1)) {
+                best = cand;
+                owner = Some(i);
+            }
+        }
+        if runs[..committed]
+            .iter()
+            .any(|r| r.termination == Termination::QuantumExhausted)
+        {
+            Termination::QuantumExhausted
+        } else if runs[..committed]
+            .iter()
+            .any(|r| r.termination == Termination::Pruned)
+        {
+            Termination::Pruned
+        } else {
+            Termination::DeadEnd
+        }
+    };
+
+    // Deliver the best vertex's schedule from whichever arena owns it.
+    let assignments = match owner {
+        None => match best.2 {
+            Some(id) => {
+                ctx.switch_to(&mut work, &mut stats, id, false);
+                out.extend_from_slice(work.state.assignments());
+                std::mem::take(out)
+            }
+            None => Vec::new(),
+        },
+        Some(i) => {
+            let mut sub_work = Work::over(&mut par.subs[i]);
+            let id = best.2.expect("a subtree best always names a vertex");
+            ctx.switch_to(&mut sub_work, &mut stats, id, false);
+            out.extend_from_slice(sub_work.state.assignments());
             std::mem::take(out)
         }
-        None => Vec::new(),
     };
-    // Decision evidence for the delivered path: each assignment's chosen
-    // cost next to its same-task siblings (the rejected alternatives of the
-    // same expansion). Reconstructed after the fact so collection cannot
-    // perturb the search.
-    let provenance = params.provenance.then(|| {
-        let mut decisions = Vec::new();
-        if let Some(best_id) = best.2 {
+
+    // Provenance merge: the screen evidence comes from the shared prologue;
+    // the decision path from the owning arena. A subtree's depth-1 node
+    // repeats a stage root child, so its rejected alternatives are the
+    // *other* root children (stage arena); deeper nodes find their siblings
+    // in the subtree's own arena. The values match the serial engine's —
+    // only arena ids differ, and evidence carries none.
+    let provenance = params.provenance.then(|| match owner {
+        None => phase_provenance(work.arena, work.node_costs, best.2, screened_evidence),
+        Some(i) => {
+            let sub = &par.subs[i];
+            let id = best.2.expect("a subtree best always names a vertex");
             let mut path_ids = Vec::new();
-            let mut cursor = Some(best_id);
-            while let Some(i) = cursor {
-                path_ids.push(i);
-                cursor = arena[i].parent;
+            let mut cursor = Some(id);
+            while let Some(nid) = cursor {
+                path_ids.push(nid);
+                cursor = sub.arena[nid].parent;
             }
             path_ids.reverse();
-            for &id in &path_ids {
-                let node = &arena[id];
-                let (completion, cost) = node_costs[id];
-                let rejected: Vec<PlacementAlternative> = arena
-                    .iter()
-                    .enumerate()
-                    .filter(|&(sid, sib)| {
-                        sid != id && sib.parent == node.parent && sib.task == node.task
-                    })
-                    .map(|(sid, sib)| PlacementAlternative {
-                        processor: sib.processor,
-                        completion: node_costs[sid].0,
-                        cost: node_costs[sid].1,
-                    })
-                    .collect();
+            let mut decisions = Vec::new();
+            for &nid in &path_ids {
+                let node = &sub.arena[nid];
+                let (completion, cost) = sub.node_costs[nid];
+                let rejected = if node.parent.is_none() {
+                    rejected_siblings(
+                        work.arena,
+                        work.node_costs,
+                        specs[i].root_id,
+                        None,
+                        node.task,
+                    )
+                } else {
+                    rejected_siblings(&sub.arena, &sub.node_costs, nid, node.parent, node.task)
+                };
                 decisions.push(PlacementEvidence {
                     task: node.task,
                     processor: node.processor,
@@ -777,20 +1555,38 @@ fn search_core(
                     rejected,
                 });
             }
-        }
-        PhaseProvenance {
-            screened: screened_evidence,
-            decisions,
+            PhaseProvenance {
+                screened: screened_evidence,
+                decisions,
+            }
         }
     });
-    SearchOutcome {
-        assignments,
-        termination,
-        n_viable,
-        makespan: best.1,
-        stats,
-        provenance,
-    }
+
+    report.subs = runs
+        .iter()
+        .enumerate()
+        .map(|(i, run)| SubReport {
+            termination: run.termination,
+            stats: run.stats,
+            pops: run.pops,
+            end_depth: run.end_depth,
+            committed: i < committed,
+            vertices: run.vertices,
+            consumed: run.consumed,
+        })
+        .collect();
+
+    (
+        SearchOutcome {
+            assignments,
+            termination,
+            n_viable,
+            makespan: best.1,
+            stats,
+            provenance,
+        },
+        report,
+    )
 }
 
 #[cfg(test)]
@@ -1387,5 +2183,173 @@ mod tests {
         let out = search_schedule(&p, &mut free_meter());
         assert_eq!(out.termination, Termination::DeadEnd);
         assert!(out.assignments.is_empty());
+    }
+
+    /// Runs the parallel engine at `threads` and asserts the outcome equals
+    /// `expected` field by field (plus the meter tallies).
+    fn assert_parallel_matches(
+        p: &SearchParams<'_>,
+        threads: usize,
+        mk_meter: &dyn Fn() -> SchedulingMeter,
+        expected: &SearchOutcome,
+        expected_meter: &SchedulingMeter,
+    ) -> ParallelReport {
+        let mut meter = mk_meter();
+        let mut scratch = SearchScratch::new();
+        let mut par = ParallelScratch::new();
+        let (out, report) =
+            search_schedule_parallel_with_report(p, threads, &mut meter, &mut scratch, &mut par);
+        assert_eq!(out.assignments, expected.assignments, "threads={threads}");
+        assert_eq!(out.termination, expected.termination, "threads={threads}");
+        assert_eq!(out.n_viable, expected.n_viable, "threads={threads}");
+        assert_eq!(out.makespan, expected.makespan, "threads={threads}");
+        assert_eq!(out.stats, expected.stats, "threads={threads}");
+        assert_eq!(out.provenance, expected.provenance, "threads={threads}");
+        assert_eq!(meter.vertices(), expected_meter.vertices());
+        assert_eq!(meter.consumed(), expected_meter.consumed());
+        assert_eq!(meter.exhausted(), expected_meter.exhausted());
+        report
+    }
+
+    #[test]
+    fn parallel_leaf_matches_serial_at_every_width() {
+        // Balanced feasible case: every subtree dead-ends or leafs without
+        // hitting a budget slice, so the merge must be bit-identical to the
+        // serial engine at any width.
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 3];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.provenance = true;
+        let mut serial_meter = free_meter();
+        let serial = search_schedule(&p, &mut serial_meter);
+        assert_eq!(serial.termination, Termination::Leaf);
+        for threads in [1, 2, 8] {
+            let report = assert_parallel_matches(&p, threads, &free_meter, &serial, &serial_meter);
+            assert!(report.split, "three root children should split");
+            assert_eq!(report.subtrees, 3);
+        }
+    }
+
+    #[test]
+    fn parallel_backtracking_case_matches_serial() {
+        // The greedy-mistake scenario: subtree 0 (A on P0) dead-ends, the
+        // serial engine backtracks into subtree 1 (A on P1) and completes.
+        // The parallel merge must reproduce the cross-subtree backtrack and
+        // undo accounting exactly.
+        let tasks = vec![mk_task(0, 100, 150, &[0, 1]), mk_task(1, 100, 150, &[0])];
+        let comm = CommModel::constant(Duration::from_micros(1_000));
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.provenance = true;
+        let mut serial_meter = free_meter();
+        let serial = search_schedule(&p, &mut serial_meter);
+        assert_eq!(serial.termination, Termination::Leaf);
+        assert!(serial.stats.backtracks > 0);
+        for threads in [1, 2, 8] {
+            let report = assert_parallel_matches(&p, threads, &free_meter, &serial, &serial_meter);
+            assert!(report.split);
+            assert_eq!(report.committed, 2, "leaf in subtree 1 commits both");
+            assert_eq!(report.subs[0].termination, Termination::DeadEnd);
+            assert_eq!(report.subs[1].termination, Termination::Leaf);
+        }
+    }
+
+    #[test]
+    fn parallel_dead_end_matches_serial() {
+        // 5 equal tasks, 2 processors, only 4 fit by the deadline: the
+        // exhaustive search dead-ends. Every subtree dead-ends too, so
+        // parallel == serial.
+        let tasks: Vec<Task> = (0..5).map(|i| mk_task(i, 100, 250, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        p.provenance = true;
+        let mut serial_meter = free_meter();
+        let serial = search_schedule(&p, &mut serial_meter);
+        assert_eq!(serial.termination, Termination::DeadEnd);
+        for threads in [1, 2, 8] {
+            assert_parallel_matches(&p, threads, &free_meter, &serial, &serial_meter);
+        }
+    }
+
+    #[test]
+    fn parallel_is_width_invariant_under_budget_slicing() {
+        // A tight meter makes the subtree quantum slices bind, so the
+        // outcome legitimately differs from serial — but it must still be
+        // bit-identical across widths, and the counters must stay coherent.
+        let tasks: Vec<Task> = (0..10).map(|i| mk_task(i, 100, 400, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let mk_meter = || {
+            SchedulingMeter::new(
+                HostParams::new(Duration::from_micros(1)),
+                Duration::from_micros(97),
+            )
+        };
+        let mut meter = mk_meter();
+        let mut scratch = SearchScratch::new();
+        let mut par = ParallelScratch::new();
+        let (base, report) =
+            search_schedule_parallel_with_report(&p, 1, &mut meter, &mut scratch, &mut par);
+        assert!(report.split);
+        assert_eq!(
+            meter.vertices(),
+            base.stats.vertices_generated,
+            "accounting invariant survives the merge"
+        );
+        for threads in [2, 3, 8, 16] {
+            assert_parallel_matches(&p, threads, &mk_meter, &base, &meter);
+        }
+    }
+
+    #[test]
+    fn parallel_reuses_scratches_across_phases() {
+        let tasks: Vec<Task> = (0..6).map(|i| mk_task(i, 100, 100_000, &[])).collect();
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 3];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let mut scratch = SearchScratch::new();
+        let mut par = ParallelScratch::new();
+        let mut meter = free_meter();
+        let first = search_schedule_parallel(&p, 4, &mut meter, &mut scratch, &mut par);
+        for _ in 0..3 {
+            let mut meter = free_meter();
+            let again = search_schedule_parallel(&p, 4, &mut meter, &mut scratch, &mut par);
+            assert_eq!(again.assignments, first.assignments);
+            assert_eq!(again.stats, first.stats);
+        }
+    }
+
+    #[test]
+    fn parallel_trivial_and_degenerate_batches() {
+        let comm = CommModel::free();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 2];
+        let mut scratch = SearchScratch::new();
+        let mut par = ParallelScratch::new();
+
+        // Empty batch: trivial leaf, no split.
+        let empty: Vec<Task> = Vec::new();
+        let p = params(&empty, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let (out, report) =
+            search_schedule_parallel_with_report(&p, 8, &mut free_meter(), &mut scratch, &mut par);
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(!report.split);
+
+        // Single task: one subtree, serial fallback path.
+        let one = vec![mk_task(0, 100, 100_000, &[])];
+        let p = params(&one, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let (out, report) =
+            search_schedule_parallel_with_report(&p, 8, &mut free_meter(), &mut scratch, &mut par);
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(!report.split, "k < 2 never splits");
+        assert_eq!(out.assignments.len(), 1);
     }
 }

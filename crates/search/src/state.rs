@@ -192,6 +192,36 @@ impl PathState {
         start + comm.demand(t, p)
     }
 
+    /// Computes the completion instant of every `(task, processor)` candidate
+    /// in `raw` against this state in one pass, writing the dense column into
+    /// `out` (index-aligned with `raw`). Each entry equals
+    /// [`PathState::completion_if`] for the same pair; batching the evaluation
+    /// keeps the finish-time loads contiguous and looks the resource
+    /// earliest-start up once per run of consecutive same-task candidates
+    /// (the assignment-oriented layout emits one task × all processors).
+    pub fn completions_into(
+        &self,
+        tasks: &[Task],
+        comm: &CommModel,
+        raw: &[(usize, ProcessorId)],
+        out: &mut Vec<Time>,
+    ) {
+        out.clear();
+        let mut cached: Option<(usize, Time)> = None;
+        for &(task, p) in raw {
+            let t = &tasks[task];
+            let earliest = match cached {
+                Some((ct, v)) if ct == task => v,
+                _ => {
+                    let v = self.resources.earliest_start(t.resources());
+                    cached = Some((task, v));
+                    v
+                }
+            };
+            out.push(self.finish[p.index()].max(earliest) + comm.demand(t, p));
+        }
+    }
+
     /// Commits assignment `(task → p)` and returns its completion instant.
     ///
     /// # Panics

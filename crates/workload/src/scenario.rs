@@ -114,6 +114,34 @@ impl Scenario {
         self
     }
 
+    /// Checks the parameter sheet for degenerate values that the
+    /// constituent constructors would otherwise reject with internal
+    /// assertion panics deep inside [`Scenario::build`]. Call this at the
+    /// configuration boundary (CLI parsing, config-file loading) to turn
+    /// those panics into actionable error messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first degenerate
+    /// parameter found (zero workers, partitions, tuples, attributes,
+    /// domain values or transactions).
+    pub fn validate(&self) -> Result<(), String> {
+        let positive: [(&str, usize); 6] = [
+            ("workers", self.workers),
+            ("partitions", self.partitions),
+            ("tuples_per_partition", self.tuples_per_partition),
+            ("attributes", self.attributes),
+            ("domain_size", self.domain_size as usize),
+            ("transactions", self.transactions),
+        ];
+        for (name, value) in positive {
+            if value == 0 {
+                return Err(format!("scenario parameter `{name}` must be positive"));
+            }
+        }
+        Ok(())
+    }
+
     /// Materializes the scenario with the given seed: generates the
     /// database, places its replicas, draws the transactions and arrival
     /// times, estimates costs and assigns deadlines — yielding the tasks
@@ -319,5 +347,38 @@ mod tests {
     fn mean_processing_time_is_positive() {
         let built = Scenario::small().build(10);
         assert!(!built.mean_processing_time().is_zero());
+    }
+
+    #[test]
+    fn validate_accepts_paper_defaults_and_small() {
+        assert_eq!(Scenario::paper_defaults().validate(), Ok(()));
+        assert_eq!(Scenario::small().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_the_degenerate_parameter() {
+        let cases: [(&str, Scenario); 4] = [
+            ("workers", Scenario::small().workers(0)),
+            ("transactions", Scenario::small().transactions(0)),
+            (
+                "partitions",
+                Scenario {
+                    partitions: 0,
+                    ..Scenario::small()
+                },
+            ),
+            (
+                "domain_size",
+                Scenario {
+                    domain_size: 0,
+                    ..Scenario::small()
+                },
+            ),
+        ];
+        for (name, scenario) in cases {
+            let err = scenario.validate().expect_err(name);
+            assert!(err.contains(name), "error {err:?} should name `{name}`");
+            assert!(err.contains("must be positive"), "got {err:?}");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X]
 //!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
-//!            [--comm-us C] [--seed S] [--phases]
+//!            [--comm-us C] [--seed S] [--search-threads N] [--phases]
 //!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
 //!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
 //!            [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]
@@ -55,6 +55,7 @@ use rtsads_repro::telemetry::{
 };
 use rtsads_repro::workload::Scenario;
 
+#[derive(Debug)]
 struct Args {
     workers: usize,
     txns: usize,
@@ -63,6 +64,7 @@ struct Args {
     algorithm: Algorithm,
     comm_us: u64,
     seed: u64,
+    search_threads: usize,
     phases: bool,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -72,7 +74,7 @@ struct Args {
     timeseries_window_us: u64,
 }
 
-fn parse() -> Result<Args, String> {
+fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         workers: 10,
         txns: 1_000,
@@ -81,6 +83,7 @@ fn parse() -> Result<Args, String> {
         algorithm: Algorithm::rt_sads(),
         comm_us: 2_000,
         seed: 1_998,
+        search_threads: 1,
         phases: false,
         trace_out: None,
         metrics_out: None,
@@ -89,14 +92,22 @@ fn parse() -> Result<Args, String> {
         timeseries_out: None,
         timeseries_window_us: DEFAULT_WINDOW_US,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = it;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--workers" => {
-                args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?
+                args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be positive".to_string());
+                }
             }
-            "--txns" => args.txns = value("--txns")?.parse().map_err(|e| format!("{e}"))?,
+            "--txns" => {
+                args.txns = value("--txns")?.parse().map_err(|e| format!("{e}"))?;
+                if args.txns == 0 {
+                    return Err("--txns must be positive".to_string());
+                }
+            }
             "--replication" => {
                 let pct: f64 = value("--replication")?
                     .parse()
@@ -108,6 +119,14 @@ fn parse() -> Result<Args, String> {
                 args.comm_us = value("--comm-us")?.parse().map_err(|e| format!("{e}"))?
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--search-threads" => {
+                args.search_threads = value("--search-threads")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if args.search_threads == 0 {
+                    return Err("--search-threads must be positive".to_string());
+                }
+            }
             "--phases" => args.phases = true,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
@@ -416,14 +435,14 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
-    let args = match parse() {
+    let args = match parse_from(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
                  [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
-                 [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
+                 [--search-threads N] [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
                  [--perfetto-out FILE.trace.json] [--report-out FILE.json] \
                  [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]\n\
                         rtsads-sim explain --task N --trace FILE.jsonl\n\
@@ -435,16 +454,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let built = Scenario::paper_defaults()
+    let scenario = Scenario::paper_defaults()
         .workers(args.workers)
         .transactions(args.txns)
         .replication_rate(args.replication)
-        .sf(args.sf)
-        .build(args.seed);
+        .sf(args.sf);
+    if let Err(msg) = scenario.validate() {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
+    let built = scenario.build(args.seed);
     let config = DriverConfig::new(args.workers, args.algorithm.clone())
         .comm(CommModel::constant(Duration::from_micros(args.comm_us)))
         .host(HostParams::new(Duration::from_micros(1)))
         .seed(args.seed)
+        .search_threads(args.search_threads)
         // The timeline gets measured scheduling wall time next to Q_s(j);
         // wall time is nondeterministic, so only measure when asked for a
         // timeline (JSONL traces stay byte-reproducible otherwise).
@@ -543,4 +567,54 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(argv: &[&str]) -> Result<Args, String> {
+        parse_from(argv.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_parse_without_flags() {
+        let args = parse_strs(&[]).expect("defaults");
+        assert_eq!(args.workers, 10);
+        assert_eq!(args.txns, 1_000);
+        assert_eq!(args.search_threads, 1);
+    }
+
+    #[test]
+    fn zero_workers_is_an_error_not_a_panic() {
+        let err = parse_strs(&["--workers", "0"]).expect_err("rejected");
+        assert_eq!(err, "--workers must be positive");
+    }
+
+    #[test]
+    fn zero_txns_is_an_error_not_a_panic() {
+        let err = parse_strs(&["--txns", "0"]).expect_err("rejected");
+        assert_eq!(err, "--txns must be positive");
+    }
+
+    #[test]
+    fn zero_search_threads_is_an_error() {
+        let err = parse_strs(&["--search-threads", "0"]).expect_err("rejected");
+        assert_eq!(err, "--search-threads must be positive");
+    }
+
+    #[test]
+    fn search_threads_flag_parses() {
+        let args = parse_strs(&["--search-threads", "8", "--workers", "4"]).expect("parses");
+        assert_eq!(args.search_threads, 8);
+        assert_eq!(args.workers, 4);
+    }
+
+    #[test]
+    fn degenerate_scenario_from_cli_values_fails_validation() {
+        // Even if a zero sneaks past flag parsing (e.g. a future flag), the
+        // scenario boundary catches it before `build` can panic.
+        let scenario = Scenario::paper_defaults().workers(10).transactions(0);
+        assert!(scenario.validate().is_err());
+    }
 }

@@ -104,13 +104,20 @@ pub struct SnapshotDiff {
     pub deltas: Vec<MetricDelta>,
     /// Baseline points the new snapshot does not have (counts as regression).
     pub missing: Vec<String>,
+    /// New-snapshot points the baseline does not have (counts as
+    /// regression): a point added to the bench suite without regenerating
+    /// the committed baseline would otherwise escape the gate silently.
+    pub unexpected: Vec<String>,
 }
 
 impl SnapshotDiff {
-    /// True when any metric regressed or a baseline point disappeared.
+    /// True when any metric regressed, a baseline point disappeared, or the
+    /// new snapshot carries points the baseline does not know about.
     #[must_use]
     pub fn has_regression(&self) -> bool {
-        !self.missing.is_empty() || self.deltas.iter().any(|d| d.regressed)
+        !self.missing.is_empty()
+            || !self.unexpected.is_empty()
+            || self.deltas.iter().any(|d| d.regressed)
     }
 
     /// Human-readable comparison table with a PASS/FAIL verdict line.
@@ -137,6 +144,11 @@ impl SnapshotDiff {
                 "{name:<14} missing from new snapshot  REGRESSED\n"
             ));
         }
+        for name in &self.unexpected {
+            out.push_str(&format!(
+                "{name:<14} not in baseline (regenerate it)  REGRESSED\n"
+            ));
+        }
         out.push_str(&format!(
             "verdict: {} (tolerance {:.0}%)\n",
             if self.has_regression() {
@@ -154,12 +166,20 @@ impl SnapshotDiff {
 /// `vertices_per_sec` for every baseline point. A metric regresses when it
 /// drops by more than `tolerance` relative to the baseline; improvements
 /// never fail. Baseline points absent from `new` are reported in
-/// [`SnapshotDiff::missing`] and count as a regression; extra points in
-/// `new` are ignored (a baseline refresh will pick them up).
+/// [`SnapshotDiff::missing`], and points present in `new` but absent from
+/// the baseline in [`SnapshotDiff::unexpected`]; both count as a regression
+/// — the latter so that a newly added bench point cannot ship without its
+/// baseline being regenerated in the same change.
 #[must_use]
 pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64) -> SnapshotDiff {
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
+    let unexpected = new
+        .points
+        .iter()
+        .filter(|np| !base.points.iter().any(|bp| bp.name == np.name))
+        .map(|np| np.name.clone())
+        .collect();
     for bp in &base.points {
         let Some(np) = new.points.iter().find(|p| p.name == bp.name) else {
             missing.push(bp.name.clone());
@@ -184,6 +204,7 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64)
         tolerance,
         deltas,
         missing,
+        unexpected,
     }
 }
 
@@ -252,7 +273,7 @@ fn point(
     best.expect("at least one measured pass")
 }
 
-/// Measures all three canonical points. `measured` is the number of timed
+/// Measures all five canonical points. `measured` is the number of timed
 /// phases per point (the CLI default is [`DEFAULT_MEASURED`]; tests pass a
 /// small count).
 #[must_use]
@@ -287,13 +308,14 @@ pub fn collect(measured: u64) -> BenchSnapshot {
         })
     };
 
-    // Points 2 and 3: the full algorithm layer on 8 workers. Phases here
-    // are ~1000× slower than the deep dive, so they get fewer iterations.
+    // Points 2-5: the full algorithm layer on 8 workers, serial and at 8
+    // search threads. Phases here are ~1000× slower than the deep dive, so
+    // they get fewer iterations.
     let workers = 8;
     let comm = CommModel::constant(Duration::from_millis(2));
     let initial = vec![Time::ZERO; workers];
     let phase_measured = (measured / 40).max(3);
-    let full_point = |name: &str, tasks: &[rt_task::Task]| {
+    let full_point = |name: &str, tasks: &[rt_task::Task], threads: usize| {
         let algorithm = Algorithm::rt_sads();
         let mut scratch = PhaseScratch::new();
         point(
@@ -315,6 +337,7 @@ pub fn collect(measured: u64) -> BenchSnapshot {
                     Pruning::default(),
                     &ResourceEats::new(),
                     false,
+                    threads,
                     &mut meter,
                     &mut rng,
                     &mut scratch,
@@ -325,17 +348,24 @@ pub fn collect(measured: u64) -> BenchSnapshot {
             },
         )
     };
-    let mixed = full_point("mixed_150x8", &synthetic_batch(150, workers));
-    let tight = full_point("tight_150x8", &tight_batch(150, workers));
+    let mixed_tasks = synthetic_batch(150, workers);
+    let tight_tasks = tight_batch(150, workers);
+    let mixed = full_point("mixed_150x8", &mixed_tasks, 1);
+    let tight = full_point("tight_150x8", &tight_tasks, 1);
+    let mixed_t8 = full_point("mixed_150x8_t8", &mixed_tasks, 8);
+    let tight_t8 = full_point("tight_150x8_t8", &tight_tasks, 8);
 
     let manifest = RunManifest::new("RT-SADS", SNAPSHOT_SEED, workers)
         .calibration(1, Some(2_000))
-        .with("points", "deep_dive_64,mixed_150x8,tight_150x8")
+        .with(
+            "points",
+            "deep_dive_64,mixed_150x8,tight_150x8,mixed_150x8_t8,tight_150x8_t8",
+        )
         .with("measured_phases", measured.to_string());
 
     BenchSnapshot {
         manifest,
-        points: vec![dive, mixed, tight],
+        points: vec![dive, mixed, tight, mixed_t8, tight_t8],
     }
 }
 
@@ -349,7 +379,7 @@ mod tests {
     #[test]
     fn snapshot_round_trips_and_reports_positive_rates() {
         let snap = collect(120);
-        assert_eq!(snap.points.len(), 3);
+        assert_eq!(snap.points.len(), 5);
         assert_eq!(snap.points[0].name, "deep_dive_64");
         for p in &snap.points {
             assert!(p.phases > 0, "{}: no phases", p.name);
@@ -357,12 +387,21 @@ mod tests {
             assert!(p.vertices_per_sec > 0.0, "{}: zero vertices", p.name);
         }
         // The tight batch is built to backtrack; undo traffic must show up.
-        assert!(
-            snap.points[2].undos_per_sec > 0.0,
-            "tight point never undid"
-        );
+        let tight = snap
+            .points
+            .iter()
+            .find(|p| p.name == "tight_150x8")
+            .expect("tight point present");
+        assert!(tight.undos_per_sec > 0.0, "tight point never undid");
+        // The 8-thread variants of both full-phase points must be present.
+        for name in ["mixed_150x8_t8", "tight_150x8_t8"] {
+            assert!(
+                snap.points.iter().any(|p| p.name == name),
+                "{name} missing from snapshot"
+            );
+        }
         let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
-        assert_eq!(back.points.len(), 3);
+        assert_eq!(back.points.len(), 5);
         assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
     }
 
@@ -402,6 +441,32 @@ mod tests {
         let gone = diff_snapshots(&base, &truncated, 0.20);
         assert!(gone.has_regression());
         assert_eq!(gone.missing, vec!["mixed_150x8".to_string()]);
+    }
+
+    #[test]
+    fn diff_fails_on_points_absent_from_baseline() {
+        let base = synthetic_snapshot(1.0);
+        let mut grown = synthetic_snapshot(1.0);
+        grown.points.push(SnapshotPoint {
+            name: "mixed_150x8_t8".to_string(),
+            phases: 100,
+            elapsed_us: 1_000,
+            phases_per_sec: 300.0,
+            vertices_per_sec: 15_000.0,
+            undos_per_sec: 600.0,
+        });
+        let diff = diff_snapshots(&base, &grown, 0.20);
+        assert!(
+            diff.deltas.iter().all(|d| !d.regressed),
+            "matched points are all fine"
+        );
+        assert!(diff.has_regression(), "unexpected point must fail the gate");
+        assert_eq!(diff.unexpected, vec!["mixed_150x8_t8".to_string()]);
+        assert!(diff.render().contains("not in baseline"));
+        assert!(diff.render().contains("verdict: FAIL"));
+
+        // Regenerating the baseline (same point set) clears the failure.
+        assert!(!diff_snapshots(&grown, &grown, 0.20).has_regression());
     }
 
     #[test]

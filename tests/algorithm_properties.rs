@@ -112,6 +112,7 @@ proptest! {
                 Pruning::default(),
                 &ResourceEats::new(),
                 false,
+                1,
                 &mut meter,
                 &mut rng,
                 &mut scratch,
@@ -148,6 +149,7 @@ proptest! {
                 Pruning::default(),
                 &ResourceEats::new(),
                 false,
+                1,
                 &mut meter,
                 &mut rng,
                 &mut scratch,
@@ -215,6 +217,7 @@ proptest! {
                 Pruning::default(),
                 &ResourceEats::new(),
                 false,
+                1,
                 &mut meter,
                 &mut rng,
                 &mut PhaseScratch::new(),

@@ -16,8 +16,9 @@ use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
 use rt_task::{AffinitySet, CommModel, ProcessorId, ResourceEats, ResourceRequest, Task, TaskId};
 use sched_search::{
-    search_schedule, search_schedule_replay, search_schedule_with, ChildOrder, ProcessorOrder,
-    Pruning, Representation, SearchParams, SearchScratch, TaskOrder,
+    search_schedule, search_schedule_parallel_with_report, search_schedule_replay,
+    search_schedule_with, ChildOrder, ParallelScratch, ProcessorOrder, Pruning, Representation,
+    SearchParams, SearchScratch, SearchStats, TaskOrder, Termination,
 };
 
 const INSTANCES: u64 = 500;
@@ -60,6 +61,122 @@ fn random_tasks(rng: &mut SimRng, n: usize, workers: usize) -> Vec<Task> {
         .collect()
 }
 
+/// One generated sweep instance: everything a `SearchParams` borrows, plus
+/// the meter configuration, owned so several engines can run it.
+struct Instance {
+    tasks: Vec<Task>,
+    comm: CommModel,
+    initial: Vec<Time>,
+    representation: Representation,
+    child_order: ChildOrder,
+    pruning: Pruning,
+    vertex_cap: Option<u64>,
+    resources: ResourceEats,
+    provenance: bool,
+    /// `Some(q)` = a 1 µs/vertex host with quantum `q`; `None` = free host.
+    quantum: Option<Duration>,
+}
+
+impl Instance {
+    fn params(&self) -> SearchParams<'_> {
+        SearchParams {
+            tasks: &self.tasks,
+            comm: &self.comm,
+            initial_finish: &self.initial,
+            representation: &self.representation,
+            child_order: self.child_order,
+            now: Time::ZERO,
+            vertex_cap: self.vertex_cap,
+            pruning: self.pruning,
+            resources: self.resources.clone(),
+            provenance: self.provenance,
+        }
+    }
+
+    /// Identical meters for every engine run of this instance.
+    fn meter(&self) -> SchedulingMeter {
+        match self.quantum {
+            Some(q) => SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), q),
+            None => SchedulingMeter::new(HostParams::free(), Duration::ZERO),
+        }
+    }
+}
+
+fn random_instance(rng: &mut SimRng) -> Instance {
+    let n = rng.uniform_usize(0..24);
+    let workers = rng.uniform_usize(1..5);
+    let tasks = random_tasks(rng, n, workers);
+    let comm = match rng.uniform_usize(0..3) {
+        0 => CommModel::free(),
+        1 => CommModel::constant(Duration::from_micros(50)),
+        _ => CommModel::constant(Duration::from_micros(2_000)),
+    };
+    let initial: Vec<Time> = (0..workers)
+        .map(|_| Time::from_micros(rng.uniform_u64(0..300)))
+        .collect();
+    let representation = if rng.bernoulli(0.5) {
+        Representation::AssignmentOriented {
+            task_order: *rng.choose(&[
+                TaskOrder::EarliestDeadline,
+                TaskOrder::MinSlack,
+                TaskOrder::Arrival,
+                TaskOrder::ShortestProcessing,
+            ]),
+        }
+    } else {
+        // Sweep both processor orders and the skip variant — the
+        // skipping path drives the per-skip raw-candidate buffer.
+        Representation::SequenceOriented {
+            processor_order: *rng.choose(&[ProcessorOrder::RoundRobin, ProcessorOrder::FillFirst]),
+            skip_processors: rng.bernoulli(0.5),
+        }
+    };
+    let child_order = *rng.choose(&[
+        ChildOrder::LoadBalance,
+        ChildOrder::EarliestCompletion,
+        ChildOrder::EarliestDeadline,
+        ChildOrder::None,
+    ]);
+    let pruning = Pruning {
+        depth_bound: rng
+            .bernoulli(0.3)
+            .then(|| rng.uniform_usize(1..n.max(1) + 2)),
+        backtrack_limit: rng.bernoulli(0.3).then(|| rng.uniform_u64(0..6)),
+    };
+    // Small caps force QuantumExhausted mid-expansion on some
+    // instances; the generous default just guards blowups.
+    let vertex_cap = if rng.bernoulli(0.3) {
+        Some(rng.uniform_u64(5..300))
+    } else {
+        Some(20_000)
+    };
+    let mut resources = ResourceEats::new();
+    if rng.bernoulli(0.3) {
+        resources.commit(
+            &[ResourceRequest::exclusive(rng.uniform_usize(0..3))],
+            Time::from_micros(rng.uniform_u64(1..500)),
+        );
+    }
+    let provenance = rng.bernoulli(0.3);
+    // Free on most instances, a tight quantum with a real per-vertex cost
+    // on the rest.
+    let quantum = rng
+        .bernoulli(0.3)
+        .then(|| Duration::from_micros(rng.uniform_u64(10..2_000)));
+    Instance {
+        tasks,
+        comm,
+        initial,
+        representation,
+        child_order,
+        pruning,
+        vertex_cap,
+        resources,
+        provenance,
+        quantum,
+    }
+}
+
 #[test]
 fn incremental_engine_matches_replay_oracle_over_random_instances() {
     let parent = SimRng::seed_from(0x5AD5_D1FF);
@@ -71,96 +188,12 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
 
     for i in 0..INSTANCES {
         let mut rng = parent.child(i);
-        let n = rng.uniform_usize(0..24);
-        let workers = rng.uniform_usize(1..5);
-        let tasks = random_tasks(&mut rng, n, workers);
-        let comm = match rng.uniform_usize(0..3) {
-            0 => CommModel::free(),
-            1 => CommModel::constant(Duration::from_micros(50)),
-            _ => CommModel::constant(Duration::from_micros(2_000)),
-        };
-        let initial: Vec<Time> = (0..workers)
-            .map(|_| Time::from_micros(rng.uniform_u64(0..300)))
-            .collect();
-        let representation = if rng.bernoulli(0.5) {
-            Representation::AssignmentOriented {
-                task_order: *rng.choose(&[
-                    TaskOrder::EarliestDeadline,
-                    TaskOrder::MinSlack,
-                    TaskOrder::Arrival,
-                    TaskOrder::ShortestProcessing,
-                ]),
-            }
-        } else {
-            // Sweep both processor orders and the skip variant — the
-            // skipping path drives the per-skip raw-candidate buffer.
-            Representation::SequenceOriented {
-                processor_order: *rng
-                    .choose(&[ProcessorOrder::RoundRobin, ProcessorOrder::FillFirst]),
-                skip_processors: rng.bernoulli(0.5),
-            }
-        };
-        let child_order = *rng.choose(&[
-            ChildOrder::LoadBalance,
-            ChildOrder::EarliestCompletion,
-            ChildOrder::EarliestDeadline,
-            ChildOrder::None,
-        ]);
-        let pruning = Pruning {
-            depth_bound: rng
-                .bernoulli(0.3)
-                .then(|| rng.uniform_usize(1..n.max(1) + 2)),
-            backtrack_limit: rng.bernoulli(0.3).then(|| rng.uniform_u64(0..6)),
-        };
-        // Small caps force QuantumExhausted mid-expansion on some
-        // instances; the generous default just guards blowups.
-        let vertex_cap = if rng.bernoulli(0.3) {
-            Some(rng.uniform_u64(5..300))
-        } else {
-            Some(20_000)
-        };
-        let mut resources = ResourceEats::new();
-        if rng.bernoulli(0.3) {
-            resources.commit(
-                &[ResourceRequest::exclusive(rng.uniform_usize(0..3))],
-                Time::from_micros(rng.uniform_u64(1..500)),
-            );
-        }
-        let provenance = rng.bernoulli(0.3);
-        let params = SearchParams {
-            tasks: &tasks,
-            comm: &comm,
-            initial_finish: &initial,
-            representation: &representation,
-            child_order,
-            now: Time::ZERO,
-            vertex_cap,
-            pruning,
-            resources,
-            provenance,
-        };
-        // Identical meters: free on most instances, a tight quantum with a
-        // real per-vertex cost on the rest.
-        let mk_meter = |tight: bool| {
-            if tight {
-                SchedulingMeter::new(
-                    HostParams::new(Duration::from_micros(1)),
-                    Duration::from_micros(0),
-                )
-            } else {
-                SchedulingMeter::new(HostParams::free(), Duration::ZERO)
-            }
-        };
-        let tight = rng.bernoulli(0.3);
-        let mut meter_inc = mk_meter(tight);
-        let mut meter_rep = mk_meter(tight);
-        let mut meter_scr = mk_meter(tight);
-        if tight {
-            let quantum = Duration::from_micros(rng.uniform_u64(10..2_000));
-            meter_inc = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
-            meter_rep = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
-            meter_scr = SchedulingMeter::new(HostParams::new(Duration::from_micros(1)), quantum);
-        }
+        let inst = random_instance(&mut rng);
+        let provenance = inst.provenance;
+        let params = inst.params();
+        let mut meter_inc = inst.meter();
+        let mut meter_rep = inst.meter();
+        let mut meter_scr = inst.meter();
 
         let inc = search_schedule(&params, &mut meter_inc);
         let rep = search_schedule_replay(&params, &mut meter_rep);
@@ -211,4 +244,187 @@ fn incremental_engine_matches_replay_oracle_over_random_instances() {
         provenance_decisions > 0,
         "no provenance instance ever recorded a placement decision"
     );
+}
+
+/// The parallel engine over the same 500 seeded instances, at 1, 2 and 8
+/// threads. Three properties:
+///
+/// 1. **Width invariance** — thread count is pure execution width, so every
+///    outcome field, meter counter and per-subtree report entry must be
+///    bit-identical across widths.
+/// 2. **Counter conservation** — on split phases the merged counters must
+///    equal the shared prologue's plus every committed subtree's, plus the
+///    cross-subtree backtrack/undo hops, and the meter's vertex tally must
+///    equal `vertices_generated`.
+/// 3. **Serial agreement** — whenever the phase didn't split, or split but
+///    no subtree was cut short by its budget slice (all committed walks
+///    dead-ended, the last one possibly at a leaf, and the merged backtrack
+///    count stayed within any global limit), the parallel result must be
+///    bit-identical to the serial engine's. Budget-sliced phases may
+///    legitimately explore a different frontier; they are still covered by
+///    properties 1 and 2.
+#[test]
+fn parallel_engine_is_width_invariant_and_matches_serial_when_unsliced() {
+    let parent = SimRng::seed_from(0x5AD5_D1FF);
+    let mut serial_scratch = SearchScratch::new();
+    // One persistent scratch pair per width, carried across all instances.
+    let widths = [1usize, 2, 8];
+    let mut scratches: Vec<(SearchScratch, ParallelScratch)> = widths
+        .iter()
+        .map(|_| (SearchScratch::new(), ParallelScratch::new()))
+        .collect();
+    let mut splits = 0u64;
+    let mut split_serial_equal = 0u64;
+    let mut sliced = 0u64;
+    let mut leaf_commits = 0u64;
+
+    for i in 0..INSTANCES {
+        let mut rng = parent.child(i);
+        let inst = random_instance(&mut rng);
+        let params = inst.params();
+
+        let mut serial_meter = inst.meter();
+        let serial = search_schedule_with(&params, &mut serial_meter, &mut serial_scratch);
+
+        let mut results = Vec::new();
+        for (w, (scratch, par)) in widths.iter().zip(scratches.iter_mut()) {
+            let mut meter = inst.meter();
+            let (out, rep) =
+                search_schedule_parallel_with_report(&params, *w, &mut meter, scratch, par);
+            results.push((out, rep, meter));
+        }
+
+        // Property 1: bit-identical across widths.
+        let (base_out, base_rep, base_meter) = &results[0];
+        for ((out, rep, meter), w) in results.iter().zip(widths).skip(1) {
+            let at = format!("instance {i} width {w}");
+            assert_eq!(out.assignments, base_out.assignments, "{at}");
+            assert_eq!(out.termination, base_out.termination, "{at}");
+            assert_eq!(out.n_viable, base_out.n_viable, "{at}");
+            assert_eq!(out.makespan, base_out.makespan, "{at}");
+            assert_eq!(out.stats, base_out.stats, "{at}");
+            assert_eq!(out.provenance, base_out.provenance, "{at}");
+            assert_eq!(meter.vertices(), base_meter.vertices(), "{at}");
+            assert_eq!(meter.consumed(), base_meter.consumed(), "{at}");
+            assert_eq!(meter.exhausted(), base_meter.exhausted(), "{at}");
+            assert_eq!(rep.split, base_rep.split, "{at}");
+            assert_eq!(rep.subtrees, base_rep.subtrees, "{at}");
+            assert_eq!(rep.committed, base_rep.committed, "{at}");
+            assert_eq!(rep.stage_stats, base_rep.stage_stats, "{at}");
+            assert_eq!(rep.subs.len(), base_rep.subs.len(), "{at}");
+            for (a, b) in rep.subs.iter().zip(&base_rep.subs) {
+                assert_eq!(a.termination, b.termination, "{at}");
+                assert_eq!(a.stats, b.stats, "{at}");
+                assert_eq!(a.pops, b.pops, "{at}");
+                assert_eq!(a.end_depth, b.end_depth, "{at}");
+                assert_eq!(a.committed, b.committed, "{at}");
+                assert_eq!(a.vertices, b.vertices, "{at}");
+                assert_eq!(a.consumed, b.consumed, "{at}");
+            }
+        }
+
+        // Property 2: merged counters = prologue + committed subtrees +
+        // cross-subtree hops.
+        if base_rep.split {
+            splits += 1;
+            let subs = &base_rep.subs[..base_rep.committed];
+            let stage = &base_rep.stage_stats;
+            let sum = |f: fn(&SearchStats) -> u64| subs.iter().map(|s| f(&s.stats)).sum::<u64>();
+            let entered: Vec<u64> = subs
+                .iter()
+                .filter(|s| s.pops > 0)
+                .map(|s| s.end_depth as u64)
+                .collect();
+            let cross_backtracks = (entered.len() as u64).saturating_sub(1);
+            let cross_undos: u64 = entered
+                .split_last()
+                .map_or(0, |(_, before)| before.iter().sum());
+            let m = &base_out.stats;
+            assert_eq!(
+                m.vertices_generated,
+                stage.vertices_generated + sum(|s| s.vertices_generated),
+                "instance {i}"
+            );
+            assert_eq!(
+                m.expansions,
+                stage.expansions + sum(|s| s.expansions),
+                "instance {i}"
+            );
+            assert_eq!(
+                m.feasible_children,
+                stage.feasible_children + sum(|s| s.feasible_children),
+                "instance {i}"
+            );
+            assert_eq!(
+                m.infeasible_children,
+                stage.infeasible_children + sum(|s| s.infeasible_children),
+                "instance {i}"
+            );
+            assert_eq!(
+                m.backtracks,
+                stage.backtracks + sum(|s| s.backtracks) + cross_backtracks,
+                "instance {i}"
+            );
+            assert_eq!(
+                m.undos,
+                stage.undos + sum(|s| s.undos) + cross_undos,
+                "instance {i}"
+            );
+            assert_eq!(
+                base_meter.vertices(),
+                m.vertices_generated,
+                "instance {i}: meter out of step with stats"
+            );
+            if subs.iter().any(|s| s.termination == Termination::Leaf) {
+                leaf_commits += 1;
+            }
+        }
+
+        // Property 3: serial agreement whenever no budget slice bound.
+        let unsliced = !base_rep.split || {
+            let shape_ok = base_rep.subs[..base_rep.committed]
+                .iter()
+                .enumerate()
+                .all(|(j, s)| {
+                    s.termination == Termination::DeadEnd
+                        || (j + 1 == base_rep.committed && s.termination == Termination::Leaf)
+                });
+            let backtracks_ok = inst
+                .pruning
+                .backtrack_limit
+                .is_none_or(|limit| base_out.stats.backtracks <= limit);
+            shape_ok && backtracks_ok
+        };
+        if unsliced {
+            if base_rep.split {
+                split_serial_equal += 1;
+            }
+            let at = format!("instance {i} vs serial");
+            assert_eq!(base_out.assignments, serial.assignments, "{at}");
+            assert_eq!(base_out.termination, serial.termination, "{at}");
+            assert_eq!(base_out.n_viable, serial.n_viable, "{at}");
+            assert_eq!(base_out.makespan, serial.makespan, "{at}");
+            assert_eq!(base_out.stats, serial.stats, "{at}");
+            assert_eq!(base_out.provenance, serial.provenance, "{at}");
+            assert_eq!(base_meter.vertices(), serial_meter.vertices(), "{at}");
+            assert_eq!(base_meter.consumed(), serial_meter.consumed(), "{at}");
+            assert_eq!(base_meter.exhausted(), serial_meter.exhausted(), "{at}");
+        } else {
+            sliced += 1;
+        }
+
+        serial_scratch.recycle(serial.assignments);
+        for ((out, _, _), (scratch, _)) in results.into_iter().zip(scratches.iter_mut()) {
+            scratch.recycle(out.assignments);
+        }
+    }
+
+    // The sweep must exercise every regime, or the checks are vacuous.
+    assert!(splits > 0, "no instance ever split");
+    assert!(
+        split_serial_equal > 0,
+        "no split instance was ever serial-equal"
+    );
+    assert!(sliced > 0, "no instance was ever budget-sliced");
+    assert!(leaf_commits > 0, "no split instance ever committed a leaf");
 }
