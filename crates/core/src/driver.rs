@@ -218,10 +218,10 @@ impl Driver {
         // run seed (and the loss stream from another), so the algorithm's
         // own RNG sequence is untouched: a disabled config is bit-identical
         // to a fault-free run, not merely statistically equivalent.
-        let plan: FaultPlan = cfg
-            .fault_plan
-            .clone()
-            .unwrap_or_else(|| cfg.faults.sample_plan(cfg.workers, cfg.seed));
+        let plan: FaultPlan = cfg.fault_plan.clone().unwrap_or_else(|| {
+            cfg.faults
+                .sample_plan_topo(cfg.workers, cfg.comm.topology(), cfg.seed)
+        });
         let keep_in_flight = plan.in_flight == InFlightPolicy::Completes;
         let mut loss_rng = faults::loss_stream(cfg.workers, cfg.seed);
         let mut plan_cursor = 0usize;
@@ -271,6 +271,14 @@ impl Driver {
                 plan_cursor += 1;
                 match ev.kind {
                     FaultKind::Down { fail_stop } => {
+                        // A node crash and an independent per-processor
+                        // failure can target the same (already down)
+                        // processor; the second hit is a no-op and is not
+                        // counted as a fault. Likewise a recovery for a
+                        // processor a later stream already revived.
+                        if machine.is_down(ev.processor) {
+                            continue;
+                        }
                         let failed = machine.fail(ev.processor, ev.at, keep_in_flight);
                         let lost = usize::from(failed.lost.is_some());
                         faults_seen += 1;
@@ -313,6 +321,9 @@ impl Driver {
                         }
                     }
                     FaultKind::Up => {
+                        if !machine.is_down(ev.processor) {
+                            continue;
+                        }
                         machine.recover(ev.processor, ev.at);
                         if tracer.enabled() {
                             tracer.emit(
@@ -474,6 +485,10 @@ impl Driver {
                                         processor: r.processor.index(),
                                         completion_us: r.completion.as_micros(),
                                         cost_us: r.cost.as_micros(),
+                                        shard: cfg
+                                            .comm
+                                            .topology()
+                                            .map_or(0, |t| t.node_of(r.processor)),
                                     })
                                     .collect(),
                             },
@@ -712,6 +727,23 @@ impl Driver {
                 .iter_workers()
                 .map(|w| w.idle_time(finished_at))
                 .collect(),
+            // Per-shard totals only exist on genuinely sharded platforms;
+            // flat runs (including 1-node topologies) keep the field empty
+            // so their reports stay bit-identical to pre-topology ones.
+            shard_busy: cfg
+                .comm
+                .topology()
+                .filter(|t| t.nodes() >= 2)
+                .map_or_else(Vec::new, |t| {
+                    (0..t.nodes())
+                        .map(|n| {
+                            let (lo, hi) = t.node_range(n);
+                            (lo..hi)
+                                .map(|p| machine.worker(rt_task::ProcessorId::new(p)).busy_time())
+                                .sum()
+                        })
+                        .collect()
+                }),
             finished_at,
             orphaned: orphaned_total,
             lost_in_flight: lost_total,
@@ -1147,5 +1179,63 @@ mod tests {
         assert_eq!(a.faults_seen, b.faults_seen);
         assert_eq!(a.orphaned, b.orphaned);
         assert_eq!(a.lost_in_flight, b.lost_in_flight);
+    }
+
+    #[test]
+    fn sharded_run_reports_per_shard_busy_totals() {
+        use rt_task::TopologySpec;
+        let topo = TopologySpec::new(8, 4, 2, 0, 500, 1_000);
+        let tasks: Vec<Task> = (0..24).map(|i| mk_task(i, 4, i % 7, 400, 8)).collect();
+        let report = Driver::new(
+            DriverConfig::new(8, Algorithm::rt_sads())
+                .comm(CommModel::hierarchical(topo))
+                .seed(5),
+        )
+        .run(tasks);
+        assert!(report.is_consistent());
+        assert_eq!(report.shard_busy.len(), 4);
+        assert_eq!(
+            report.shard_busy.iter().copied().sum::<Duration>(),
+            report.worker_busy.iter().copied().sum::<Duration>(),
+            "shard totals partition worker totals"
+        );
+        assert_eq!(report.shard_utilizations().len(), 4);
+        // A 1-node topology is the flat machine: no shard breakdown, so its
+        // report shape (and bytes) matches the pre-topology format.
+        let flat = Driver::new(
+            DriverConfig::new(8, Algorithm::rt_sads())
+                .comm(CommModel::hierarchical(TopologySpec::flat(
+                    8,
+                    Duration::from_micros(500),
+                )))
+                .seed(5),
+        )
+        .run((0..24).map(|i| mk_task(i, 4, i % 7, 400, 8)).collect());
+        assert!(flat.shard_busy.is_empty());
+    }
+
+    #[test]
+    fn node_faults_down_whole_shards_and_stay_deterministic() {
+        use crate::faults::FaultConfig;
+        use rt_task::TopologySpec;
+        let topo = TopologySpec::new(6, 3, 1, 0, 200, 200);
+        let tasks: Vec<Task> = (0..40).map(|i| mk_task(i, 3, i % 11, 200, 6)).collect();
+        let cfg = || {
+            DriverConfig::new(6, Algorithm::rt_sads())
+                .comm(CommModel::hierarchical(topo))
+                .seed(29)
+                .faults(
+                    // Processor and node failures together so the
+                    // already-down guard sees overlapping streams.
+                    FaultConfig::fail_recover(6.0, Duration::from_millis(15))
+                        .node_faults(4.0, Some(Duration::from_millis(25))),
+                )
+        };
+        let a = Driver::new(cfg()).run(tasks.clone());
+        let b = Driver::new(cfg()).run(tasks);
+        assert!(a.is_consistent());
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.faults_seen, b.faults_seen);
+        assert!(a.faults_seen > 0, "the node streams must actually fire");
     }
 }

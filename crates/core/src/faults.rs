@@ -72,6 +72,17 @@ pub struct FaultConfig {
     /// Sampling horizon: no fault event is generated at or beyond this
     /// instant of virtual time.
     pub horizon: Duration,
+    /// Expected failures per *node* per second of virtual time under a
+    /// hierarchical topology: a node failure downs every processor of the
+    /// node at the same instant (the shard fault domain). Zero disables
+    /// node faults; without a topology the stream samples nothing. Absent
+    /// in pre-topology configs, so it deserializes to the disabled default.
+    #[serde(default)]
+    pub node_failure_rate: f64,
+    /// Mean time to repair a failed node (exponentially distributed).
+    /// `None` makes node failures fail-stop.
+    #[serde(default)]
+    pub node_mttr: Option<Duration>,
 }
 
 impl Default for FaultConfig {
@@ -85,6 +96,8 @@ impl Default for FaultConfig {
             spike_delay: Duration::ZERO,
             spike_loss: 0.0,
             horizon: Duration::from_secs(60),
+            node_failure_rate: 0.0,
+            node_mttr: None,
         }
     }
 }
@@ -143,20 +156,55 @@ impl FaultConfig {
         self
     }
 
+    /// Adds node-level failures (shard fault domains): `rate` failures per
+    /// node per second, repaired after an exponential time with mean `mttr`
+    /// (`None` = fail-stop). Takes effect only on runs with a hierarchical
+    /// topology ([`FaultConfig::sample_plan_topo`]).
+    #[must_use]
+    pub fn node_faults(mut self, rate: f64, mttr: Option<Duration>) -> Self {
+        self.node_failure_rate = rate;
+        self.node_mttr = mttr;
+        self
+    }
+
     /// Whether this configuration can never produce an event.
     #[must_use]
     pub fn is_disabled(&self) -> bool {
-        self.failure_rate <= 0.0 && self.spike_rate <= 0.0
+        self.failure_rate <= 0.0 && self.spike_rate <= 0.0 && self.node_failure_rate <= 0.0
     }
 
     /// Samples the concrete plan a run with `workers` processors and the
-    /// given seed executes. Deterministic in `(self, workers, seed)`.
+    /// given seed executes, on a flat (topology-less) platform. Node faults
+    /// need shard boundaries, so this is [`FaultConfig::sample_plan_topo`]
+    /// with no topology. Deterministic in `(self, workers, seed)`.
     ///
     /// # Panics
     ///
     /// Panics if a rate is negative or not finite.
     #[must_use]
     pub fn sample_plan(&self, workers: usize, seed: u64) -> FaultPlan {
+        self.sample_plan_topo(workers, None, seed)
+    }
+
+    /// Samples the concrete plan for a run on a (possibly hierarchical)
+    /// platform. Per-processor failures sample exactly as on the flat
+    /// machine; with a topology and `node_failure_rate > 0`, each node also
+    /// gets an independent failure stream whose Down/Up events expand to one
+    /// event per member processor at the same instant — a node crash is the
+    /// shard fault domain. Deterministic in `(self, workers, topo, seed)`,
+    /// and the per-processor streams are unchanged by adding a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rate is negative or not finite, or if the topology's
+    /// worker count disagrees with `workers`.
+    #[must_use]
+    pub fn sample_plan_topo(
+        &self,
+        workers: usize,
+        topo: Option<&rt_task::TopologySpec>,
+        seed: u64,
+    ) -> FaultPlan {
         assert!(
             self.failure_rate.is_finite() && self.failure_rate >= 0.0,
             "failure rate {}",
@@ -167,6 +215,18 @@ impl FaultConfig {
             "spike rate {}",
             self.spike_rate
         );
+        assert!(
+            self.node_failure_rate.is_finite() && self.node_failure_rate >= 0.0,
+            "node failure rate {}",
+            self.node_failure_rate
+        );
+        if let Some(topo) = topo {
+            assert_eq!(
+                topo.workers(),
+                workers,
+                "topology worker count must match the machine"
+            );
+        }
         let mut plan = FaultPlan {
             events: Vec::new(),
             spikes: Vec::new(),
@@ -219,6 +279,54 @@ impl FaultConfig {
                 }
             }
         }
+        if self.node_failure_rate > 0.0 {
+            if let Some(topo) = topo {
+                let mean_up_us = 1e6 / self.node_failure_rate;
+                for node in 0..topo.nodes() {
+                    // Streams `0..=workers + 1` off the fault stream are taken
+                    // (spikes, per-processor, loss); node streams start after.
+                    let mut rng = root.child(workers as u64 + 2 + node as u64);
+                    let (lo, hi) = topo.node_range(node);
+                    let mut t = Time::ZERO;
+                    loop {
+                        let gap = rng.exponential(mean_up_us).max(1.0);
+                        t += Duration::from_micros(gap as u64);
+                        if t >= horizon {
+                            break;
+                        }
+                        match self.node_mttr {
+                            None => {
+                                for k in lo..hi {
+                                    plan.events.push(FaultEvent {
+                                        at: t,
+                                        processor: ProcessorId::new(k),
+                                        kind: FaultKind::Down { fail_stop: true },
+                                    });
+                                }
+                                break;
+                            }
+                            Some(mttr) => {
+                                let repair = rng.exponential(mttr.as_micros() as f64).max(1.0);
+                                let up = t + Duration::from_micros(repair as u64);
+                                for k in lo..hi {
+                                    plan.events.push(FaultEvent {
+                                        at: t,
+                                        processor: ProcessorId::new(k),
+                                        kind: FaultKind::Down { fail_stop: false },
+                                    });
+                                    plan.events.push(FaultEvent {
+                                        at: up,
+                                        processor: ProcessorId::new(k),
+                                        kind: FaultKind::Up,
+                                    });
+                                }
+                                t = up;
+                            }
+                        }
+                    }
+                }
+            }
+        }
         if self.spike_rate > 0.0 {
             assert!(
                 !self.spike_mean_len.is_zero(),
@@ -249,7 +357,8 @@ impl FaultConfig {
 
 /// The RNG stream used for per-dispatch loss draws during a run. Kept
 /// separate from both the algorithm RNG and the plan-sampling children
-/// (which use indices `0..=workers` off the fault stream).
+/// (indices `0..=workers` for spikes and per-processor streams, and
+/// `workers + 2 + node` for per-node streams, off the fault stream).
 #[must_use]
 pub fn loss_stream(workers: usize, seed: u64) -> SimRng {
     SimRng::seed_from(seed)
@@ -475,9 +584,88 @@ mod tests {
                 Duration::from_millis(30),
                 Duration::from_millis(2),
                 0.05,
-            );
+            )
+            .node_faults(0.2, Some(Duration::from_millis(500)));
         let json = serde_json::to_string(&cfg).unwrap();
         let back: FaultConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn pre_topology_configs_deserialize_with_node_faults_disabled() {
+        // A config serialized before the node-fault fields existed must
+        // still load, with node faults defaulting to off. The node fields
+        // are declared last, so stripping them from the tail of the JSON
+        // reconstructs the legacy wire format exactly.
+        let json = serde_json::to_string(&FaultConfig::fail_stop(1.0)).unwrap();
+        let cut = json.find(",\"node_failure_rate\"").unwrap();
+        let legacy = format!("{}}}", &json[..cut]);
+        let back: FaultConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.node_failure_rate, 0.0);
+        assert_eq!(back.node_mttr, None);
+        assert_eq!(back, FaultConfig::fail_stop(1.0));
+    }
+
+    #[test]
+    fn node_failures_expand_to_every_member_processor() {
+        let topo = rt_task::TopologySpec::new(8, 4, 2, 0, 100, 200);
+        let cfg = FaultConfig {
+            node_failure_rate: 5.0,
+            node_mttr: Some(Duration::from_millis(100)),
+            horizon: Duration::from_secs(10),
+            ..FaultConfig::default()
+        };
+        let plan = cfg.sample_plan_topo(8, Some(&topo), 11);
+        assert!(!plan.events.is_empty());
+        // Every event instant must cover an entire node: group by (at, kind)
+        // and check each group is exactly one node's processor range.
+        let mut groups: std::collections::BTreeMap<(Time, bool), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for e in &plan.events {
+            groups
+                .entry((e.at, matches!(e.kind, FaultKind::Up)))
+                .or_default()
+                .push(e.processor.index());
+        }
+        for ((_, _), mut procs) in groups {
+            procs.sort_unstable();
+            let node = topo.node_of(rt_task::ProcessorId::new(procs[0]));
+            let (lo, hi) = topo.node_range(node);
+            assert_eq!(procs, (lo..hi).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn node_fail_stop_downs_each_node_at_most_once() {
+        let topo = rt_task::TopologySpec::new(6, 3, 1, 0, 100, 100);
+        let cfg = FaultConfig {
+            node_failure_rate: 50.0,
+            horizon: Duration::from_secs(30),
+            ..FaultConfig::default()
+        };
+        let plan = cfg.sample_plan_topo(6, Some(&topo), 3);
+        let mut downs_per_proc = [0usize; 6];
+        for e in &plan.events {
+            assert_eq!(e.kind, FaultKind::Down { fail_stop: true });
+            downs_per_proc[e.processor.index()] += 1;
+        }
+        assert!(downs_per_proc.iter().all(|&d| d <= 1));
+        assert!(downs_per_proc.contains(&1));
+    }
+
+    #[test]
+    fn adding_node_faults_leaves_processor_streams_unchanged() {
+        let topo = rt_task::TopologySpec::new(8, 4, 2, 0, 100, 200);
+        let base = FaultConfig::fail_recover(2.0, Duration::from_millis(50));
+        let flat = base.sample_plan(8, 77);
+        let with_nodes = base
+            .node_faults(1.0, None)
+            .sample_plan_topo(8, Some(&topo), 77);
+        // Every flat per-processor event reappears verbatim in the sharded
+        // plan (node events are interleaved but drawn from disjoint streams).
+        for e in &flat.events {
+            assert!(with_nodes.events.contains(e));
+        }
+        assert!(with_nodes.events.len() > flat.events.len());
     }
 }

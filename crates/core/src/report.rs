@@ -92,6 +92,12 @@ pub struct RunReport {
     /// report files written before this field existed (`serde(default)`).
     #[serde(default)]
     pub worker_idle: Vec<Duration>,
+    /// Total busy time per node (shard) on a hierarchical platform, indexed
+    /// by node: `shard_busy[n]` sums `worker_busy` over the node's
+    /// processors. Empty on the flat machine and in report files written
+    /// before topologies existed (`serde(default)`).
+    #[serde(default)]
+    pub shard_busy: Vec<Duration>,
     /// The instant the last completion finished (or the last phase ended).
     pub finished_at: Time,
     /// Orphaning events: tasks handed back to the host by failures or lost
@@ -234,15 +240,58 @@ impl RunReport {
             .collect()
     }
 
+    /// Per-shard (node) utilization over `[0, finished_at]`, normalized by
+    /// the shard's processor-seconds so a fully busy 4-processor node reads
+    /// `1.0`, not `4.0`. Empty on flat runs, where [`RunReport::shard_busy`]
+    /// is empty. Shard sizes come from re-partitioning `worker_busy.len()`
+    /// processors over `shard_busy.len()` nodes, matching the contiguous
+    /// balanced split of `rt_task::TopologySpec`.
+    #[must_use]
+    pub fn shard_utilizations(&self) -> Vec<f64> {
+        if self.shard_busy.is_empty() {
+            return Vec::new();
+        }
+        let horizon = self.finished_at.as_micros() as f64;
+        let workers = self.worker_busy.len();
+        let nodes = self.shard_busy.len();
+        self.shard_busy
+            .iter()
+            .enumerate()
+            .map(|(n, b)| {
+                let base = workers / nodes;
+                let size = base + usize::from(n < workers % nodes);
+                let denom = horizon * size as f64;
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    b.as_micros() as f64 / denom
+                }
+            })
+            .collect()
+    }
+
     /// Per-worker busy fractions `busy / (busy + idle)` from the platform's
     /// own busy/idle accounting, in `[0, 1]`. Falls back to the
-    /// `finished_at` horizon when `worker_idle` is absent (old report
-    /// files), matching [`RunReport::worker_utilizations`].
+    /// `finished_at` horizon only when `worker_idle` is absent entirely —
+    /// a legacy report file written before the field existed — matching
+    /// [`RunReport::worker_utilizations`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker_idle` is non-empty but its length disagrees with
+    /// `worker_busy`: that is corrupt accounting ([`RunReport::is_consistent`]
+    /// flags it), not a legacy file, and silently substituting the horizon
+    /// estimate would mask it.
     #[must_use]
     pub fn busy_fractions(&self) -> Vec<f64> {
-        if self.worker_idle.len() != self.worker_busy.len() {
+        if self.worker_idle.is_empty() {
             return self.worker_utilizations();
         }
+        assert_eq!(
+            self.worker_idle.len(),
+            self.worker_busy.len(),
+            "worker_idle/worker_busy length mismatch: corrupt report, not a legacy one"
+        );
         self.worker_busy
             .iter()
             .zip(&self.worker_idle)
@@ -307,9 +356,16 @@ impl RunReport {
                     .iter()
                     .zip(&self.worker_idle)
                     .all(|(b, i)| *i == horizon.saturating_sub(*b)));
+        // When per-shard totals are present they must partition the same
+        // busy time the workers report, shard count bounded by workers.
+        let shard_consistent = self.shard_busy.is_empty()
+            || (self.shard_busy.len() <= self.worker_busy.len()
+                && self.shard_busy.iter().copied().sum::<Duration>()
+                    == self.worker_busy.iter().copied().sum::<Duration>());
         self.hits + self.executed_misses + self.dropped + self.lost_in_flight == self.total_tasks
             && self.completions.len() == self.hits + self.executed_misses
             && idle_consistent
+            && shard_consistent
             && ratio.is_finite()
             && (0.0..=1.0).contains(&ratio)
     }
@@ -365,6 +421,7 @@ mod tests {
                 Duration::from_millis(2),
                 Duration::ZERO,
             ],
+            shard_busy: Vec::new(),
             worker_idle: vec![
                 Duration::from_millis(1),
                 Duration::from_millis(3),
@@ -464,6 +521,49 @@ mod tests {
         let mut old = r.clone();
         old.worker_idle.clear();
         assert_eq!(old.busy_fractions(), r.worker_utilizations());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn busy_fractions_rejects_a_non_legacy_length_mismatch() {
+        // A truncated (but non-empty) idle vector is corrupt accounting,
+        // not a legacy file: no silent fallback to the horizon estimate.
+        let mut r = report(vec![]);
+        r.worker_idle.pop();
+        let _ = r.busy_fractions();
+    }
+
+    #[test]
+    fn non_legacy_idle_length_mismatch_is_inconsistent() {
+        let mut r = report(vec![]);
+        r.hits = 0;
+        r.dropped = 10;
+        assert!(r.is_consistent());
+        r.worker_idle.pop();
+        assert!(
+            !r.is_consistent(),
+            "a non-empty worker_idle of the wrong length must be flagged"
+        );
+    }
+
+    #[test]
+    fn shard_busy_must_partition_worker_busy() {
+        let mut r = report(vec![]);
+        r.hits = 0;
+        r.dropped = 10;
+        // 4 workers on 2 nodes: (4+2)ms and (2+0)ms.
+        r.shard_busy = vec![Duration::from_millis(6), Duration::from_millis(2)];
+        assert!(r.is_consistent());
+        let u = r.shard_utilizations();
+        assert_eq!(u.len(), 2);
+        // 6ms over 2 processors x 5ms horizon, 2ms over 2 x 5ms.
+        assert!((u[0] - 0.6).abs() < 1e-12);
+        assert!((u[1] - 0.2).abs() < 1e-12);
+        r.shard_busy[1] = Duration::from_millis(3);
+        assert!(!r.is_consistent(), "shard totals must sum to worker totals");
+        r.shard_busy.clear();
+        assert!(r.is_consistent(), "flat runs carry no shard totals");
+        assert!(r.shard_utilizations().is_empty());
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct PlacementProbe {
     /// The cost function `ce_k`: the partial schedule's makespan if this
     /// candidate were chosen, in microseconds.
     pub cost_us: u64,
+    /// The node (shard) the candidate processor belongs to on a
+    /// hierarchical platform; `0` on the flat machine, where the whole
+    /// platform is one fault and placement domain. Absent in pre-topology
+    /// traces, so it deserializes to `0`.
+    #[serde(default)]
+    pub shard: usize,
 }
 
 /// One trace record emitted by the simulation.
@@ -572,6 +578,7 @@ mod tests {
                     processor: 0,
                     completion_us: 950,
                     cost_us: 950,
+                    shard: 0,
                 }],
             },
             TraceEvent::SchedulerOverhead {

@@ -622,6 +622,100 @@ pub fn faults(config: &ExperimentConfig) -> FigureOutput {
     }
 }
 
+/// **Ext. L (sharded cluster)** — scale the platform past the Paragon's
+/// ten processors: P ∈ {64, 256, 1024} arranged as 64-processor nodes
+/// (P/64 nodes, grouped four-per-rack once there are enough of them).
+/// Compare the flat constant-`C` machine against the hierarchical model
+/// (intra-node free, inter-node `C`, inter-rack `2C`) where the engine
+/// screens whole shards before running the per-processor candidate loop.
+/// P=64 is the degenerate single-node topology, which is bit-identical to
+/// the flat model by construction — its two points must coincide.
+#[must_use]
+pub fn sharded(config: &ExperimentConfig) -> FigureOutput {
+    use rt_task::{CommModel, TopologySpec};
+
+    let procs = [64usize, 256, 1024];
+    let topo_for = |m: usize| {
+        let nodes = (m / 64).max(1) as u32;
+        if nodes < 2 {
+            // One node: the hierarchical model degenerates to the flat
+            // constant-C machine, so mirror it exactly.
+            return TopologySpec::flat(m as u32, comm_model().constant_cost());
+        }
+        let racks = (nodes / 4).max(1);
+        TopologySpec::new(m as u32, nodes, racks, 0, 2_000, 4_000)
+    };
+
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    let mut sched_at_top = [0.0f64; 2];
+    for (idx, sharded_mode) in [false, true].into_iter().enumerate() {
+        let label = format!(
+            "RT-SADS ({})",
+            if sharded_mode { "sharded" } else { "flat C" }
+        );
+        let mut s = Series::new(label);
+        for &m in &procs {
+            let comm = if sharded_mode {
+                CommModel::hierarchical(topo_for(m))
+            } else {
+                comm_model()
+            };
+            let driver = DriverConfig::new(m, Algorithm::rt_sads())
+                .comm(comm)
+                .host(host_params());
+            let p = point(config, m, 0.3, 1.0, driver);
+            if m == *procs.last().unwrap() {
+                sched_at_top[idx] =
+                    p.sched_time_ms.iter().sum::<f64>() / p.sched_time_ms.len().max(1) as f64;
+            }
+            s.push(m as f64, p.mean_hit_ratio());
+        }
+        series.push(s);
+    }
+    let t = topo_for(1_024);
+    notes.push(format!(
+        "topology at P=1024: {} nodes x {} racks, intra-node {} us / inter-node {} us / \
+         inter-rack {} us (flat C = {} us)",
+        t.nodes(),
+        t.racks(),
+        t.intra_node_cost().as_micros(),
+        t.inter_node_cost().as_micros(),
+        t.inter_rack_cost().as_micros(),
+        comm_model().constant_cost().as_micros()
+    ));
+    let p64_gap = (series[0].points()[0].1 - series[1].points()[0].1).abs();
+    notes.push(format!(
+        "P=64 is a single 64-processor node: |flat - sharded| = {p64_gap:.6} \
+         ({})",
+        if p64_gap == 0.0 {
+            "bit-identical, as required"
+        } else {
+            "EXPECTED ZERO — degenerate-topology contract violated"
+        }
+    ));
+    notes.push(format!(
+        "mean scheduling time at P=1024: flat {:.2} ms vs sharded {:.2} ms — shard-first \
+         screening {} the per-vertex candidate loop",
+        sched_at_top[0],
+        sched_at_top[1],
+        if sched_at_top[1] <= sched_at_top[0] {
+            "shortens"
+        } else {
+            "did NOT shorten"
+        }
+    ));
+    FigureOutput {
+        id: "ext-sharded",
+        table: Table::new(
+            "Ext. L: flat vs sharded hierarchical topology (R=30%, SF=1)",
+            "processors",
+            series,
+        ),
+        notes,
+    }
+}
+
 fn mean_y(s: &Series) -> f64 {
     let pts = s.points();
     pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64
@@ -676,6 +770,19 @@ mod tests {
         assert_eq!(fig.table.series().len(), 2);
         assert_eq!(fig.table.xs(), &[0.0, 4.0]);
         assert!(fig.notes.iter().any(|n| n.contains("orphaned")));
+    }
+
+    #[test]
+    fn sharded_figure_structure() {
+        let fig = sharded(&tiny());
+        assert_eq!(fig.id, "ext-sharded");
+        assert_eq!(fig.table.series().len(), 2);
+        assert_eq!(fig.table.xs(), &[64.0, 256.0, 1024.0]);
+        // P=64 is a single node: the hierarchical point must equal the flat one.
+        let flat = fig.table.series()[0].points()[0].1;
+        let hier = fig.table.series()[1].points()[0].1;
+        assert_eq!(flat, hier, "1-node topology must match the flat model");
+        assert!(fig.notes.iter().any(|n| n.contains("bit-identical")));
     }
 
     #[test]

@@ -43,7 +43,7 @@ struct Cli {
     perfetto_out: Option<PathBuf>,
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig5",
     "fig6",
     "ext-laxity",
@@ -57,6 +57,7 @@ const ALL: [&str; 13] = [
     "ext-mesh",
     "ext-resources",
     "ext-faults",
+    "ext-sharded",
 ];
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -216,6 +217,7 @@ fn run_one(name: &str, config: &ExperimentConfig) -> FigureOutput {
         "ext-mesh" => ext::mesh(config),
         "ext-resources" => ext::resources(config),
         "ext-faults" => ext::faults(config),
+        "ext-sharded" => ext::sharded(config),
         other => unreachable!("unvalidated experiment name {other}"),
     }
 }

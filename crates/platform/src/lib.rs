@@ -4,9 +4,12 @@
 //! The machine consists of `m` *working processors*, each with a private
 //! local memory and a FIFO ready queue, plus one dedicated *host* processor
 //! that runs the scheduling algorithm concurrently with task execution
-//! (paper, Sections 2 and 4). The interconnect uses cut-through routing, so
-//! the inter-processor communication cost is the distance-independent
-//! constant `C` captured by [`rt_task::CommModel`].
+//! (paper, Sections 2 and 4). The interconnect cost is captured by
+//! [`rt_task::CommModel`]: the paper's cut-through-routed machine charges
+//! the distance-independent constant `C` for every non-affine execution,
+//! while a sharded cluster ([`rt_task::TopologySpec`]) charges by hierarchy
+//! class — near-zero intra-node, `C` inter-node, `C'` inter-rack. The
+//! paper's flat model is exactly the 1-node special case of the hierarchy.
 //!
 //! Because working processors execute non-preemptively from FIFO queues and
 //! new work is only ever appended (a delivered schedule never preempts or

@@ -11,7 +11,9 @@ use crate::worker::{FailedWork, Worker};
 pub struct MachineConfig {
     /// Number of working processors `m` (the dedicated host is extra).
     pub workers: usize,
-    /// The interconnect cost model (`c_ij ∈ {0, C}`).
+    /// The interconnect cost model: the paper's flat `c_ij ∈ {0, C}`, a 2D
+    /// mesh, or a hierarchical node/rack topology (whose 1-node degenerate
+    /// form is the flat model).
     pub comm: CommModel,
 }
 
@@ -89,6 +91,12 @@ impl Machine {
     #[must_use]
     pub fn comm(&self) -> &CommModel {
         &self.config.comm
+    }
+
+    /// The cluster topology, when the interconnect is hierarchical.
+    #[must_use]
+    pub fn topology(&self) -> Option<&rt_task::TopologySpec> {
+        self.config.comm.topology()
     }
 
     /// Read access to one worker.
@@ -171,6 +179,30 @@ impl Machine {
                 .retain(|r| !(r.processor == p && retract.contains(&(r.task, r.start))));
         }
         failed
+    }
+
+    /// Fails an entire node (shard fault domain) at instant `at`: every
+    /// processor of node `n` that is still up goes down as if by
+    /// [`Machine::fail`], and the collected failed work is returned in
+    /// processor order. Processors already down are skipped — a node crash
+    /// subsumes any prior per-processor failure inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interconnect has no topology or `n` is not one of its
+    /// nodes.
+    pub fn fail_node(&mut self, n: usize, at: Time, keep_in_flight: bool) -> Vec<FailedWork> {
+        let topo = *self
+            .topology()
+            .expect("fail_node requires a hierarchical topology");
+        let (lo, hi) = topo.node_range(n);
+        (lo..hi)
+            .map(ProcessorId::new)
+            .filter(|&p| !self.is_down(p))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|p| self.fail(p, at, keep_in_flight))
+            .collect()
     }
 
     /// Brings a down processor back up at instant `at` (see
@@ -536,6 +568,36 @@ mod tests {
         assert_eq!(failed.orphaned.len(), 1);
         assert_eq!(m.completions().len(), 1);
         assert_eq!(m.completions()[0].task, TaskId::new(0));
+    }
+
+    #[test]
+    fn fail_node_downs_every_member_once() {
+        use rt_task::TopologySpec;
+        let mut m = Machine::new(MachineConfig {
+            workers: 6,
+            comm: CommModel::hierarchical(TopologySpec::new(6, 3, 1, 0, 100, 100)),
+        });
+        assert_eq!(m.topology().unwrap().nodes(), 3);
+        m.deliver(
+            vec![
+                Dispatch {
+                    task: task(0, 2_000, 100_000, &[2]),
+                    processor: ProcessorId::new(2),
+                },
+                Dispatch {
+                    task: task(1, 2_000, 100_000, &[3]),
+                    processor: ProcessorId::new(3),
+                },
+            ],
+            Time::ZERO,
+        );
+        // P2 dies alone first; the node-1 crash then subsumes it.
+        let _ = m.fail(ProcessorId::new(2), Time::from_micros(500), false);
+        let failed = m.fail_node(1, Time::from_micros(1_000), false);
+        assert_eq!(failed.len(), 1, "only the still-up P3 fails");
+        assert!(m.is_down(ProcessorId::new(2)) && m.is_down(ProcessorId::new(3)));
+        assert!(!m.is_down(ProcessorId::new(0)) && !m.is_down(ProcessorId::new(4)));
+        assert_eq!(m.completions().len(), 0, "both records retracted");
     }
 
     #[test]

@@ -84,6 +84,13 @@ pub struct SearchStats {
     /// between consecutive vertices, summed over pops. The old engine paid
     /// exactly `undos + replay_avoided` extra applies per phase.
     pub replay_avoided: u64,
+    /// Shard screens run by the shard-first candidate generator (one per
+    /// skip round under a hierarchical topology). Zero on flat platforms.
+    pub shard_screens: u64,
+    /// Shards the screen ruled out or ranked below the fanout cut, whose
+    /// processors were therefore never evaluated as candidates — the
+    /// O(P) → O(shards) + O(P/shard) saving, counted in shards.
+    pub shards_pruned: u64,
 }
 
 /// One feasibility probe from the phase-level viability screen: the
@@ -289,6 +296,11 @@ pub struct SearchScratch {
     level_task: Vec<usize>,
     /// Per-task verdict of the phase-level viability screen.
     viable: Vec<bool>,
+    /// Cumulative shard end indices under a hierarchical topology (the
+    /// node partition handed to [`PathState::configure_shards`]).
+    shard_ends: Vec<usize>,
+    /// (screen bound, shard) ranking buffer of one shard-first skip round.
+    shard_rank: Vec<(Time, usize)>,
     /// The incremental path state, lazily created on first use and reset
     /// (not rebuilt) on later phases.
     state: Option<PathState>,
@@ -391,6 +403,8 @@ fn search_core(
         comp,
         level_task,
         viable,
+        shard_ends,
+        shard_rank,
         state: state_slot,
         out,
     } = scratch;
@@ -404,6 +418,8 @@ fn search_core(
     comp.clear();
     level_task.clear();
     viable.clear();
+    shard_ends.clear();
+    shard_rank.clear();
     out.clear();
 
     let n = params.tasks.len();
@@ -473,6 +489,16 @@ fn search_core(
     }
     let state = state_slot.as_mut().expect("state initialized above");
 
+    // Shard-first gate: active only under a multi-node hierarchical
+    // topology with the assignment-oriented layout. Everything else —
+    // constant, mesh, 1-node topology, sequence-oriented — takes the flat
+    // candidate path untouched (the 1-node bit-identity contract).
+    let shards = shard_gate(params);
+    if let Some(topo) = shards {
+        node_ends_into(topo, shard_ends);
+        state.configure_shards(shard_ends);
+    }
+
     // Best feasible vertex so far: the root (empty schedule, makespan =
     // root_makespan) is the fallback.
     let mut best: Best = (0, root_makespan, None);
@@ -482,6 +508,7 @@ fn search_core(
         level_task,
         n_viable,
         use_replay,
+        shards,
         vertex_cap: params.vertex_cap,
         backtrack_limit: params.pruning.backtrack_limit,
     };
@@ -494,6 +521,7 @@ fn search_core(
         children,
         raw,
         comp,
+        shard_rank,
         state,
     };
     let termination;
@@ -552,6 +580,9 @@ struct Ctx<'a, 'b> {
     level_task: &'b [usize],
     n_viable: usize,
     use_replay: bool,
+    /// `Some` when the shard-first candidate generator is active (multi-node
+    /// hierarchical topology, assignment-oriented layout).
+    shards: Option<&'a rt_task::TopologySpec>,
     /// Generated-vertex budget of this walk (the phase cap, or one
     /// subtree's slice of it).
     vertex_cap: Option<u64>,
@@ -573,6 +604,7 @@ struct Work<'s> {
     children: &'s mut Vec<Candidate>,
     raw: &'s mut Vec<(usize, ProcessorId)>,
     comp: &'s mut Vec<Time>,
+    shard_rank: &'s mut Vec<(Time, usize)>,
     state: &'s mut PathState,
 }
 
@@ -591,6 +623,8 @@ impl<'s> Work<'s> {
             comp,
             level_task: _,
             viable: _,
+            shard_ends: _,
+            shard_rank,
             state,
             out: _,
         } = scratch;
@@ -603,9 +637,35 @@ impl<'s> Work<'s> {
             children,
             raw,
             comp,
+            shard_rank,
             state: state.as_mut().expect("scratch state initialized"),
         }
     }
+}
+
+/// Whether this phase runs the shard-first candidate generator: only under
+/// a hierarchical topology with more than one node, and only for the
+/// assignment-oriented layout (sequence-oriented levels fix a processor, so
+/// there is no per-level shard choice to make). The topology must span
+/// exactly the phase's processors.
+fn shard_gate<'a>(params: &SearchParams<'a>) -> Option<&'a rt_task::TopologySpec> {
+    let topo = params.comm.topology()?;
+    if topo.nodes() < 2 || !params.representation.is_assignment_oriented() {
+        return None;
+    }
+    assert_eq!(
+        topo.workers(),
+        params.initial_finish.len(),
+        "topology processor count must match the phase's processors"
+    );
+    Some(topo)
+}
+
+/// Writes the cumulative node end indices of `topo` into `ends` (the shard
+/// partition [`PathState::configure_shards`] consumes).
+fn node_ends_into(topo: &rt_task::TopologySpec, ends: &mut Vec<usize>) {
+    ends.clear();
+    ends.extend((0..topo.nodes()).map(|s| topo.node_range(s).1));
 }
 
 /// How one candidate-list walk ended: the termination reason plus the exit
@@ -715,15 +775,36 @@ impl Ctx<'_, '_> {
         let base_makespan = work.state.makespan();
         work.children.clear();
         'skip_rounds: for skip in 0..=max_skips {
-            params
-                .representation
-                .raw_candidates_into(work.state, self.level_task, skip, work.raw);
-            // Screened (phase-infeasible) tasks are invisible to the search
-            // and cost no quantum. An empty round means no viable task is
-            // left at all — skipping further cannot help either layout.
-            work.raw.retain(|&(t, _)| self.viable[t]);
-            if work.raw.is_empty() {
-                break;
+            if let Some(topo) = self.shards {
+                // Shard-first: screen the nodes against the level's task and
+                // enumerate processors only inside the winning shards. Like
+                // the batch screen, the per-shard bounds cost no quantum —
+                // the saving the sharded bench point measures.
+                if !self.sharded_raw_into(topo, work, skip, stats) {
+                    break; // no unassigned task remains at all
+                }
+                if work.raw.is_empty() {
+                    // The task exists but no shard can meet its deadline:
+                    // move on to the next task, as the flat path would after
+                    // evaluating (and charging) every processor.
+                    stats.level_skips += 1;
+                    continue;
+                }
+            } else {
+                params.representation.raw_candidates_into(
+                    work.state,
+                    self.level_task,
+                    skip,
+                    work.raw,
+                );
+                // Screened (phase-infeasible) tasks are invisible to the
+                // search and cost no quantum. An empty round means no viable
+                // task is left at all — skipping further cannot help either
+                // layout.
+                work.raw.retain(|&(t, _)| self.viable[t]);
+                if work.raw.is_empty() {
+                    break;
+                }
             }
             // Struct-of-arrays evaluation: the whole round's completions
             // are computed in one batched pass over the candidate column
@@ -803,6 +884,63 @@ impl Ctx<'_, '_> {
             }
         }
         leaf
+    }
+
+    /// The shard-first candidate generator: picks the level's task exactly
+    /// like the flat assignment-oriented path, screens every shard with an
+    /// aggregate feasibility bound, and writes the processors of the
+    /// best-ranked feasible shards (up to the topology's fanout) into
+    /// `work.raw`. Returns `false` when no unassigned task remains at this
+    /// skip round (the flat path's empty-round condition).
+    ///
+    /// The screen bound for shard `s` is
+    /// `max(shard_min(s), earliest_resource_start) + p + min_node_cost(s)`,
+    /// a lower bound on the completion of the task on *every* processor of
+    /// the shard (and exact on its best one), so a screened-out shard truly
+    /// has no feasible member. Only the fanout cut is heuristic. Shards are
+    /// ranked by `(bound, shard index)` — a total order, so the generated
+    /// candidate set is deterministic.
+    fn sharded_raw_into(
+        &self,
+        topo: &rt_task::TopologySpec,
+        work: &mut Work<'_>,
+        skip: usize,
+        stats: &mut SearchStats,
+    ) -> bool {
+        work.raw.clear();
+        let Some(&task) = self
+            .level_task
+            .iter()
+            .filter(|&&t| !work.state.is_assigned(t))
+            .nth(skip)
+        else {
+            return false;
+        };
+        let t = &self.params.tasks[task];
+        stats.shard_screens += 1;
+        work.shard_rank.clear();
+        let earliest = work.state.earliest_resource_start(t);
+        let mut pruned = 0u64;
+        for s in 0..topo.nodes() {
+            let start = work.state.shard_min(s).max(earliest);
+            let bound = start + t.processing_time() + topo.min_node_cost(t.affinity(), s);
+            if t.meets_deadline(bound) {
+                work.shard_rank.push((bound, s));
+            } else {
+                pruned += 1;
+            }
+        }
+        work.shard_rank.sort_unstable();
+        let fanout = topo.fanout().min(work.shard_rank.len());
+        pruned += (work.shard_rank.len() - fanout) as u64;
+        stats.shards_pruned += pruned;
+        work.shard_rank.truncate(fanout);
+        for &(_, s) in work.shard_rank.iter() {
+            let (lo, hi) = topo.node_range(s);
+            work.raw
+                .extend((lo..hi).map(|p| (task, ProcessorId::new(p))));
+        }
+        true
     }
 
     /// Walks the candidate list until a leaf, a dead-end, a budget break or
@@ -964,6 +1102,8 @@ fn merge_stats(acc: &mut SearchStats, sub: &SearchStats) {
     acc.screened_tasks += sub.screened_tasks;
     acc.undos += sub.undos;
     acc.replay_avoided += sub.replay_avoided;
+    acc.shard_screens += sub.shard_screens;
+    acc.shards_pruned += sub.shards_pruned;
 }
 
 /// Per-subtree scratch pool for the deterministic parallel engine: one
@@ -1077,6 +1217,8 @@ fn run_sub(
         comp,
         level_task: _,
         viable: _,
+        shard_ends,
+        shard_rank,
         state: state_slot,
         out: _,
     } = scratch;
@@ -1088,6 +1230,8 @@ fn run_sub(
     children.clear();
     raw.clear();
     comp.clear();
+    shard_ends.clear();
+    shard_rank.clear();
     match state_slot.as_mut() {
         Some(s) => s.reset(params.initial_finish, params.tasks.len(), &params.resources),
         None => {
@@ -1099,6 +1243,10 @@ fn run_sub(
         }
     }
     let state = state_slot.as_mut().expect("state initialized above");
+    if let Some(topo) = ctx.shards {
+        node_ends_into(topo, shard_ends);
+        state.configure_shards(shard_ends);
+    }
     arena.push(Node {
         parent: None,
         depth: 1,
@@ -1115,6 +1263,7 @@ fn run_sub(
         level_task: ctx.level_task,
         n_viable: ctx.n_viable,
         use_replay: false,
+        shards: ctx.shards,
         vertex_cap: spec.vertex_cap,
         backtrack_limit: spec.backtrack_limit,
     };
@@ -1130,6 +1279,7 @@ fn run_sub(
         children,
         raw,
         comp,
+        shard_rank,
         state,
     };
     let walk = sub_ctx.dfs_loop(&mut work, &mut meter, &mut stats, &mut best, None);
@@ -1207,6 +1357,8 @@ fn search_parallel_core(
         comp,
         level_task,
         viable,
+        shard_ends,
+        shard_rank,
         state: state_slot,
         out,
     } = scratch;
@@ -1220,6 +1372,8 @@ fn search_parallel_core(
     comp.clear();
     level_task.clear();
     viable.clear();
+    shard_ends.clear();
+    shard_rank.clear();
     out.clear();
 
     let n = params.tasks.len();
@@ -1285,6 +1439,12 @@ fn search_parallel_core(
     }
     let state = state_slot.as_mut().expect("state initialized above");
 
+    let shards = shard_gate(params);
+    if let Some(topo) = shards {
+        node_ends_into(topo, shard_ends);
+        state.configure_shards(shard_ends);
+    }
+
     let mut best: Best = (0, root_makespan, None);
     let ctx = Ctx {
         params,
@@ -1292,6 +1452,7 @@ fn search_parallel_core(
         level_task,
         n_viable,
         use_replay: false,
+        shards,
         vertex_cap: params.vertex_cap,
         backtrack_limit: params.pruning.backtrack_limit,
     };
@@ -1304,6 +1465,7 @@ fn search_parallel_core(
         children,
         raw,
         comp,
+        shard_rank,
         state,
     };
 
@@ -2351,5 +2513,111 @@ mod tests {
         assert_eq!(out.termination, Termination::Leaf);
         assert!(!report.split, "k < 2 never splits");
         assert_eq!(out.assignments.len(), 1);
+    }
+
+    #[test]
+    fn one_node_topology_is_bit_identical_to_constant() {
+        use rt_task::TopologySpec;
+        let c = Duration::from_micros(2_000);
+        let tasks: Vec<Task> = (0..12)
+            .map(|i| mk_task(i, 200 + i * 37, 40_000, &[(i as usize) % 4]))
+            .collect();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 8];
+
+        let flat_comm = CommModel::constant(c);
+        let topo_comm = CommModel::hierarchical(TopologySpec::flat(8, c));
+        let pf = params(&tasks, &flat_comm, &initial, &repr, ChildOrder::LoadBalance);
+        let pt = params(&tasks, &topo_comm, &initial, &repr, ChildOrder::LoadBalance);
+        let flat = search_schedule(&pf, &mut free_meter());
+        let topo = search_schedule(&pt, &mut free_meter());
+        assert_eq!(flat.assignments, topo.assignments);
+        assert_eq!(flat.termination, topo.termination);
+        assert_eq!(flat.makespan, topo.makespan);
+        assert_eq!(
+            flat.stats, topo.stats,
+            "1-node topology takes the flat path"
+        );
+        assert_eq!(topo.stats.shard_screens, 0, "no shard screen at 1 node");
+    }
+
+    #[test]
+    fn sharded_search_prunes_the_candidate_loop() {
+        use rt_task::TopologySpec;
+        // 16 processors, 4 nodes of 4, fanout 2: each expansion may evaluate
+        // at most 8 processors instead of all 16.
+        let topo = TopologySpec::new(16, 4, 2, 0, 1_000, 2_000);
+        let comm = CommModel::hierarchical(topo);
+        let tasks: Vec<Task> = (0..20)
+            .map(|i| mk_task(i, 300, 200_000, &[(i as usize) % 16]))
+            .collect();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 16];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        assert_eq!(out.termination, Termination::Leaf);
+        assert!(out.is_complete(20));
+        for a in &out.assignments {
+            assert!(tasks[a.task].meets_deadline(a.completion));
+        }
+        assert!(out.stats.shard_screens > 0, "shard screen ran");
+        assert!(out.stats.shards_pruned > 0, "fanout cut pruned shards");
+        let per_expansion = out.stats.vertices_generated as f64 / out.stats.expansions as f64;
+        assert!(
+            per_expansion <= 8.0 + f64::EPSILON,
+            "sharded expansion evaluated {per_expansion} candidates on average, \
+             expected at most fanout * node size = 8"
+        );
+    }
+
+    #[test]
+    fn sharded_parallel_matches_serial() {
+        use rt_task::TopologySpec;
+        let topo = TopologySpec::new(12, 3, 1, 0, 1_000, 1_000);
+        let comm = CommModel::hierarchical(topo);
+        let tasks: Vec<Task> = (0..15)
+            .map(|i| mk_task(i, 250 + i * 11, 150_000, &[(i as usize) % 12]))
+            .collect();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 12];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let serial = search_schedule(&p, &mut free_meter());
+        let mut scratch = SearchScratch::new();
+        let mut par = ParallelScratch::new();
+        for threads in [1, 4] {
+            let out =
+                search_schedule_parallel(&p, threads, &mut free_meter(), &mut scratch, &mut par);
+            assert_eq!(out.assignments, serial.assignments, "threads={threads}");
+            assert_eq!(out.makespan, serial.makespan);
+            assert_eq!(out.stats, serial.stats);
+        }
+    }
+
+    #[test]
+    fn sharded_screen_never_rules_out_a_feasible_placement() {
+        use rt_task::TopologySpec;
+        // Tight deadlines force the screen to discard shards; with fanout
+        // covering every node the cut is exact, so the sharded search must
+        // schedule at least as many tasks as deadline feasibility allows on
+        // its best shard. Compare against the flat hierarchical cost model
+        // run without sharding (sequence of a 1-node gate is not available,
+        // so compare viability: every task the flat run schedules, the
+        // sharded run schedules too).
+        let topo = TopologySpec::new(8, 4, 1, 0, 500, 500).with_fanout(4);
+        let comm = CommModel::hierarchical(topo);
+        let tasks: Vec<Task> = (0..10)
+            .map(|i| mk_task(i, 400, 1_200 + i * 400, &[(i as usize) % 8]))
+            .collect();
+        let repr = Representation::assignment_oriented();
+        let initial = [Time::ZERO; 8];
+        let p = params(&tasks, &comm, &initial, &repr, ChildOrder::LoadBalance);
+        let out = search_schedule(&p, &mut free_meter());
+        // Full fanout = no heuristic cut: the screen only drops shards whose
+        // *best* processor already misses the deadline, so the search still
+        // covers every viable task.
+        assert!(out.covers_viable());
+        for a in &out.assignments {
+            assert!(tasks[a.task].meets_deadline(a.completion));
+        }
     }
 }

@@ -54,20 +54,28 @@ pub struct PathState {
     assignments: Vec<Assignment>,
     resources: ResourceEats,
     undo_log: Vec<UndoRecord>,
+    /// Cumulative shard end indices (`shard s` covers processors
+    /// `[ends[s-1], ends[s])`). Empty = unsharded, the flat default.
+    shard_ends: Vec<usize>,
+    /// Per-shard minimum finish time, maintained incrementally — the SoA
+    /// column the shard-first screen aggregates per shard.
+    shard_min: Vec<Time>,
 }
 
 /// What [`PathState::apply`] displaced, kept so [`PathState::undo`] can
 /// revert one assignment in O(1) (plus the resource snapshot for the rare
 /// resource-holding task).
 ///
-/// The two fields are exactly the state an assignment can clobber: the
-/// assigned processor's previous finish time, and — only when the task holds
-/// resources, since [`ResourceEats::commit`] is a max-merge that cannot be
-/// inverted locally — a snapshot of the resource EATs taken before the
-/// commit.
+/// The fields are exactly the state an assignment can clobber: the assigned
+/// processor's previous finish time, its shard's previous minimum finish
+/// (meaningless — [`Time::ZERO`] — when unsharded), and — only when the task
+/// holds resources, since [`ResourceEats::commit`] is a max-merge that
+/// cannot be inverted locally — a snapshot of the resource EATs taken before
+/// the commit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct UndoRecord {
     prev_finish: Time,
+    prev_shard_min: Time,
     prev_resources: Option<ResourceEats>,
 }
 
@@ -105,6 +113,8 @@ impl PathState {
             assignments: Vec::new(),
             resources,
             undo_log: Vec::new(),
+            shard_ends: Vec::new(),
+            shard_min: Vec::new(),
         }
     }
 
@@ -128,6 +138,69 @@ impl PathState {
         self.assignments.clear();
         self.resources.copy_from(resources);
         self.undo_log.clear();
+        self.shard_ends.clear();
+        self.shard_min.clear();
+    }
+
+    /// Partitions the processors into shards for shard-first candidate
+    /// generation. `ends[s]` is the exclusive upper processor index of shard
+    /// `s`; shard `s` covers `[ends[s-1], ends[s])`. Called after
+    /// construction or [`PathState::reset`]; clear-don't-drop, so repeated
+    /// configuration is allocation-free at steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ends` is strictly increasing and covers every
+    /// processor exactly.
+    pub fn configure_shards(&mut self, ends: &[usize]) {
+        assert!(
+            ends.last() == Some(&self.finish.len()),
+            "shard ends must cover every processor"
+        );
+        assert!(
+            ends.windows(2).all(|w| w[0] < w[1]) && ends[0] > 0,
+            "shard ends must be strictly increasing"
+        );
+        self.shard_ends.clear();
+        self.shard_ends.extend_from_slice(ends);
+        self.shard_min.clear();
+        let mut lo = 0;
+        for &hi in ends {
+            let min = *self.finish[lo..hi].iter().min().expect("non-empty shard");
+            self.shard_min.push(min);
+            lo = hi;
+        }
+    }
+
+    /// Number of configured shards (zero when unsharded).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shard_ends.len()
+    }
+
+    /// The minimum processor finish time within shard `s` — the earliest
+    /// instant *any* processor of the shard could start new work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a configured shard.
+    #[must_use]
+    pub fn shard_min(&self, s: usize) -> Time {
+        self.shard_min[s]
+    }
+
+    /// The earliest start instant `task`'s resource requests allow,
+    /// independent of processor choice — the resource half of
+    /// [`PathState::completion_if`], exposed so the shard screen can bound
+    /// completions without touching per-processor state.
+    #[must_use]
+    pub fn earliest_resource_start(&self, task: &Task) -> Time {
+        self.resources.earliest_start(task.resources())
+    }
+
+    /// Which shard hosts processor `p`.
+    fn shard_of(&self, p: usize) -> usize {
+        self.shard_ends.partition_point(|&e| e <= p)
     }
 
     /// Number of processors.
@@ -231,8 +304,14 @@ impl PathState {
         assert!(!self.assigned[task], "task index {task} assigned twice");
         let completion = self.completion_if(tasks, comm, task, p);
         let requests = tasks[task].resources();
+        let prev_shard_min = if self.shard_ends.is_empty() {
+            Time::ZERO
+        } else {
+            self.shard_min[self.shard_of(p.index())]
+        };
         self.undo_log.push(UndoRecord {
             prev_finish: self.finish[p.index()],
+            prev_shard_min,
             prev_resources: if requests.is_empty() {
                 None
             } else {
@@ -242,6 +321,14 @@ impl PathState {
         self.assigned[task] = true;
         self.n_assigned += 1;
         self.finish[p.index()] = completion;
+        if !self.shard_ends.is_empty() {
+            // The assignment only delays finish[p], so a single O(shard
+            // size) rescan of the affected shard keeps the minimum exact.
+            let s = self.shard_of(p.index());
+            let lo = if s == 0 { 0 } else { self.shard_ends[s - 1] };
+            let hi = self.shard_ends[s];
+            self.shard_min[s] = *self.finish[lo..hi].iter().min().expect("non-empty shard");
+        }
         self.resources.commit(requests, completion);
         self.assignments.push(Assignment {
             task,
@@ -268,6 +355,10 @@ impl PathState {
         self.assigned[a.task] = false;
         self.n_assigned -= 1;
         self.finish[a.processor.index()] = u.prev_finish;
+        if !self.shard_ends.is_empty() {
+            let s = self.shard_of(a.processor.index());
+            self.shard_min[s] = u.prev_shard_min;
+        }
         if let Some(resources) = u.prev_resources {
             self.resources = resources;
         }
@@ -483,6 +574,47 @@ mod tests {
     fn undo_at_root_panics() {
         let mut s = PathState::new(vec![Time::ZERO], 1);
         s.undo();
+    }
+
+    #[test]
+    fn shard_min_tracks_apply_and_undo() {
+        let tasks = mk_tasks(&[(100, 10_000, &[]), (150, 10_000, &[]), (70, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let finishes: Vec<Time> = [10u64, 40, 30, 20].map(Time::from_micros).into();
+        let mut s = PathState::new(finishes, 3);
+        s.configure_shards(&[2, 4]);
+        assert_eq!(s.shards(), 2);
+        assert_eq!(s.shard_min(0), Time::from_micros(10));
+        assert_eq!(s.shard_min(1), Time::from_micros(20));
+
+        let before = s.clone();
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0)); // P0: 10 -> 120
+        assert_eq!(s.shard_min(0), Time::from_micros(40));
+        s.apply(&tasks, &comm, 1, ProcessorId::new(3)); // P3: 20 -> 180
+        assert_eq!(s.shard_min(1), Time::from_micros(30));
+        s.apply(&tasks, &comm, 2, ProcessorId::new(1)); // P1: 40 -> 120
+        assert_eq!(s.shard_min(0), Time::from_micros(120));
+
+        s.undo();
+        s.undo();
+        s.undo();
+        assert_eq!(s, before, "undo restores the shard minima exactly");
+    }
+
+    #[test]
+    fn reset_clears_shard_configuration() {
+        let mut s = PathState::new(vec![Time::ZERO; 4], 2);
+        s.configure_shards(&[2, 4]);
+        s.reset(&[Time::ZERO; 4], 2, &ResourceEats::new());
+        assert_eq!(s.shards(), 0, "reset returns to the unsharded default");
+        assert_eq!(s, PathState::new(vec![Time::ZERO; 4], 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every processor")]
+    fn shard_ends_must_cover_processors() {
+        let mut s = PathState::new(vec![Time::ZERO; 4], 1);
+        s.configure_shards(&[2, 3]);
     }
 
     #[test]

@@ -115,6 +115,35 @@ impl AffinitySet {
         self.len() as f64 / total as f64
     }
 
+    /// Whether any member falls inside the half-open index range `[lo, hi)`
+    /// — the shard-membership test used by hierarchical topologies. Runs on
+    /// whole words with boundary masks, not per-bit probes.
+    #[must_use]
+    pub fn intersects_range(&self, lo: usize, hi: usize) -> bool {
+        if lo >= hi {
+            return false;
+        }
+        let start_word = lo / 64;
+        let end_word = (hi - 1) / 64;
+        for wi in start_word..=end_word {
+            let Some(&w) = self.words.get(wi) else { break };
+            let mut mask = u64::MAX;
+            if wi == start_word {
+                mask &= u64::MAX << (lo % 64);
+            }
+            if wi == end_word {
+                let top = hi - wi * 64;
+                if top < 64 {
+                    mask &= (1u64 << top) - 1;
+                }
+            }
+            if w & mask != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
     /// The set of processors present in both `self` and `other` — used to
     /// compute the affinity of a task referencing several data objects (only
     /// processors holding *all* of them serve it locally).
@@ -277,6 +306,30 @@ mod tests {
         assert_eq!(a.intersection(&a), a);
         assert_eq!(a.union(&a), a);
         assert!(a.intersection(&AffinitySet::new()).is_empty());
+    }
+
+    #[test]
+    fn intersects_range_matches_naive_scan() {
+        let s: AffinitySet = [0usize, 5, 63, 64, 130]
+            .into_iter()
+            .map(ProcessorId::new)
+            .collect();
+        for lo in 0..140 {
+            for hi in lo..141 {
+                let naive = (lo..hi).any(|p| s.contains(ProcessorId::new(p)));
+                assert_eq!(
+                    s.intersects_range(lo, hi),
+                    naive,
+                    "range [{lo},{hi}) disagrees with the naive scan"
+                );
+            }
+        }
+        assert!(!s.intersects_range(10, 10), "empty range never intersects");
+        assert!(
+            !s.intersects_range(20, 10),
+            "inverted range never intersects"
+        );
+        assert!(!AffinitySet::new().intersects_range(0, 1_000));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! * a deadline `d_i` ([`Task::deadline`]), and
 //! * a communication cost `c_ij` toward each processor, which is zero if the
 //!   task has *affinity* with the processor (its referenced data objects live
-//!   in that processor's local memory) and a constant `C` otherwise
-//!   ([`CommModel`]).
+//!   in that processor's local memory) and otherwise depends on the
+//!   interconnect model ([`CommModel`]): the paper's flat constant `C`, a
+//!   2D-mesh distance ([`MeshSpec`]), or a hierarchical node/rack class
+//!   ([`TopologySpec`]).
 //!
 //! Batching (Section 4): the input to scheduling phase `j` is `Batch(j)`; at
 //! the end of the phase, scheduled tasks and tasks whose deadlines have
@@ -43,6 +45,7 @@ mod ids;
 mod mesh;
 mod resources;
 mod task;
+mod topology;
 
 pub use affinity::AffinitySet;
 pub use batch::{Batch, DropOutcome};
@@ -50,3 +53,4 @@ pub use ids::{ProcessorId, TaskId};
 pub use mesh::MeshSpec;
 pub use resources::{AccessMode, ResourceEats, ResourceId, ResourceRequest};
 pub use task::{CommModel, Task, TaskBuilder};
+pub use topology::TopologySpec;

@@ -240,7 +240,10 @@ impl TaskBuilder {
 /// ([`CommModel::constant`]). The unabstracted alternative
 /// ([`CommModel::mesh`]) prices the fetch by actual 2D-mesh hop distance
 /// from the nearest processor holding the data — used to validate the
-/// constant-`C` abstraction.
+/// constant-`C` abstraction. The sharded-cluster alternative
+/// ([`CommModel::hierarchical`]) prices the fetch by hierarchy class —
+/// intra-node, inter-node, inter-rack — and degenerates to the flat model
+/// for a 1-node topology ([`crate::TopologySpec::flat`]).
 ///
 /// # Example
 ///
@@ -266,6 +269,13 @@ pub enum CommModel {
         /// Mesh geometry and per-message costs.
         spec: crate::mesh::MeshSpec,
     },
+    /// Hierarchical cost on a sharded cluster: a non-affine execution pays
+    /// the cheapest class (intra-node, inter-node, inter-rack) whose span
+    /// still reaches an affine processor.
+    Hierarchical {
+        /// Cluster geometry and per-class costs.
+        spec: crate::topology::TopologySpec,
+    },
 }
 
 impl CommModel {
@@ -287,8 +297,24 @@ impl CommModel {
         CommModel::Mesh { spec }
     }
 
+    /// A hierarchy-class model on the given sharded topology.
+    #[must_use]
+    pub const fn hierarchical(spec: crate::topology::TopologySpec) -> Self {
+        CommModel::Hierarchical { spec }
+    }
+
+    /// The topology behind a hierarchical model, if this is one.
+    #[must_use]
+    pub const fn topology(&self) -> Option<&crate::topology::TopologySpec> {
+        match self {
+            CommModel::Hierarchical { spec } => Some(spec),
+            _ => None,
+        }
+    }
+
     /// The worst-case non-affine cost: `C` for the constant model, the
-    /// diameter-path cost for the mesh.
+    /// diameter-path cost for the mesh, the worst hierarchy class for a
+    /// topology.
     #[must_use]
     pub fn constant_cost(&self) -> Duration {
         match self {
@@ -296,13 +322,16 @@ impl CommModel {
             CommModel::Mesh { spec } => {
                 Duration::from_micros(spec.hop_cost_micros(spec.diameter()))
             }
+            CommModel::Hierarchical { spec } => spec.worst_class(),
         }
     }
 
     /// The communication cost `c_ij` for executing `task` on `proc`: zero if
     /// the task has affinity with the processor; otherwise `C` (constant
-    /// model) or the cheapest fetch from an affine processor (mesh model;
-    /// worst-case diameter cost if the task has affinity with nothing).
+    /// model), the cheapest fetch from an affine processor (mesh model;
+    /// worst-case diameter cost if the task has affinity with nothing), or
+    /// the cheapest hierarchy class reaching an affine processor
+    /// (hierarchical model; worst class with no affinity).
     #[must_use]
     pub fn cost(&self, task: &Task, proc: ProcessorId) -> Duration {
         if task.affinity().contains(proc) {
@@ -319,6 +348,7 @@ impl CommModel {
                     .unwrap_or_else(|| spec.diameter());
                 Duration::from_micros(spec.hop_cost_micros(hops))
             }
+            CommModel::Hierarchical { spec } => spec.cost(task.affinity(), proc),
         }
     }
 

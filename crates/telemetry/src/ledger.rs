@@ -557,6 +557,7 @@ mod tests {
                     processor: 0,
                     completion_us: 140,
                     cost_us: 140,
+                    shard: 0,
                 }],
             },
         );

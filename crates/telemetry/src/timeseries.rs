@@ -334,8 +334,21 @@ impl TimeSeries {
 
     /// Renders an ASCII sparkline timeline: one line per headline metric,
     /// each downsampled to at most `width` glyphs.
+    ///
+    /// Degenerate inputs — a zero glyph budget, a run that recorded no
+    /// windows, or a platform with no processors — render as a single
+    /// explanatory line rather than an empty or misleading chart.
     #[must_use]
     pub fn render_timeline(&self, width: usize) -> String {
+        if width == 0 {
+            return "timeline: zero-width render requested; nothing to draw\n".to_string();
+        }
+        if self.windows.is_empty() {
+            return "timeline: no windows recorded (empty or traceless run)\n".to_string();
+        }
+        if self.procs == 0 {
+            return "timeline: no processors recorded; nothing to draw\n".to_string();
+        }
         let span_ms = self
             .windows
             .last()
@@ -719,6 +732,15 @@ mod tests {
     use super::*;
     use paragon_des::Duration;
 
+    fn admit(task: u64) -> TraceEvent {
+        TraceEvent::TaskAdmitted {
+            task,
+            arrival_us: 0,
+            deadline_us: 1_000,
+            processing_us: 50,
+        }
+    }
+
     fn completed(task: u64, processor: usize, met: bool, lateness: i64) -> TraceEvent {
         TraceEvent::TaskCompleted {
             task,
@@ -897,6 +919,35 @@ mod tests {
         assert!(s.ends_with(SPARKS[7]));
         let timeline = TimeSeriesRecorder::new(10).finish().render_timeline(40);
         assert!(timeline.contains("timeline:"));
+    }
+
+    #[test]
+    fn render_timeline_handles_zero_width() {
+        let mut rec = TimeSeriesRecorder::new(100);
+        rec.emit(Time::ZERO, admit(1));
+        let out = rec.finish().render_timeline(0);
+        assert_eq!(out.lines().count(), 1, "one explanatory line, no chart");
+        assert!(out.contains("zero-width"));
+    }
+
+    #[test]
+    fn render_timeline_handles_empty_window_list() {
+        let out = TimeSeriesRecorder::new(100).finish().render_timeline(40);
+        assert_eq!(out.lines().count(), 1, "one explanatory line, no chart");
+        assert!(out.contains("no windows"));
+    }
+
+    #[test]
+    fn render_timeline_handles_zero_processors() {
+        // Admissions alone never name a processor, so the recorder can
+        // legitimately finish with windows but procs == 0.
+        let mut rec = TimeSeriesRecorder::new(100);
+        rec.emit(Time::ZERO, admit(1));
+        let ts = rec.finish();
+        assert!(!ts.windows.is_empty());
+        let out = ts.render_timeline(40);
+        assert_eq!(out.lines().count(), 1, "one explanatory line, no chart");
+        assert!(out.contains("no processors"));
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn build_event(kind: u8, a: u64, b: u64, signed: i64) -> TraceEvent {
                 processor: (b as usize).wrapping_add(1),
                 completion_us: a.wrapping_add(1),
                 cost_us: a.wrapping_add(2),
+                shard: (b as usize) % 3,
             }],
         },
         11 => TraceEvent::SchedulerOverhead {

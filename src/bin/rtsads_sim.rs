@@ -4,7 +4,8 @@
 //! ```text
 //! rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X]
 //!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
-//!            [--comm-us C] [--seed S] [--search-threads N] [--phases]
+//!            [--comm-us C] [--nodes N] [--racks R] [--inter-rack-cost C2]
+//!            [--seed S] [--search-threads N] [--phases]
 //!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
 //!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
 //!            [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]
@@ -48,7 +49,7 @@ use rtsads_repro::des::{Duration, Time};
 use rtsads_repro::explain::{diff_reports, explain_task, ReportFile};
 use rtsads_repro::platform::HostParams;
 use rtsads_repro::sads::{Algorithm, Driver, DriverConfig, RunReport};
-use rtsads_repro::task::CommModel;
+use rtsads_repro::task::{CommModel, TopologySpec};
 use rtsads_repro::telemetry::jsonl::parse_trace;
 use rtsads_repro::telemetry::{
     DecisionLedger, MetricsRegistry, TelemetrySession, TimeSeriesRecorder, DEFAULT_WINDOW_US,
@@ -63,6 +64,9 @@ struct Args {
     sf: f64,
     algorithm: Algorithm,
     comm_us: u64,
+    nodes: usize,
+    racks: usize,
+    inter_rack_us: Option<u64>,
     seed: u64,
     search_threads: usize,
     phases: bool,
@@ -82,6 +86,9 @@ fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
         sf: 1.0,
         algorithm: Algorithm::rt_sads(),
         comm_us: 2_000,
+        nodes: 1,
+        racks: 1,
+        inter_rack_us: None,
         seed: 1_998,
         search_threads: 1,
         phases: false,
@@ -117,6 +124,25 @@ fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
             "--sf" => args.sf = value("--sf")?.parse().map_err(|e| format!("{e}"))?,
             "--comm-us" => {
                 args.comm_us = value("--comm-us")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--nodes" => {
+                args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?;
+                if args.nodes == 0 {
+                    return Err("--nodes must be positive".to_string());
+                }
+            }
+            "--racks" => {
+                args.racks = value("--racks")?.parse().map_err(|e| format!("{e}"))?;
+                if args.racks == 0 {
+                    return Err("--racks must be positive".to_string());
+                }
+            }
+            "--inter-rack-cost" => {
+                args.inter_rack_us = Some(
+                    value("--inter-rack-cost")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--search-threads" => {
@@ -156,7 +182,39 @@ fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if args.nodes > args.workers {
+        return Err(format!(
+            "--nodes ({}) cannot exceed --workers ({})",
+            args.nodes, args.workers
+        ));
+    }
+    if args.racks > args.nodes {
+        return Err(format!(
+            "--racks ({}) cannot exceed --nodes ({})",
+            args.racks, args.nodes
+        ));
+    }
     Ok(args)
+}
+
+/// The platform's communication model from the CLI flags: the paper's flat
+/// constant-`C` machine by default, or a hierarchical sharded cluster when
+/// `--nodes` asks for more than one node (intra-node free, inter-node
+/// `--comm-us`, inter-rack `--inter-rack-cost`, defaulting to twice the
+/// inter-node cost).
+fn comm_model(args: &Args) -> CommModel {
+    if args.nodes <= 1 {
+        return CommModel::constant(Duration::from_micros(args.comm_us));
+    }
+    let inter_rack = args.inter_rack_us.unwrap_or(args.comm_us * 2);
+    CommModel::hierarchical(TopologySpec::new(
+        args.workers as u32,
+        args.nodes as u32,
+        args.racks as u32,
+        0,
+        args.comm_us,
+        inter_rack.max(args.comm_us),
+    ))
 }
 
 /// Folds per-worker busy/idle times — which live in the final report, not
@@ -167,6 +225,14 @@ fn record_worker_metrics(registry: &mut MetricsRegistry, report: &RunReport) {
         registry.set_gauge(&format!("worker.{k}.busy_us"), busy.as_micros() as f64);
         let idle = horizon.saturating_sub(*busy);
         registry.set_gauge(&format!("worker.{k}.idle_us"), idle.as_micros() as f64);
+    }
+    // Sharded runs additionally get per-shard (node) totals; flat runs
+    // carry no shard breakdown and emit none.
+    for (s, busy) in report.shard_busy.iter().enumerate() {
+        registry.set_gauge(&format!("shard.{s}.busy_us"), busy.as_micros() as f64);
+    }
+    for (s, util) in report.shard_utilizations().iter().enumerate() {
+        registry.set_gauge(&format!("shard.{s}.utilization"), *util);
     }
 }
 
@@ -441,7 +507,8 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
-                 [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] [--seed S] \
+                 [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] \
+                 [--nodes N] [--racks R] [--inter-rack-cost C2] [--seed S] \
                  [--search-threads N] [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
                  [--perfetto-out FILE.trace.json] [--report-out FILE.json] \
                  [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]\n\
@@ -465,7 +532,7 @@ fn main() -> ExitCode {
     }
     let built = scenario.build(args.seed);
     let config = DriverConfig::new(args.workers, args.algorithm.clone())
-        .comm(CommModel::constant(Duration::from_micros(args.comm_us)))
+        .comm(comm_model(&args))
         .host(HostParams::new(Duration::from_micros(1)))
         .seed(args.seed)
         .search_threads(args.search_threads)
@@ -500,6 +567,16 @@ fn main() -> ExitCode {
         args.comm_us,
         args.seed
     );
+    if args.nodes > 1 {
+        println!(
+            "  topology           {:>6} nodes x {} racks (inter-rack {}us), \
+             {} shard utilizations tracked",
+            args.nodes,
+            args.racks,
+            args.inter_rack_us.unwrap_or(args.comm_us * 2),
+            report.shard_busy.len()
+        );
+    }
     println!(
         "  deadline hits      {:>6} / {} ({:.1}%)",
         report.hits,
@@ -589,6 +666,42 @@ mod tests {
     fn zero_workers_is_an_error_not_a_panic() {
         let err = parse_strs(&["--workers", "0"]).expect_err("rejected");
         assert_eq!(err, "--workers must be positive");
+    }
+
+    #[test]
+    fn topology_flags_parse_and_validate() {
+        let args = parse_strs(&[
+            "--workers",
+            "16",
+            "--nodes",
+            "4",
+            "--racks",
+            "2",
+            "--inter-rack-cost",
+            "5000",
+        ])
+        .expect("parses");
+        assert_eq!((args.nodes, args.racks), (4, 2));
+        assert_eq!(args.inter_rack_us, Some(5_000));
+        let topo = *comm_model(&args).topology().expect("hierarchical");
+        assert_eq!((topo.workers(), topo.nodes(), topo.racks()), (16, 4, 2));
+        assert_eq!(topo.inter_rack_cost(), Duration::from_micros(5_000));
+
+        assert!(parse_strs(&["--workers", "4", "--nodes", "8"]).is_err());
+        assert!(parse_strs(&["--nodes", "2", "--racks", "3"]).is_err());
+        assert!(parse_strs(&["--nodes", "0"]).is_err());
+    }
+
+    #[test]
+    fn single_node_keeps_the_flat_constant_model() {
+        let args = parse_strs(&["--comm-us", "1500"]).expect("parses");
+        let comm = comm_model(&args);
+        assert!(comm.topology().is_none(), "1 node stays flat");
+        // A defaulted inter-rack cost below the inter-node cost is clamped
+        // up so the hierarchy's cost monotonicity holds.
+        let sharded = parse_strs(&["--nodes", "2", "--inter-rack-cost", "10"]).expect("parses");
+        let topo = *comm_model(&sharded).topology().expect("hierarchical");
+        assert_eq!(topo.inter_rack_cost(), topo.inter_node_cost());
     }
 
     #[test]

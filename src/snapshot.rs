@@ -4,14 +4,17 @@
 //! a [`RunManifest`] (seed, git describe) — so a perf regression shows up as
 //! a diff against the committed baseline rather than a vague feeling.
 //!
-//! The three points stress different parts of the hot path:
+//! The points stress different parts of the hot path:
 //!
 //! * `deep_dive_64` — the raw engine on a depth-64 straight descent
 //!   (no backtracking; dominated by expansion and candidate ordering),
 //! * `mixed_150x8` — the full `schedule_phase` on the mixed synthetic
 //!   batch (affinity pins, heterogeneous costs),
 //! * `tight_150x8` — `schedule_phase` on the backtrack-heavy batch
-//!   (deadlines 2× cost; dominated by undo/backtrack traffic).
+//!   (deadlines 2× cost; dominated by undo/backtrack traffic),
+//! * `sharded_1024x64` — `schedule_phase` at P=1024 on a 16-node sharded
+//!   topology, gating the shard-first candidate loop: its
+//!   `candidates_per_vertex` must stay far below the flat loop's O(P).
 //!
 //! All points run with one reused scratch — the driver's steady state, and
 //! the regime the `zero_alloc` test pins to zero heap allocations.
@@ -30,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// Throughput at one canonical scenario point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SnapshotPoint {
-    /// Point id: `deep_dive_64`, `mixed_150x8` or `tight_150x8`.
+    /// Point id, e.g. `deep_dive_64`, `mixed_150x8` or `sharded_1024x64`.
     pub name: String,
     /// Phases measured (after warm-up).
     pub phases: u64,
@@ -42,6 +45,14 @@ pub struct SnapshotPoint {
     pub vertices_per_sec: f64,
     /// Incremental undo operations per second.
     pub undos_per_sec: f64,
+    /// Mean candidate placements evaluated per expansion — the flat
+    /// candidate loop's O(P), which shard-first screening cuts to
+    /// O(fanout × P/nodes). Unlike the throughput rates this is
+    /// wall-clock-free, so the gate on it is noise-immune; higher is
+    /// worse. `0.0` in baselines written before the field existed
+    /// (`serde(default)`), which skips its comparison.
+    #[serde(default)]
+    pub candidates_per_vertex: f64,
 }
 
 /// The whole snapshot: provenance plus the three measured points.
@@ -199,6 +210,21 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64)
                 regressed: change < -tolerance,
             });
         }
+        // Candidates per expansion is a work metric, not a rate: growth is
+        // the regression. Skipped when either side predates the field
+        // (0.0), so old baselines still compare cleanly.
+        if bp.candidates_per_vertex > 0.0 && np.candidates_per_vertex > 0.0 {
+            let (b, n) = (bp.candidates_per_vertex, np.candidates_per_vertex);
+            let change = (n - b) / b;
+            deltas.push(MetricDelta {
+                point: bp.name.clone(),
+                metric: "candidates_per_vertex",
+                base: b,
+                new: n,
+                change,
+                regressed: change > tolerance,
+            });
+        }
     }
     SnapshotDiff {
         tolerance,
@@ -234,11 +260,31 @@ pub fn dirty_guard(git_describe: Option<&str>, allow_dirty: bool) -> Result<(), 
 /// a quiet slice even when a noisy neighbor holds the host for seconds.
 const PASSES: u32 = 5;
 
+/// What one timed phase contributes to a snapshot point's tallies.
+struct PhaseTally {
+    vertices: u64,
+    undos: u64,
+    /// Candidate placements evaluated (feasible + infeasible children).
+    candidates: u64,
+    expansions: u64,
+}
+
+impl PhaseTally {
+    fn of(stats: &sched_search::SearchStats) -> Self {
+        PhaseTally {
+            vertices: stats.vertices_generated,
+            undos: stats.undos,
+            candidates: stats.feasible_children + stats.infeasible_children,
+            expansions: stats.expansions,
+        }
+    }
+}
+
 fn point(
     name: &str,
     warmup: u64,
     measured: u64,
-    mut phase: impl FnMut() -> (u64, u64),
+    mut phase: impl FnMut() -> PhaseTally,
 ) -> SnapshotPoint {
     for _ in 0..warmup {
         phase();
@@ -247,11 +293,15 @@ fn point(
     for _ in 0..PASSES {
         let mut vertices = 0u64;
         let mut undos = 0u64;
+        let mut candidates = 0u64;
+        let mut expansions = 0u64;
         let start = std::time::Instant::now();
         for _ in 0..measured {
-            let (v, u) = phase();
-            vertices += v;
-            undos += u;
+            let t = phase();
+            vertices += t.vertices;
+            undos += t.undos;
+            candidates += t.candidates;
+            expansions += t.expansions;
         }
         let elapsed = start.elapsed();
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -262,6 +312,7 @@ fn point(
             phases_per_sec: measured as f64 / secs,
             vertices_per_sec: vertices as f64 / secs,
             undos_per_sec: undos as f64 / secs,
+            candidates_per_vertex: candidates as f64 / expansions.max(1) as f64,
         };
         if best
             .as_ref()
@@ -302,9 +353,9 @@ pub fn collect(measured: u64) -> BenchSnapshot {
         point("deep_dive_64", warmup, measured, || {
             let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
             let out = search_schedule_with(&params, &mut meter, &mut scratch);
-            let stats = (out.stats.vertices_generated as u64, out.stats.undos as u64);
+            let tally = PhaseTally::of(&out.stats);
             scratch.recycle(out.assignments);
-            stats
+            tally
         })
     };
 
@@ -315,7 +366,11 @@ pub fn collect(measured: u64) -> BenchSnapshot {
     let comm = CommModel::constant(Duration::from_millis(2));
     let initial = vec![Time::ZERO; workers];
     let phase_measured = (measured / 40).max(3);
-    let full_point = |name: &str, tasks: &[rt_task::Task], threads: usize| {
+    let full_point = |name: &str,
+                      tasks: &[rt_task::Task],
+                      threads: usize,
+                      comm: &CommModel,
+                      initial: &[Time]| {
         let algorithm = Algorithm::rt_sads();
         let mut scratch = PhaseScratch::new();
         point(
@@ -330,8 +385,8 @@ pub fn collect(measured: u64) -> BenchSnapshot {
                 let mut rng = SimRng::seed_from(SNAPSHOT_SEED);
                 let out = algorithm.schedule_phase(
                     tasks,
-                    &comm,
-                    &initial,
+                    comm,
+                    initial,
                     Time::ZERO,
                     Some(200_000),
                     Pruning::default(),
@@ -342,30 +397,50 @@ pub fn collect(measured: u64) -> BenchSnapshot {
                     &mut rng,
                     &mut scratch,
                 );
-                let stats = (out.stats.vertices_generated as u64, out.stats.undos as u64);
+                let tally = PhaseTally::of(&out.stats);
                 scratch.recycle(out.assignments);
-                stats
+                tally
             },
         )
     };
     let mixed_tasks = synthetic_batch(150, workers);
     let tight_tasks = tight_batch(150, workers);
-    let mixed = full_point("mixed_150x8", &mixed_tasks, 1);
-    let tight = full_point("tight_150x8", &tight_tasks, 1);
-    let mixed_t8 = full_point("mixed_150x8_t8", &mixed_tasks, 8);
-    let tight_t8 = full_point("tight_150x8_t8", &tight_tasks, 8);
+    let mixed = full_point("mixed_150x8", &mixed_tasks, 1, &comm, &initial);
+    let tight = full_point("tight_150x8", &tight_tasks, 1, &comm, &initial);
+    let mixed_t8 = full_point("mixed_150x8_t8", &mixed_tasks, 8, &comm, &initial);
+    let tight_t8 = full_point("tight_150x8_t8", &tight_tasks, 8, &comm, &initial);
+
+    // Point 6: the shard-first candidate loop at P=1024 (16 nodes of 64
+    // processors on 4 racks). The flat loop would probe all 1024 processors
+    // per expansion; the shard screen ranks the 16 node minima and emits
+    // only the best `fanout` nodes' processors, so candidates_per_vertex is
+    // the complexity win this point exists to gate.
+    let sharded = {
+        let sharded_workers = 1_024;
+        let topo = rt_task::TopologySpec::new(1_024, 16, 4, 0, 2_000, 4_000);
+        let sharded_comm = CommModel::hierarchical(topo);
+        let sharded_initial = vec![Time::ZERO; sharded_workers];
+        let sharded_tasks = synthetic_batch(150, sharded_workers);
+        full_point(
+            "sharded_1024x64",
+            &sharded_tasks,
+            1,
+            &sharded_comm,
+            &sharded_initial,
+        )
+    };
 
     let manifest = RunManifest::new("RT-SADS", SNAPSHOT_SEED, workers)
         .calibration(1, Some(2_000))
         .with(
             "points",
-            "deep_dive_64,mixed_150x8,tight_150x8,mixed_150x8_t8,tight_150x8_t8",
+            "deep_dive_64,mixed_150x8,tight_150x8,mixed_150x8_t8,tight_150x8_t8,sharded_1024x64",
         )
         .with("measured_phases", measured.to_string());
 
     BenchSnapshot {
         manifest,
-        points: vec![dive, mixed, tight, mixed_t8, tight_t8],
+        points: vec![dive, mixed, tight, mixed_t8, tight_t8, sharded],
     }
 }
 
@@ -379,7 +454,7 @@ mod tests {
     #[test]
     fn snapshot_round_trips_and_reports_positive_rates() {
         let snap = collect(120);
-        assert_eq!(snap.points.len(), 5);
+        assert_eq!(snap.points.len(), 6);
         assert_eq!(snap.points[0].name, "deep_dive_64");
         for p in &snap.points {
             assert!(p.phases > 0, "{}: no phases", p.name);
@@ -400,8 +475,26 @@ mod tests {
                 "{name} missing from snapshot"
             );
         }
+        // The sharded point's raison d'etre: candidate evaluations per
+        // expansion must sit far below the flat loop's O(P) = 1024 —
+        // bounded by fanout x (P / nodes) = 2 x 64 plus screen slack.
+        let sharded = snap
+            .points
+            .iter()
+            .find(|p| p.name == "sharded_1024x64")
+            .expect("sharded point present");
+        assert!(
+            sharded.candidates_per_vertex > 0.0,
+            "sharded point evaluated no candidates"
+        );
+        assert!(
+            sharded.candidates_per_vertex < 1_024.0,
+            "shard-first loop must probe fewer than P=1024 candidates \
+             per expansion, got {}",
+            sharded.candidates_per_vertex
+        );
         let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
-        assert_eq!(back.points.len(), 5);
+        assert_eq!(back.points.len(), 6);
         assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
     }
 
@@ -413,6 +506,7 @@ mod tests {
             phases_per_sec: rate * scale,
             vertices_per_sec: rate * 50.0 * scale,
             undos_per_sec: rate * 2.0 * scale,
+            candidates_per_vertex: 0.0,
         };
         BenchSnapshot {
             manifest: RunManifest::new("RT-SADS", SNAPSHOT_SEED, 8),
@@ -454,6 +548,7 @@ mod tests {
             phases_per_sec: 300.0,
             vertices_per_sec: 15_000.0,
             undos_per_sec: 600.0,
+            candidates_per_vertex: 0.0,
         });
         let diff = diff_snapshots(&base, &grown, 0.20);
         assert!(
@@ -467,6 +562,36 @@ mod tests {
 
         // Regenerating the baseline (same point set) clears the failure.
         assert!(!diff_snapshots(&grown, &grown, 0.20).has_regression());
+    }
+
+    #[test]
+    fn candidates_per_vertex_gates_growth_not_drop() {
+        let mut base = synthetic_snapshot(1.0);
+        base.points[0].candidates_per_vertex = 100.0;
+        let mut new = synthetic_snapshot(1.0);
+
+        // Either side at 0.0 (a pre-field baseline or snapshot): skipped.
+        let skipped = diff_snapshots(&base, &new, 0.20);
+        assert!(skipped
+            .deltas
+            .iter()
+            .all(|d| d.metric != "candidates_per_vertex"));
+        assert!(!skipped.has_regression());
+
+        // More candidate work per expansion is the regression direction.
+        new.points[0].candidates_per_vertex = 130.0;
+        let grew = diff_snapshots(&base, &new, 0.20);
+        let d = grew
+            .deltas
+            .iter()
+            .find(|d| d.metric == "candidates_per_vertex")
+            .expect("compared");
+        assert!(d.regressed, "+30% candidate work must fail a 20% gate");
+        assert!(grew.has_regression());
+
+        // Doing less work per expansion can never fail.
+        new.points[0].candidates_per_vertex = 10.0;
+        assert!(!diff_snapshots(&base, &new, 0.20).has_regression());
     }
 
     #[test]

@@ -428,3 +428,99 @@ fn parallel_engine_is_width_invariant_and_matches_serial_when_unsliced() {
     assert!(sliced > 0, "no instance was ever budget-sliced");
     assert!(leaf_commits > 0, "no split instance ever committed a leaf");
 }
+
+/// The degenerate-topology contract: a 1-node/1-rack [`TopologySpec`] is the
+/// paper's flat machine, so swapping every instance's flat `CommModel` for
+/// the equivalent one-node hierarchical model must leave the entire
+/// `SearchOutcome` — assignments, termination, viability count, makespan,
+/// every stats counter, provenance and the meter — bit-identical across the
+/// same 500 seeded instances, serially and at parallel widths 1 and 8. The
+/// shard-first candidate screen must never engage (it needs >= 2 nodes), so
+/// its counters stay zero.
+#[test]
+fn one_node_topology_is_bit_identical_to_the_flat_model() {
+    use rt_task::TopologySpec;
+
+    let parent = SimRng::seed_from(0x5AD5_D1FF);
+    let widths = [1usize, 8];
+    let mut flat_scratch = SearchScratch::new();
+    let mut topo_scratch = SearchScratch::new();
+    let mut par_scratches: Vec<(
+        SearchScratch,
+        ParallelScratch,
+        SearchScratch,
+        ParallelScratch,
+    )> = widths
+        .iter()
+        .map(|_| {
+            (
+                SearchScratch::new(),
+                ParallelScratch::new(),
+                SearchScratch::new(),
+                ParallelScratch::new(),
+            )
+        })
+        .collect();
+
+    for i in 0..INSTANCES {
+        let mut rng = parent.child(i);
+        let flat = random_instance(&mut rng);
+        let workers = flat.initial.len();
+        // Every flat sweep instance uses a Constant model (free() is the
+        // zero-cost constant), so the equivalent degenerate topology is one
+        // node, one rack, every class costing the same C.
+        let topo = Instance {
+            comm: CommModel::hierarchical(TopologySpec::flat(
+                workers as u32,
+                flat.comm.constant_cost(),
+            )),
+            tasks: flat.tasks.clone(),
+            initial: flat.initial.clone(),
+            representation: flat.representation.clone(),
+            child_order: flat.child_order,
+            pruning: flat.pruning,
+            vertex_cap: flat.vertex_cap,
+            resources: flat.resources.clone(),
+            provenance: flat.provenance,
+            quantum: flat.quantum,
+        };
+
+        let mut flat_meter = flat.meter();
+        let mut topo_meter = topo.meter();
+        let a = search_schedule_with(&flat.params(), &mut flat_meter, &mut flat_scratch);
+        let b = search_schedule_with(&topo.params(), &mut topo_meter, &mut topo_scratch);
+        let at = format!("instance {i} serial");
+        assert_eq!(a.assignments, b.assignments, "{at}");
+        assert_eq!(a.termination, b.termination, "{at}");
+        assert_eq!(a.n_viable, b.n_viable, "{at}");
+        assert_eq!(a.makespan, b.makespan, "{at}");
+        assert_eq!(a.stats, b.stats, "{at}");
+        assert_eq!(a.provenance, b.provenance, "{at}");
+        assert_eq!(flat_meter.vertices(), topo_meter.vertices(), "{at}");
+        assert_eq!(flat_meter.consumed(), topo_meter.consumed(), "{at}");
+        assert_eq!(b.stats.shard_screens, 0, "{at}: 1 node must not shard");
+        assert_eq!(b.stats.shards_pruned, 0, "{at}: 1 node must not shard");
+
+        for (w, (fs, fp, ts, tp)) in widths.iter().zip(par_scratches.iter_mut()) {
+            let mut fm = flat.meter();
+            let mut tm = topo.meter();
+            let (fo, _) = search_schedule_parallel_with_report(&flat.params(), *w, &mut fm, fs, fp);
+            let (to, _) = search_schedule_parallel_with_report(&topo.params(), *w, &mut tm, ts, tp);
+            let at = format!("instance {i} width {w}");
+            assert_eq!(fo.assignments, to.assignments, "{at}");
+            assert_eq!(fo.termination, to.termination, "{at}");
+            assert_eq!(fo.n_viable, to.n_viable, "{at}");
+            assert_eq!(fo.makespan, to.makespan, "{at}");
+            assert_eq!(fo.stats, to.stats, "{at}");
+            assert_eq!(fo.provenance, to.provenance, "{at}");
+            assert_eq!(fm.vertices(), tm.vertices(), "{at}");
+            assert_eq!(fm.consumed(), tm.consumed(), "{at}");
+            assert_eq!(to.stats.shard_screens, 0, "{at}: 1 node must not shard");
+            fs.recycle(fo.assignments);
+            ts.recycle(to.assignments);
+        }
+
+        flat_scratch.recycle(a.assignments);
+        topo_scratch.recycle(b.assignments);
+    }
+}
