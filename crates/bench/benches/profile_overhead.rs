@@ -1,0 +1,72 @@
+//! Microbenchmark of the stage profiler's disabled path: a full simulation
+//! run through `Driver::run` vs `Driver::run_traced` with `profile(true)`
+//! but a disabled tracer — the configuration every production run without
+//! `--profile` output effectively executes.
+//!
+//! The driver arms the profiler only when a tracer is attached
+//! (`cfg.profile && tracer.enabled()`), and every stage timer in the search
+//! hot path is a single branch on the disabled flag with no clock read and
+//! no allocation. So besides the two Criterion series this target asserts
+//! the profile-configured run is within noise of the plain run (a generous
+//! 1.5x bound, same as `trace_overhead`; the real ratio is ~1.0).
+
+use bench_support::{bench_driver, bench_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use paragon_des::trace::Tracer;
+use rtsads::{Algorithm, Driver};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKERS: usize = 8;
+const SEED: u64 = 42;
+
+fn profile_overhead(c: &mut Criterion) {
+    let built = bench_workload(WORKERS, 0.3, SEED);
+    let plain = Driver::new(bench_driver(WORKERS, Algorithm::rt_sads()).seed(SEED));
+    let profiled = Driver::new(
+        bench_driver(WORKERS, Algorithm::rt_sads())
+            .seed(SEED)
+            .profile(true),
+    );
+
+    let mut group = c.benchmark_group("profile_overhead");
+    group.bench_function("plain_run", |b| {
+        b.iter(|| black_box(plain.run(built.tasks.clone()).hits));
+    });
+    group.bench_function("profile_config_disabled_tracer_run", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::disabled();
+            black_box(profiled.run_traced(built.tasks.clone(), &mut tracer).hits)
+        });
+    });
+    group.finish();
+
+    // Assertion pass: time ROUNDS runs of each flavor back to back and fail
+    // loudly if the dormant profiler costs measurably more than none.
+    const ROUNDS: u32 = 20;
+    let time = |with_profile: bool| {
+        let started = Instant::now();
+        for _ in 0..ROUNDS {
+            let tasks = built.tasks.clone();
+            let hits = if with_profile {
+                profiled.run_traced(tasks, &mut Tracer::disabled()).hits
+            } else {
+                plain.run(tasks).hits
+            };
+            black_box(hits);
+        }
+        started.elapsed().as_secs_f64()
+    };
+    let base = time(false);
+    let dormant = time(true);
+    let ratio = dormant / base;
+    println!("dormant-profiler / plain run time ratio: {ratio:.3}");
+    assert!(
+        ratio < 1.5,
+        "disabled stage profiler must add no measurable per-phase cost \
+         (plain {base:.4}s, dormant {dormant:.4}s, ratio {ratio:.3})"
+    );
+}
+
+criterion_group!(benches, profile_overhead);
+criterion_main!(benches);

@@ -139,4 +139,41 @@ fn steady_state_phases_do_not_allocate() {
         });
         assert_eq!(n, 0, "{name} schedule_phase allocated {n} times");
     }
+
+    // The stage profiler must not break the zero-allocation claim: with
+    // profiling enabled, the serial hot path adds only monotonic clock
+    // reads folded into a fixed-size array (walk records exist solely on
+    // the split path), so a profiled steady-state phase still allocates
+    // nothing.
+    {
+        let tasks = synthetic_batch(150, workers);
+        let algorithm = Algorithm::rt_sads();
+        let mut scratch = PhaseScratch::new();
+        scratch.search.set_profiling(true);
+        let n = count_allocs(WARMUP, MEASURED, || {
+            let mut meter = SchedulingMeter::new(
+                HostParams::new(Duration::from_micros(1)),
+                Duration::from_secs(10),
+            );
+            let mut rng = SimRng::seed_from(7);
+            let out = algorithm.schedule_phase(
+                &tasks,
+                &comm,
+                &initial,
+                Time::ZERO,
+                Some(200_000),
+                Pruning::default(),
+                &ResourceEats::new(),
+                false,
+                1,
+                &mut meter,
+                &mut rng,
+                &mut scratch,
+            );
+            scratch.recycle(out.assignments);
+        });
+        assert_eq!(n, 0, "profiled schedule_phase allocated {n} times");
+        let profile = scratch.search.take_profile();
+        assert!(profile.total_ns() > 0, "profiler attributed no time");
+    }
 }

@@ -38,6 +38,7 @@ pub struct DriverConfig {
     faults: FaultConfig,
     fault_plan: Option<FaultPlan>,
     measure_overhead: bool,
+    profile: bool,
     search_threads: usize,
 }
 
@@ -64,6 +65,7 @@ impl DriverConfig {
             faults: FaultConfig::disabled(),
             fault_plan: None,
             measure_overhead: false,
+            profile: false,
             search_threads: 1,
         }
     }
@@ -140,6 +142,22 @@ impl DriverConfig {
     #[must_use]
     pub fn measure_overhead(mut self, measure: bool) -> Self {
         self.measure_overhead = measure;
+        self
+    }
+
+    /// Enable the search engine's stage-scoped self-profiler and emit one
+    /// [`TraceEvent::PhaseProfiled`] per search phase: wall nanoseconds
+    /// attributed to each pipeline stage (screen, fill, cost, shard,
+    /// apply, undo, merge) plus per-subtree-walk telemetry on split
+    /// parallel phases. Off by default for the same reason as
+    /// [`DriverConfig::measure_overhead`]: wall time is nondeterministic,
+    /// so enabling it makes traces differ between repeat runs. The
+    /// simulation outcome is bit-identical either way (pinned by the
+    /// profiled differential suite), and like tracing itself the disabled
+    /// profiler costs only a predictable branch per stage span.
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -250,6 +268,11 @@ impl Driver {
         // buffer has reached its high-water capacity and scheduling phases
         // stop allocating entirely (see `PhaseScratch`).
         let mut scratch = PhaseScratch::new();
+        // Profiling follows the tracer: without a sink there is nowhere to
+        // put the record, and the search must stay clock-free.
+        scratch
+            .search
+            .set_profiling(cfg.profile && tracer.enabled());
         let mut initial_finish: Vec<Time> = Vec::new();
 
         loop {
@@ -423,8 +446,8 @@ impl Driver {
             initial_finish.clear();
             initial_finish.extend(machine.iter_workers().map(|w| w.available_from(exec_bound)));
 
-            let wall_start =
-                (cfg.measure_overhead && tracer.enabled()).then(std::time::Instant::now);
+            let wall_start = (cfg.measure_overhead && tracer.enabled())
+                .then(rt_telemetry::MonotonicInstant::now);
             let mut outcome = cfg.algorithm.schedule_phase(
                 batch.tasks(),
                 &cfg.comm,
@@ -439,7 +462,7 @@ impl Driver {
                 &mut rng,
                 &mut scratch,
             );
-            let wall_ns = wall_start.map(|t0| t0.elapsed().as_nanos() as u64);
+            let wall_ns = wall_start.map(|t0| t0.elapsed_ns());
 
             let consumed = meter.consumed().max(min_step);
             let ended = started + consumed;
@@ -478,6 +501,14 @@ impl Driver {
                                 processor: d.processor.index(),
                                 completion_us: d.completion.as_micros(),
                                 cost_us: d.cost.as_micros(),
+                                // Chosen shard: only meaningful on genuinely
+                                // sharded platforms (a 1-node topology is
+                                // the flat machine, as for shard_busy).
+                                shard: cfg
+                                    .comm
+                                    .topology()
+                                    .filter(|t| t.nodes() >= 2)
+                                    .map(|t| t.node_of(d.processor)),
                                 rejected: d
                                     .rejected
                                     .iter()
@@ -504,6 +535,21 @@ impl Driver {
                             wall_ns,
                         },
                     );
+                }
+                if cfg.profile {
+                    // Drained every phase so stage times never leak across
+                    // phases; baselines (which never enter the search
+                    // engine) leave an all-zero record that is not emitted.
+                    let profile = scratch.search.take_profile();
+                    if profile.total_ns() > 0 || !profile.walks.is_empty() {
+                        tracer.emit(
+                            ended,
+                            TraceEvent::PhaseProfiled {
+                                phase: phase_no,
+                                profile,
+                            },
+                        );
+                    }
                 }
             }
 

@@ -56,6 +56,94 @@ pub struct PlacementProbe {
     pub shard: usize,
 }
 
+/// One subtree walk of a split (parallel) scheduling phase, as reported by
+/// the search engine's per-walk telemetry: how the walk ended, how much of
+/// the tree it covered, and whether its result was committed under the
+/// deterministic first-leaf rule. The per-walk vertex counts are what the
+/// imbalance diagnostics are computed from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkProfile {
+    /// How the walk terminated: `"leaf"`, `"dead_end"` or `"budget"`.
+    pub termination: String,
+    /// Search vertices the walk generated.
+    pub vertices: u64,
+    /// Depth the walk ended at (assignments on its final path).
+    pub end_depth: usize,
+    /// Candidate-list pops (backtracking steps) the walk performed.
+    pub pops: u64,
+    /// Whether the walk's result was committed into the merged outcome.
+    pub committed: bool,
+}
+
+/// Wall-time attribution of one scheduling phase across the search engine's
+/// pipeline stages, plus per-subtree-walk telemetry on split phases. All
+/// durations are monotonic wall nanoseconds measured by the stage profiler;
+/// like [`TraceEvent::SchedulerOverhead`] this is emitted only on request,
+/// because wall time is nondeterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Phase-level feasibility screen (`screen_batch`).
+    pub screen_ns: u64,
+    /// SoA completion-column fill (`completions_into`).
+    pub fill_ns: u64,
+    /// Cost fold: per-candidate `ce_k` accounting and child ordering.
+    pub cost_ns: u64,
+    /// Shard gate and shard-first candidate ranking (hierarchical runs).
+    pub shard_ns: u64,
+    /// `PathState::apply` chain walks when switching branches.
+    pub apply_ns: u64,
+    /// `PathState::undo` pops when backtracking to a common ancestor.
+    pub undo_ns: u64,
+    /// Parallel reduction: best-vertex merge, counter absorption, delivery.
+    pub merge_ns: u64,
+    /// Per-subtree-walk telemetry; empty when the phase did not split.
+    #[serde(default)]
+    pub walks: Vec<WalkProfile>,
+}
+
+impl PhaseProfile {
+    /// The stage names and their accumulated nanoseconds, in pipeline
+    /// order. Every consumer (collector, Perfetto, the `profile`
+    /// subcommand, the bench snapshot) iterates this one list, so a new
+    /// stage added here is automatically picked up everywhere.
+    #[must_use]
+    pub fn stages(&self) -> [(&'static str, u64); 7] {
+        [
+            ("screen", self.screen_ns),
+            ("fill", self.fill_ns),
+            ("cost", self.cost_ns),
+            ("shard", self.shard_ns),
+            ("apply", self.apply_ns),
+            ("undo", self.undo_ns),
+            ("merge", self.merge_ns),
+        ]
+    }
+
+    /// Total attributed wall nanoseconds across all stages.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.stages().iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Parallel-walk imbalance: max over mean of per-walk vertex counts.
+    /// `1.0` means perfectly balanced subtrees; `1.0` is also returned for
+    /// unsplit phases (no walks) and when every walk generated zero
+    /// vertices, both of which are trivially balanced.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.walks.is_empty() {
+            return 1.0;
+        }
+        let max = self.walks.iter().map(|w| w.vertices).max().unwrap_or(0);
+        let sum: u64 = self.walks.iter().map(|w| w.vertices).sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.walks.len() as f64;
+        max as f64 / mean
+    }
+}
+
 /// One trace record emitted by the simulation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -112,6 +200,12 @@ pub enum TraceEvent {
         /// The chosen placement's cost `ce_k` (resulting makespan), in
         /// microseconds.
         cost_us: u64,
+        /// The node (shard) the chosen processor belongs to — `Some` only
+        /// on hierarchical platforms with two or more nodes, mirroring the
+        /// per-probe [`PlacementProbe::shard`]. `None` on flat runs and in
+        /// pre-topology traces (the field deserializes to `None` when
+        /// absent).
+        shard: Option<usize>,
         /// The alternative placements for this task that the search
         /// evaluated and ranked lower (empty for one-shot choices).
         rejected: Vec<PlacementProbe>,
@@ -128,6 +222,17 @@ pub enum TraceEvent {
         allocated_us: u64,
         /// Wall-clock time `schedule_phase` actually took, in nanoseconds.
         wall_ns: u64,
+    },
+    /// Stage-level wall-time attribution of the phase's scheduling work,
+    /// measured by the search engine's self-profiler. Emitted only when the
+    /// driver is configured to profile (same opt-in rationale as
+    /// [`TraceEvent::SchedulerOverhead`]: wall time is nondeterministic and
+    /// would break trace-level differential tests).
+    PhaseProfiled {
+        /// The phase that was profiled.
+        phase: u64,
+        /// The stage breakdown and per-walk telemetry.
+        profile: PhaseProfile,
     },
     /// A scheduling phase ended.
     PhaseEnded {
@@ -256,6 +361,7 @@ impl TraceEvent {
         "TaskScreened",
         "PlacementDecided",
         "SchedulerOverhead",
+        "PhaseProfiled",
         "PhaseEnded",
         "TaskDispatched",
         "CommDelay",
@@ -279,6 +385,7 @@ impl TraceEvent {
             TraceEvent::TaskScreened { .. } => "TaskScreened",
             TraceEvent::PlacementDecided { .. } => "PlacementDecided",
             TraceEvent::SchedulerOverhead { .. } => "SchedulerOverhead",
+            TraceEvent::PhaseProfiled { .. } => "PhaseProfiled",
             TraceEvent::PhaseEnded { .. } => "PhaseEnded",
             TraceEvent::TaskDispatched { .. } => "TaskDispatched",
             TraceEvent::CommDelay { .. } => "CommDelay",
@@ -313,6 +420,7 @@ impl TraceEvent {
             | TraceEvent::TaskLost { task, .. } => Some(*task),
             TraceEvent::PhaseStarted { .. }
             | TraceEvent::SchedulerOverhead { .. }
+            | TraceEvent::PhaseProfiled { .. }
             | TraceEvent::PhaseEnded { .. }
             | TraceEvent::ProcessorFailed { .. }
             | TraceEvent::ProcessorRecovered { .. }
@@ -351,13 +459,20 @@ impl fmt::Display for TraceEvent {
                 processor,
                 completion_us,
                 cost_us,
+                shard,
                 rejected,
-            } => write!(
-                f,
-                "task {task} placed on P{processor} in phase {phase} \
-                 (completion={completion_us}us cost={cost_us}us, {} rejected)",
-                rejected.len()
-            ),
+            } => {
+                write!(f, "task {task} placed on P{processor}")?;
+                if let Some(s) = shard {
+                    write!(f, " (node {s})")?;
+                }
+                write!(
+                    f,
+                    " in phase {phase} (completion={completion_us}us \
+                     cost={cost_us}us, {} rejected)",
+                    rejected.len()
+                )
+            }
             TraceEvent::SchedulerOverhead {
                 phase,
                 allocated_us,
@@ -365,6 +480,13 @@ impl fmt::Display for TraceEvent {
             } => write!(
                 f,
                 "phase {phase} scheduling wall time {wall_ns}ns vs allocated Q_s={allocated_us}us"
+            ),
+            TraceEvent::PhaseProfiled { phase, profile } => write!(
+                f,
+                "phase {phase} profile: total={}ns walks={} imbalance={:.2}",
+                profile.total_ns(),
+                profile.walks.len(),
+                profile.imbalance()
             ),
             TraceEvent::PhaseStarted {
                 phase,
@@ -574,6 +696,7 @@ mod tests {
                 processor: 2,
                 completion_us: 700,
                 cost_us: 900,
+                shard: Some(1),
                 rejected: vec![PlacementProbe {
                     processor: 0,
                     completion_us: 950,
@@ -585,6 +708,34 @@ mod tests {
                 phase: 1,
                 allocated_us: 100,
                 wall_ns: 48_213,
+            },
+            TraceEvent::PhaseProfiled {
+                phase: 1,
+                profile: PhaseProfile {
+                    screen_ns: 1_000,
+                    fill_ns: 12_000,
+                    cost_ns: 30_000,
+                    shard_ns: 0,
+                    apply_ns: 4_000,
+                    undo_ns: 2_500,
+                    merge_ns: 800,
+                    walks: vec![
+                        WalkProfile {
+                            termination: "dead_end".into(),
+                            vertices: 40,
+                            end_depth: 5,
+                            pops: 3,
+                            committed: true,
+                        },
+                        WalkProfile {
+                            termination: "leaf".into(),
+                            vertices: 10,
+                            end_depth: 8,
+                            pops: 0,
+                            committed: true,
+                        },
+                    ],
+                },
             },
             TraceEvent::PhaseStarted {
                 phase: 1,
@@ -736,6 +887,41 @@ mod tests {
             let back = TraceEvent::from_value(&value).expect("deserializes");
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn phase_profile_totals_and_imbalance() {
+        let mut p = PhaseProfile {
+            screen_ns: 1,
+            fill_ns: 2,
+            cost_ns: 3,
+            shard_ns: 4,
+            apply_ns: 5,
+            undo_ns: 6,
+            merge_ns: 7,
+            walks: Vec::new(),
+        };
+        assert_eq!(p.total_ns(), 28);
+        assert_eq!(p.stages().iter().map(|(_, ns)| ns).sum::<u64>(), 28);
+        // No walks: trivially balanced.
+        assert_eq!(p.imbalance(), 1.0);
+        // Walks of 30 and 10 vertices: max 30, mean 20 → 1.5.
+        for v in [30u64, 10] {
+            p.walks.push(WalkProfile {
+                termination: "dead_end".into(),
+                vertices: v,
+                end_depth: 0,
+                pops: 0,
+                committed: true,
+            });
+        }
+        assert!((p.imbalance() - 1.5).abs() < 1e-12);
+        // All-zero walks are also trivially balanced, not a division by 0.
+        for w in &mut p.walks {
+            w.vertices = 0;
+        }
+        assert_eq!(p.imbalance(), 1.0);
+        assert_eq!(PhaseProfile::default().total_ns(), 0);
     }
 
     #[test]

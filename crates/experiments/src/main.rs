@@ -251,7 +251,7 @@ fn main() -> ExitCode {
     }
 
     for name in &cli.which {
-        let started = std::time::Instant::now();
+        let started = rt_telemetry::MonotonicInstant::now();
         experiments::progress::set_label(name);
         let ticker = experiments::progress::ProgressTicker::start();
         let fig = run_one(name, &cli.config);

@@ -12,7 +12,9 @@ use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use rt_telemetry::MonotonicInstant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RUNS_DONE: AtomicU64 = AtomicU64::new(0);
@@ -115,7 +117,9 @@ impl ProgressTicker {
         }
         let (tx, rx) = mpsc::channel::<()>();
         let handle = std::thread::spawn(move || {
-            let started = Instant::now();
+            // The workspace's shared monotonic clock: same anchor type the
+            // stage profiler uses, compile-time separated from virtual time.
+            let started = MonotonicInstant::now();
             let mut painted = 0usize;
             loop {
                 let stopped = match rx.recv_timeout(Duration::from_millis(500)) {

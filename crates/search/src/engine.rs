@@ -10,10 +10,12 @@
 //! quantum is exhausted — in the latter two cases the best (deepest, then
 //! lowest-makespan) feasible partial schedule found so far is returned.
 
+use paragon_des::trace::{PhaseProfile, WalkProfile};
 use paragon_des::{Duration, Time};
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 
 use paragon_platform::{HostParams, SchedulingMeter};
+use rt_telemetry::{Stage, StageProfiler};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::{Candidate, ChildOrder};
@@ -307,6 +309,9 @@ pub struct SearchScratch {
     /// Backing storage handed out as [`SearchOutcome::assignments`]; refill
     /// it via [`SearchScratch::recycle`] to keep the hot path allocation-free.
     out: Vec<Assignment>,
+    /// Stage-scoped self-profiler (disabled by default — two branches per
+    /// span, no clock reads, no allocations; see `rt_telemetry::profile`).
+    prof: StageProfiler,
 }
 
 impl SearchScratch {
@@ -334,6 +339,27 @@ impl SearchScratch {
         let mut out = std::mem::take(&mut self.out);
         out.clear();
         out
+    }
+
+    /// Turns stage-level self-profiling on or off for phases run on this
+    /// scratch. Off (the default) the instrumentation is two predictable
+    /// branches per span — no clock reads, no allocations, and bit-identical
+    /// outcomes (pinned by the profiled differential suite).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.prof.set_enabled(on);
+    }
+
+    /// Whether stage-level self-profiling is currently enabled.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.prof.enabled()
+    }
+
+    /// Drains the stage times and subtree-walk telemetry accumulated by the
+    /// last phase into a wire-format [`PhaseProfile`], resetting the
+    /// accumulators. Returns an all-zero record when profiling is off.
+    pub fn take_profile(&mut self) -> PhaseProfile {
+        self.prof.take()
     }
 }
 
@@ -407,6 +433,7 @@ fn search_core(
         shard_rank,
         state: state_slot,
         out,
+        prof,
     } = scratch;
     arena.clear();
     node_costs.clear();
@@ -421,6 +448,7 @@ fn search_core(
     shard_ends.clear();
     shard_rank.clear();
     out.clear();
+    prof.reset();
 
     let n = params.tasks.len();
     let mut stats = SearchStats::default();
@@ -451,7 +479,9 @@ fn search_core(
     // not charged against the quantum; screened tasks stay in the batch.)
     // Under provenance every probe is materialized so a screen rejection
     // carries the actual test operands; the verdicts are identical.
+    let t_screen = prof.start();
     let screened_evidence = screen_batch(params, viable);
+    prof.stop(Stage::Screen, t_screen);
     let viable: &[bool] = viable;
     let n_viable = viable.iter().filter(|&&v| v).count();
     stats.screened_tasks = (n - n_viable) as u64;
@@ -523,6 +553,7 @@ fn search_core(
         comp,
         shard_rank,
         state,
+        prof,
     };
     let termination;
 
@@ -606,6 +637,7 @@ struct Work<'s> {
     comp: &'s mut Vec<Time>,
     shard_rank: &'s mut Vec<(Time, usize)>,
     state: &'s mut PathState,
+    prof: &'s mut StageProfiler,
 }
 
 impl<'s> Work<'s> {
@@ -627,6 +659,7 @@ impl<'s> Work<'s> {
             shard_rank,
             state,
             out: _,
+            prof,
         } = scratch;
         Work {
             arena,
@@ -639,6 +672,7 @@ impl<'s> Work<'s> {
             comp,
             shard_rank,
             state: state.as_mut().expect("scratch state initialized"),
+            prof,
         }
     }
 }
@@ -708,6 +742,11 @@ impl Ctx<'_, '_> {
     /// collected chain. Both engines run the same bookkeeping (so stats are
     /// bit-identical); only the state materialization differs.
     fn switch_to(&self, work: &mut Work<'_>, stats: &mut SearchStats, cv: usize, track: bool) {
+        // Profiling: the ancestor walk and the undo pops share one Undo
+        // span; the apply chain gets its own. Spans bracket whole loops —
+        // never individual apply/undo calls — per the stage-granularity
+        // rule (DESIGN.md §8).
+        let t_undo = work.prof.start();
         work.chain.clear();
         let mut cursor = Some(cv);
         let common_depth = loop {
@@ -724,14 +763,19 @@ impl Ctx<'_, '_> {
             stats.replay_avoided += common_depth as u64;
         }
         if self.use_replay {
+            work.prof.stop(Stage::Undo, t_undo);
+            let t_apply = work.prof.start();
             work.path.truncate(common_depth);
             work.path.extend(work.chain.iter().rev());
             *work.state = self.replay(work.arena, Some(cv));
+            work.prof.stop(Stage::Apply, t_apply);
         } else {
             while work.path.len() > common_depth {
                 work.state.undo();
                 work.path.pop();
             }
+            work.prof.stop(Stage::Undo, t_undo);
+            let t_apply = work.prof.start();
             for &i in work.chain.iter().rev() {
                 let node = work.arena[i];
                 work.state.apply(
@@ -742,6 +786,7 @@ impl Ctx<'_, '_> {
                 );
                 work.path.push(i);
             }
+            work.prof.stop(Stage::Apply, t_apply);
         }
     }
 
@@ -774,13 +819,21 @@ impl Ctx<'_, '_> {
         // candidate loop.
         let base_makespan = work.state.makespan();
         work.children.clear();
+        // Profiling: the cost span may be cut short by a `break
+        // 'skip_rounds` inside the accounting loop; the pending slot carries
+        // the open span across the jump so the stop after the loop closes
+        // it (stop with `None` is a no-op).
+        let mut t_cost = None;
         'skip_rounds: for skip in 0..=max_skips {
             if let Some(topo) = self.shards {
                 // Shard-first: screen the nodes against the level's task and
                 // enumerate processors only inside the winning shards. Like
                 // the batch screen, the per-shard bounds cost no quantum —
                 // the saving the sharded bench point measures.
-                if !self.sharded_raw_into(topo, work, skip, stats) {
+                let t_shard = work.prof.start();
+                let any_left = self.sharded_raw_into(topo, work, skip, stats);
+                work.prof.stop(Stage::Shard, t_shard);
+                if !any_left {
                     break; // no unassigned task remains at all
                 }
                 if work.raw.is_empty() {
@@ -810,8 +863,10 @@ impl Ctx<'_, '_> {
             // are computed in one batched pass over the candidate column
             // (contiguous finish-time loads, one resource lookup per task
             // run) before the accounting loop below consumes them.
+            let t_fill = work.prof.start();
             work.state
                 .completions_into(params.tasks, params.comm, work.raw, work.comp);
+            work.prof.stop(Stage::Fill, t_fill);
             // Per-candidate accounting order (pinned by the
             // `vertex_cap_break_classifies_every_counted_vertex` and
             // `quantum_break_counts_the_uncharged_vertex` tests):
@@ -823,6 +878,7 @@ impl Ctx<'_, '_> {
             //      mid-round quantum break leaves exactly one counted,
             //      unclassified vertex.
             //   3. feasibility classification — only for charged vertices.
+            t_cost = work.prof.start();
             for (i, &(task, p)) in work.raw.iter().enumerate() {
                 if self
                     .vertex_cap
@@ -849,12 +905,18 @@ impl Ctx<'_, '_> {
                     stats.infeasible_children += 1;
                 }
             }
+            work.prof.stop(Stage::Cost, t_cost.take());
             if !work.children.is_empty() {
                 break;
             }
             stats.level_skips += 1;
         }
+        // Closes the span a mid-loop budget break left open, then folds the
+        // child ordering into the same cost stage.
+        work.prof.stop(Stage::Cost, t_cost);
+        let t_sort = work.prof.start();
         params.child_order.sort(work.children);
+        work.prof.stop(Stage::Cost, t_sort);
         let depth = work.state.depth() + 1;
         let mut leaf = None;
         // Push lowest-priority first so the highest-priority child is popped
@@ -1086,6 +1148,17 @@ fn phase_provenance(
     }
 }
 
+/// Wire label of a walk termination for [`WalkProfile::termination`] (the
+/// strings the Perfetto exporter and `rtsads_sim profile` group by).
+fn termination_label(t: Termination) -> &'static str {
+    match t {
+        Termination::Leaf => "leaf",
+        Termination::DeadEnd => "dead_end",
+        Termination::QuantumExhausted => "budget",
+        Termination::Pruned => "pruned",
+    }
+}
+
 /// Adds one subtree walk's counters into the merged phase counters.
 /// Everything is additive except `deepest` (a max) — `screened_tasks` is
 /// additive too, but subtree walks never screen, so only the shared
@@ -1221,6 +1294,7 @@ fn run_sub(
         shard_rank,
         state: state_slot,
         out: _,
+        prof,
     } = scratch;
     arena.clear();
     node_costs.clear();
@@ -1232,6 +1306,7 @@ fn run_sub(
     comp.clear();
     shard_ends.clear();
     shard_rank.clear();
+    prof.reset();
     match state_slot.as_mut() {
         Some(s) => s.reset(params.initial_finish, params.tasks.len(), &params.resources),
         None => {
@@ -1281,6 +1356,7 @@ fn run_sub(
         comp,
         shard_rank,
         state,
+        prof,
     };
     let walk = sub_ctx.dfs_loop(&mut work, &mut meter, &mut stats, &mut best, None);
     SubRun {
@@ -1361,6 +1437,7 @@ fn search_parallel_core(
         shard_rank,
         state: state_slot,
         out,
+        prof,
     } = scratch;
     arena.clear();
     node_costs.clear();
@@ -1375,6 +1452,7 @@ fn search_parallel_core(
     shard_ends.clear();
     shard_rank.clear();
     out.clear();
+    prof.reset();
 
     let n = params.tasks.len();
     let mut stats = SearchStats::default();
@@ -1400,7 +1478,9 @@ fn search_parallel_core(
         );
     }
 
+    let t_screen = prof.start();
     let screened_evidence = screen_batch(params, viable);
+    prof.stop(Stage::Screen, t_screen);
     let viable: &[bool] = viable;
     let n_viable = viable.iter().filter(|&&v| v).count();
     stats.screened_tasks = (n - n_viable) as u64;
@@ -1467,6 +1547,7 @@ fn search_parallel_core(
         comp,
         shard_rank,
         state,
+        prof,
     };
 
     // Stage: the shared root expansion, charged against the caller's meter
@@ -1556,6 +1637,13 @@ fn search_parallel_core(
     if par.subs.len() < k {
         par.subs.resize_with(k, SearchScratch::default);
     }
+    // Each subtree walk profiles into its own scratch's profiler; the flag
+    // mirrors the phase profiler's so a disabled phase stays clock-free on
+    // every worker thread.
+    let prof_on = work.prof.enabled();
+    for sub in par.subs[..k].iter_mut() {
+        sub.prof.set_enabled(prof_on);
+    }
     let host = meter.host_params();
     let width = threads.max(1).min(k);
     let mut runs: Vec<Option<SubRun>> = Vec::with_capacity(k);
@@ -1598,6 +1686,7 @@ fn search_parallel_core(
     // Commit rule: the serial engine stops at the first leaf, so only the
     // subtrees up to and including the lowest-index Leaf are "real" — later
     // subtrees would never have run serially and are discarded wholesale.
+    let t_merge = work.prof.start();
     let leaf_sub = runs.iter().position(|r| r.termination == Termination::Leaf);
     let committed = leaf_sub.map_or(k, |l| l + 1);
     report.committed = committed;
@@ -1656,6 +1745,7 @@ fn search_parallel_core(
             Termination::DeadEnd
         }
     };
+    work.prof.stop(Stage::Merge, t_merge);
 
     // Deliver the best vertex's schedule from whichever arena owns it.
     let assignments = match owner {
@@ -1723,6 +1813,23 @@ fn search_parallel_core(
             }
         }
     });
+
+    // Fold every walk's stage times into the phase profiler (all k walks
+    // ran and burned wall time, committed or not) and record one walk entry
+    // each for the imbalance diagnostics. Both are no-ops when profiling is
+    // off; the enabled guard keeps the label allocation off the hot path.
+    if work.prof.enabled() {
+        for (i, run) in runs.iter().enumerate() {
+            work.prof.absorb(&par.subs[i].prof);
+            work.prof.record_walk(WalkProfile {
+                termination: termination_label(run.termination).to_string(),
+                vertices: run.vertices,
+                end_depth: run.end_depth,
+                pops: run.pops,
+                committed: i < committed,
+            });
+        }
+    }
 
     report.subs = runs
         .iter()

@@ -1,0 +1,85 @@
+//! The one monotonic wall clock in the workspace.
+//!
+//! The simulator runs on virtual time ([`paragon_des::Time`]); the only
+//! code allowed to look at the host's clock is instrumentation that
+//! measures *itself* — the scheduler-overhead meter, the search
+//! stage-profiler ([`crate::profile`]) and the experiments progress
+//! ticker. All of them read it through [`MonotonicInstant`] so the two
+//! time domains cannot be mixed by accident: the type wraps
+//! [`std::time::Instant`], exposes only elapsed durations, and offers no
+//! conversion to or from virtual [`Time`](paragon_des::Time) — adding one
+//! would be a compile error waiting to be written, which is the point.
+
+/// An opaque monotonic wall-clock anchor.
+///
+/// Construct with [`MonotonicInstant::now`], read with
+/// [`elapsed_ns`](MonotonicInstant::elapsed_ns) (or
+/// [`elapsed`](MonotonicInstant::elapsed) for a [`std::time::Duration`]).
+/// There is deliberately no arithmetic against virtual time and no
+/// constructor from a raw number: wall time enters the system only as a
+/// measured span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonotonicInstant(std::time::Instant);
+
+impl MonotonicInstant {
+    /// Reads the host's monotonic clock.
+    #[must_use]
+    #[inline]
+    pub fn now() -> Self {
+        MonotonicInstant(std::time::Instant::now())
+    }
+
+    /// Wall time elapsed since this anchor.
+    #[must_use]
+    #[inline]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
+    }
+
+    /// Wall nanoseconds elapsed since this anchor, saturating at
+    /// `u64::MAX` (≈ 584 years — unreachable in practice, but the cast
+    /// from `u128` must go somewhere).
+    #[must_use]
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let anchor = MonotonicInstant::now();
+        let a = anchor.elapsed_ns();
+        // Burn a little real work so the second reading can only grow.
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(x);
+        let b = anchor.elapsed_ns();
+        assert!(b >= a, "monotonic clock ran backwards: {a} then {b}");
+    }
+
+    #[test]
+    fn elapsed_ns_matches_elapsed_duration() {
+        let anchor = MonotonicInstant::now();
+        let ns = anchor.elapsed_ns();
+        let dur = anchor.elapsed();
+        // The second read happens after the first, so the duration form
+        // can only be at least as large.
+        assert!(u128::from(ns) <= dur.as_nanos() + 1_000_000);
+    }
+
+    #[test]
+    fn instants_are_copy_and_comparable() {
+        let a = MonotonicInstant::now();
+        let b = a; // Copy — both remain usable.
+        assert_eq!(a, b);
+        let _ = a.elapsed_ns();
+        let _ = b.elapsed_ns();
+    }
+}

@@ -16,6 +16,8 @@
 //! | `phase.replay_avoided` | histogram | replay applies avoided per phase |
 //! | `phase.scheduled` | histogram | tasks dispatched per phase |
 //! | `phase.sched_wall_ns` | histogram | measured scheduler wall time per phase |
+//! | `profile.<stage>_ns` | histogram | per-phase wall time of one search stage (`screen`, `fill`, `cost`, `shard`, `apply`, `undo`, `merge`), from `PhaseProfiled` |
+//! | `profile.imbalance_x100` | histogram | parallel-walk imbalance (max/mean walk vertices × 100) on split phases |
 //! | `task.admitted` | counter | tasks admitted into a batch |
 //! | `task.screened` | counter | viability-screen rejections recorded |
 //! | `task.placements` | counter | placement decisions recorded |
@@ -101,6 +103,17 @@ impl TraceSink for MetricsCollector {
             }
             TraceEvent::SchedulerOverhead { wall_ns, .. } => {
                 r.record("phase.sched_wall_ns", as_sample(wall_ns));
+            }
+            TraceEvent::PhaseProfiled { profile, .. } => {
+                for (stage, ns) in profile.stages() {
+                    r.record(&format!("profile.{stage}_ns"), as_sample(ns));
+                }
+                if !profile.walks.is_empty() {
+                    r.record(
+                        "profile.imbalance_x100",
+                        as_sample((profile.imbalance() * 100.0).round() as u64),
+                    );
+                }
             }
             TraceEvent::PhaseStarted {
                 batch_len, quantum, ..
@@ -230,6 +243,7 @@ mod tests {
                 processor: 0,
                 completion_us: 150,
                 cost_us: 150,
+                shard: None,
                 rejected: Vec::new(),
             },
         );
@@ -239,6 +253,37 @@ mod tests {
                 phase: 0,
                 allocated_us: 100,
                 wall_ns: 42_000,
+            },
+        );
+        c.emit(
+            Time::from_micros(100),
+            TraceEvent::PhaseProfiled {
+                phase: 0,
+                profile: paragon_des::trace::PhaseProfile {
+                    screen_ns: 100,
+                    fill_ns: 2_000,
+                    cost_ns: 5_000,
+                    shard_ns: 0,
+                    apply_ns: 300,
+                    undo_ns: 200,
+                    merge_ns: 50,
+                    walks: vec![
+                        paragon_des::trace::WalkProfile {
+                            termination: "dead_end".into(),
+                            vertices: 30,
+                            end_depth: 4,
+                            pops: 2,
+                            committed: true,
+                        },
+                        paragon_des::trace::WalkProfile {
+                            termination: "leaf".into(),
+                            vertices: 10,
+                            end_depth: 7,
+                            pops: 0,
+                            committed: true,
+                        },
+                    ],
+                },
             },
         );
         c.emit(
@@ -343,6 +388,13 @@ mod tests {
             Some(40)
         );
         assert_eq!(r.histogram("task.lateness_us").unwrap().p50(), Some(-10));
+        assert_eq!(r.histogram("profile.cost_ns").unwrap().p50(), Some(5_000));
+        assert_eq!(r.histogram("profile.shard_ns").unwrap().count(), 1);
+        // max 30 / mean 20 = 1.5 → 150 after the ×100 fixed-point scaling.
+        assert_eq!(
+            r.histogram("profile.imbalance_x100").unwrap().p50(),
+            Some(150)
+        );
         assert_eq!(r.histogram("comm.delay_us").unwrap().count(), 1);
         let snap = c.into_registry().snapshot();
         assert!(snap.histograms.contains_key("phase.consumed_us"));

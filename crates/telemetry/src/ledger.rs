@@ -55,6 +55,9 @@ pub struct PlacementRecord {
     pub completion_us: u64,
     /// The chosen placement's cost `ce_k`, in microseconds.
     pub cost_us: u64,
+    /// The node (shard) of the chosen processor on a hierarchical
+    /// platform; `None` on flat runs and in pre-topology traces.
+    pub shard: Option<usize>,
     /// Alternatives the search evaluated and ranked lower.
     pub rejected: Vec<PlacementProbe>,
 }
@@ -204,17 +207,32 @@ impl TaskDossier {
             lines.push(line);
         }
         for pl in &self.placements {
-            let mut line = format!(
-                "phase {} placed it on P{} at t={}us: completion={}us cost={}us",
-                pl.phase, pl.processor, pl.t_us, pl.completion_us, pl.cost_us
-            );
+            // Shards only render on hierarchical runs (the chosen shard is
+            // recorded); flat traces keep the pre-topology line verbatim.
+            let mut line = match pl.shard {
+                Some(s) => format!(
+                    "phase {} placed it on P{} (node {}) at t={}us: completion={}us cost={}us",
+                    pl.phase, pl.processor, s, pl.t_us, pl.completion_us, pl.cost_us
+                ),
+                None => format!(
+                    "phase {} placed it on P{} at t={}us: completion={}us cost={}us",
+                    pl.phase, pl.processor, pl.t_us, pl.completion_us, pl.cost_us
+                ),
+            };
             if !pl.rejected.is_empty() {
                 line.push_str("; rejected");
                 for r in &pl.rejected {
-                    line.push_str(&format!(
-                        " P{} (completion={}us cost={}us)",
-                        r.processor, r.completion_us, r.cost_us
-                    ));
+                    if pl.shard.is_some() {
+                        line.push_str(&format!(
+                            " P{} (node {}, completion={}us cost={}us)",
+                            r.processor, r.shard, r.completion_us, r.cost_us
+                        ));
+                    } else {
+                        line.push_str(&format!(
+                            " P{} (completion={}us cost={}us)",
+                            r.processor, r.completion_us, r.cost_us
+                        ));
+                    }
                 }
             }
             lines.push(line);
@@ -429,6 +447,7 @@ impl TraceSink for DecisionLedger {
                 processor,
                 completion_us,
                 cost_us,
+                shard,
                 rejected,
             } => {
                 self.entry(task).placements.push(PlacementRecord {
@@ -437,6 +456,7 @@ impl TraceSink for DecisionLedger {
                     processor,
                     completion_us,
                     cost_us,
+                    shard,
                     rejected,
                 });
             }
@@ -506,6 +526,7 @@ impl TraceSink for DecisionLedger {
             TraceEvent::PhaseStarted { .. }
             | TraceEvent::PhaseEnded { .. }
             | TraceEvent::SchedulerOverhead { .. }
+            | TraceEvent::PhaseProfiled { .. }
             | TraceEvent::ProcessorFailed { .. }
             | TraceEvent::ProcessorRecovered { .. }
             | TraceEvent::Note(_) => {}
@@ -553,6 +574,7 @@ mod tests {
                 processor: 2,
                 completion_us: 120,
                 cost_us: 120,
+                shard: None,
                 rejected: vec![PlacementProbe {
                     processor: 0,
                     completion_us: 140,

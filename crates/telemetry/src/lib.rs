@@ -16,6 +16,9 @@
 //! * [`ledger`] — a [`DecisionLedger`] folding the stream into per-task
 //!   dossiers with a final miss [`Attribution`], so every hit and miss has
 //!   a causal chain on record.
+//! * [`profile`] — a [`StageProfiler`] the search engine embeds in its
+//!   scratch: zero-cost-when-disabled stage timers on the shared monotonic
+//!   clock ([`clock`]), drained per phase into `PhaseProfiled` events.
 //! * [`timeseries`] — a [`TimeSeriesRecorder`] folding the stream into
 //!   fixed virtual-time windows (rates, per-processor utilization and queue
 //!   depth, lateness/slack sketches, scheduler overhead), exportable as
@@ -25,22 +28,26 @@
 //! [`MultiSink`] fans one stream out to several sinks, so a run can produce
 //! a JSONL trace, a Perfetto timeline and a metrics summary in one pass.
 
+pub mod clock;
 pub mod collector;
 pub mod jsonl;
 pub mod ledger;
 pub mod manifest;
 pub mod metrics;
 pub mod perfetto;
+pub mod profile;
 pub mod session;
 pub mod sink;
 pub mod timeseries;
 
+pub use clock::MonotonicInstant;
 pub use collector::MetricsCollector;
 pub use jsonl::{JsonlTracer, TraceHeader, TraceLine, SCHEMA_VERSION};
 pub use ledger::{Attribution, AttributionCounts, DecisionLedger, TaskDossier};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::PerfettoTracer;
+pub use profile::{Stage, StageProfiler};
 pub use session::TelemetrySession;
 pub use sink::MultiSink;
 pub use timeseries::{TimeSeries, TimeSeriesRecorder, WindowStats, DEFAULT_WINDOW_US};

@@ -1,0 +1,263 @@
+//! Sampling-free, stage-scoped micro-profiler for the search hot path.
+//!
+//! The search engine owns one [`StageProfiler`] per scratch and brackets
+//! each pipeline stage — feasibility screen, SoA completion fill, cost
+//! fold, shard ranking, apply/undo branch walks, parallel merge — with a
+//! [`StageProfiler::start`]/[`StageProfiler::stop`] pair. Disabled (the
+//! default) the pair costs two predictable branches and touches no clock,
+//! so the instrumented engine stays bit-identical and allocation-free;
+//! enabled, each span reads the shared monotonic clock
+//! ([`crate::clock::MonotonicInstant`]) and accumulates nanoseconds into a
+//! fixed per-stage array. Timers sit at stage granularity — around a whole
+//! `completions_into` call or a whole cost fold — never inside the
+//! per-candidate inner loops, so the enabled profiler perturbs the thing
+//! it measures as little as possible.
+//!
+//! One phase's accumulation drains into a
+//! [`PhaseProfile`](paragon_des::trace::PhaseProfile) via
+//! [`StageProfiler::take`], which the driver emits as
+//! [`TraceEvent::PhaseProfiled`](paragon_des::trace::TraceEvent) for the
+//! collector, the Perfetto exporter and the `rtsads_sim profile`
+//! subcommand to consume. On split phases each subtree walk profiles into
+//! its own scratch's profiler; the engine folds those into the main one
+//! with [`StageProfiler::absorb`] and records one
+//! [`WalkProfile`](paragon_des::trace::WalkProfile) per walk for the
+//! imbalance diagnostics.
+
+use paragon_des::trace::{PhaseProfile, WalkProfile};
+
+use crate::clock::MonotonicInstant;
+
+/// The search pipeline stages the profiler attributes time to. The
+/// discriminants index [`StageProfiler`]'s fixed accumulator array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Phase-level feasibility screen over the batch.
+    Screen = 0,
+    /// SoA completion-column fill across all candidate processors.
+    Fill = 1,
+    /// Per-candidate `ce_k` cost fold and child ordering.
+    Cost = 2,
+    /// Shard gate and shard-first ranking (hierarchical topologies).
+    Shard = 3,
+    /// `PathState::apply` chain walks when switching branches.
+    Apply = 4,
+    /// `PathState::undo` pops when backtracking.
+    Undo = 5,
+    /// Parallel reduction: best-vertex merge and counter absorption.
+    Merge = 6,
+}
+
+/// Number of stages — the length of the accumulator array.
+pub const STAGE_COUNT: usize = 7;
+
+/// A per-scratch stage-time accumulator. See the module docs for the
+/// enable/measure/drain lifecycle.
+#[derive(Debug, Default, Clone)]
+pub struct StageProfiler {
+    enabled: bool,
+    stage_ns: [u64; STAGE_COUNT],
+    walks: Vec<WalkProfile>,
+}
+
+impl StageProfiler {
+    /// A disabled profiler with empty accumulators.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns measurement on or off. Disabling does not clear accumulated
+    /// time; [`take`](StageProfiler::take) or
+    /// [`reset`](StageProfiler::reset) do.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether spans currently read the clock.
+    #[must_use]
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span: reads the monotonic clock when enabled, otherwise
+    /// returns `None` for the matching [`stop`](StageProfiler::stop) to
+    /// ignore. The `Option` is the whole off-switch — no clock read, no
+    /// arithmetic, one branch on each side.
+    #[must_use]
+    #[inline]
+    pub fn start(&self) -> Option<MonotonicInstant> {
+        self.enabled.then(MonotonicInstant::now)
+    }
+
+    /// Closes a span opened by [`start`](StageProfiler::start), crediting
+    /// the elapsed wall nanoseconds to `stage`.
+    #[inline]
+    pub fn stop(&mut self, stage: Stage, started: Option<MonotonicInstant>) {
+        if let Some(t) = started {
+            self.stage_ns[stage as usize] += t.elapsed_ns();
+        }
+    }
+
+    /// Credits raw nanoseconds to a stage — used when a span's clock reads
+    /// happened elsewhere (folding a subtree walk's profiler, or timing a
+    /// region whose start predates the profiler borrow).
+    #[inline]
+    pub fn add_ns(&mut self, stage: Stage, ns: u64) {
+        if self.enabled {
+            self.stage_ns[stage as usize] += ns;
+        }
+    }
+
+    /// Folds another profiler's accumulated stage times into this one
+    /// (no-op when disabled). Walk telemetry is deliberately not folded —
+    /// walks are recorded once, by the merge site, via
+    /// [`record_walk`](StageProfiler::record_walk).
+    pub fn absorb(&mut self, other: &StageProfiler) {
+        if self.enabled {
+            for (mine, theirs) in self.stage_ns.iter_mut().zip(other.stage_ns.iter()) {
+                *mine += theirs;
+            }
+        }
+    }
+
+    /// Records one subtree walk's telemetry (no-op when disabled).
+    pub fn record_walk(&mut self, walk: WalkProfile) {
+        if self.enabled {
+            self.walks.push(walk);
+        }
+    }
+
+    /// Nanoseconds accumulated so far for one stage.
+    #[must_use]
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Total accumulated nanoseconds across all stages.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Drains the accumulation into a wire-format [`PhaseProfile`] and
+    /// resets the accumulators for the next phase. The walk vector is
+    /// moved out, not cloned, so a phase with no walks allocates nothing.
+    pub fn take(&mut self) -> PhaseProfile {
+        let [screen_ns, fill_ns, cost_ns, shard_ns, apply_ns, undo_ns, merge_ns] = self.stage_ns;
+        self.stage_ns = [0; STAGE_COUNT];
+        PhaseProfile {
+            screen_ns,
+            fill_ns,
+            cost_ns,
+            shard_ns,
+            apply_ns,
+            undo_ns,
+            merge_ns,
+            walks: std::mem::take(&mut self.walks),
+        }
+    }
+
+    /// Clears the accumulators without building a record. Keeps the walk
+    /// vector's capacity.
+    pub fn reset(&mut self) {
+        self.stage_ns = [0; STAGE_COUNT];
+        self.walks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_accumulates_nothing() {
+        let mut p = StageProfiler::new();
+        assert!(!p.enabled());
+        let span = p.start();
+        assert!(span.is_none(), "disabled start must not read the clock");
+        p.stop(Stage::Fill, span);
+        p.add_ns(Stage::Cost, 1_000);
+        p.record_walk(WalkProfile {
+            termination: "leaf".into(),
+            vertices: 1,
+            end_depth: 1,
+            pops: 0,
+            committed: true,
+        });
+        let rec = p.take();
+        assert_eq!(rec.total_ns(), 0);
+        assert!(rec.walks.is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_credit_their_stage_and_take_resets() {
+        let mut p = StageProfiler::new();
+        p.set_enabled(true);
+        let span = p.start();
+        assert!(span.is_some());
+        // Burn a little work so the span is strictly positive on any clock.
+        let mut x = 0u64;
+        for i in 0..50_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        p.stop(Stage::Fill, span);
+        p.add_ns(Stage::Merge, 123);
+        let fill = p.stage_ns(Stage::Fill);
+        assert!(fill > 0);
+        assert_eq!(p.stage_ns(Stage::Merge), 123);
+        assert_eq!(p.total_ns(), fill + 123);
+
+        let rec = p.take();
+        assert_eq!(rec.fill_ns, fill);
+        assert_eq!(rec.merge_ns, 123);
+        assert_eq!(p.total_ns(), 0, "take() resets the accumulators");
+    }
+
+    #[test]
+    fn absorb_folds_stage_times_but_not_walks() {
+        let mut sub = StageProfiler::new();
+        sub.set_enabled(true);
+        sub.add_ns(Stage::Cost, 40);
+        sub.add_ns(Stage::Apply, 2);
+        sub.record_walk(WalkProfile {
+            termination: "dead_end".into(),
+            vertices: 9,
+            end_depth: 3,
+            pops: 1,
+            committed: false,
+        });
+
+        let mut main = StageProfiler::new();
+        main.set_enabled(true);
+        main.add_ns(Stage::Cost, 10);
+        main.absorb(&sub);
+        assert_eq!(main.stage_ns(Stage::Cost), 50);
+        assert_eq!(main.stage_ns(Stage::Apply), 2);
+        let rec = main.take();
+        assert!(rec.walks.is_empty(), "absorb must not copy walks");
+    }
+
+    #[test]
+    fn record_walk_feeds_the_phase_profile() {
+        let mut p = StageProfiler::new();
+        p.set_enabled(true);
+        for (v, term) in [(30u64, "dead_end"), (10, "leaf")] {
+            p.record_walk(WalkProfile {
+                termination: term.into(),
+                vertices: v,
+                end_depth: 4,
+                pops: 2,
+                committed: true,
+            });
+        }
+        let rec = p.take();
+        assert_eq!(rec.walks.len(), 2);
+        assert!((rec.imbalance() - 1.5).abs() < 1e-12);
+        let rec2 = p.take();
+        assert!(rec2.walks.is_empty(), "walks drained by the first take");
+    }
+}

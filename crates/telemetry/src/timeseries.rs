@@ -722,6 +722,7 @@ impl TraceSink for TimeSeriesRecorder {
             TraceEvent::PhaseStarted { .. }
             | TraceEvent::PlacementDecided { .. }
             | TraceEvent::CommDelay { .. }
+            | TraceEvent::PhaseProfiled { .. }
             | TraceEvent::Note(_) => {}
         }
     }

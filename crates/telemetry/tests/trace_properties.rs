@@ -69,6 +69,7 @@ fn build_event(kind: u8, a: u64, b: u64, signed: i64) -> TraceEvent {
             processor: b as usize,
             completion_us: a,
             cost_us: a.wrapping_add(b),
+            shard: (signed >= 0).then_some((b as usize) % 3),
             rejected: vec![PlacementProbe {
                 processor: (b as usize).wrapping_add(1),
                 completion_us: a.wrapping_add(1),

@@ -5,15 +5,16 @@
 //! rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X]
 //!            [--algorithm rt-sads|d-cols|greedy|myopic|random]
 //!            [--comm-us C] [--nodes N] [--racks R] [--inter-rack-cost C2]
-//!            [--seed S] [--search-threads N] [--phases]
+//!            [--seed S] [--search-threads N] [--phases] [--profile]
 //!            [--trace-out FILE.jsonl] [--metrics-out FILE.json]
 //!            [--perfetto-out FILE.trace.json] [--report-out FILE.json]
 //!            [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]
 //! rtsads-sim explain --task N --trace FILE.jsonl
 //! rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]
+//! rtsads-sim profile --trace FILE.jsonl [--folded OUT.txt]
 //! rtsads-sim report-diff a.json b.json
 //! rtsads-sim bench-snapshot [--out FILE.json] [--phases N] [--allow-dirty]
-//! rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]
+//! rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC] [--json]
 //! ```
 //!
 //! The `--*-out` flags enable telemetry: a structured JSONL event trace, a
@@ -36,11 +37,21 @@
 //! rejected costs, dispatch, faults, verdict — from a JSONL trace alone.
 //! `timeline` folds an existing JSONL trace into the same windows and
 //! prints an ASCII sparkline summary in the terminal.
+//! `--profile` turns on the search engine's stage-scoped self-profiler:
+//! each phase's `PhaseProfiled` record attributes scheduling wall time to
+//! the pipeline stages (screen, fill, cost, shard, apply, undo, merge) and
+//! carries per-subtree-walk telemetry on split phases. Like
+//! `--perfetto-out` (which implies it, so stage sub-spans appear in the
+//! timeline) it measures nondeterministic wall time, so traces stop being
+//! byte-reproducible — scheduling *decisions* are unchanged. The `profile`
+//! subcommand folds those records back into a per-stage breakdown table
+//! and, with `--folded`, a collapsed-stack file flamegraph tools consume.
 //! `report-diff` compares two `--report-out` files (counter deltas,
 //! lateness-quantile shifts, per-task outcome flips) and exits nonzero on
 //! any drift, making it usable as a CI determinism gate. `bench-diff` does
-//! the same for two `bench-snapshot` files with a throughput tolerance,
-//! making it usable as a CI perf-regression gate.
+//! the same for two `bench-snapshot` files with a throughput tolerance and
+//! a stage-fraction shift gate, making it usable as a CI perf-regression
+//! gate; `--json` emits the deltas machine-readably for CI artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -70,6 +81,7 @@ struct Args {
     seed: u64,
     search_threads: usize,
     phases: bool,
+    profile: bool,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     perfetto_out: Option<PathBuf>,
@@ -92,6 +104,7 @@ fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
         seed: 1_998,
         search_threads: 1,
         phases: false,
+        profile: false,
         trace_out: None,
         metrics_out: None,
         perfetto_out: None,
@@ -154,6 +167,7 @@ fn parse_from(it: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
             }
             "--phases" => args.phases = true,
+            "--profile" => args.profile = true,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--perfetto-out" => args.perfetto_out = Some(PathBuf::from(value("--perfetto-out")?)),
@@ -343,6 +357,99 @@ fn cmd_timeline(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `rtsads-sim profile --trace FILE.jsonl [--folded OUT.txt]` — folds a
+/// trace's `PhaseProfiled` records into one per-stage wall-time breakdown:
+/// stage, attributed nanoseconds, and the fraction of the attributed total
+/// (the fractions must sum to 1.0 within 1e-6 or the command fails — the
+/// attribution is exhaustive by construction, so a hole means a stage
+/// timer went missing). Split phases additionally get a subtree-walk
+/// summary with the peak imbalance. `--folded` writes collapsed-stack
+/// lines (`scheduler;search;<stage> <ns>`) for flamegraph tooling.
+fn cmd_profile(argv: &[String]) -> Result<(), String> {
+    use rtsads_repro::des::trace::{PhaseProfile, TraceEvent};
+    let mut trace: Option<PathBuf> = None;
+    let mut folded: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--folded" => folded = Some(PathBuf::from(value("--folded")?)),
+            other => return Err(format!("unknown profile flag '{other}'")),
+        }
+    }
+    let trace = trace.ok_or("profile requires --trace FILE.jsonl")?;
+    let text = std::fs::read_to_string(&trace)
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let mut total = PhaseProfile::default();
+    let mut phases = 0u64;
+    let mut peak_imbalance = 1.0f64;
+    for (_, event) in parse_trace(&text)? {
+        if let TraceEvent::PhaseProfiled { profile, .. } = event {
+            phases += 1;
+            peak_imbalance = peak_imbalance.max(profile.imbalance());
+            total.screen_ns += profile.screen_ns;
+            total.fill_ns += profile.fill_ns;
+            total.cost_ns += profile.cost_ns;
+            total.shard_ns += profile.shard_ns;
+            total.apply_ns += profile.apply_ns;
+            total.undo_ns += profile.undo_ns;
+            total.merge_ns += profile.merge_ns;
+            total.walks.extend(profile.walks);
+        }
+    }
+    if phases == 0 {
+        return Err(format!(
+            "{} has no PhaseProfiled records; re-run the simulation with \
+             --profile --trace-out",
+            trace.display()
+        ));
+    }
+    let grand = total.total_ns();
+    if grand == 0 {
+        return Err("PhaseProfiled records attribute zero time".to_string());
+    }
+    println!(
+        "profiled {phases} phases, {:.3} ms attributed",
+        grand as f64 / 1e6
+    );
+    println!("{:<8} {:>14} {:>10}", "stage", "ns", "fraction");
+    let mut sum = 0.0f64;
+    for (name, ns) in total.stages() {
+        let frac = ns as f64 / grand as f64;
+        sum += frac;
+        println!("{name:<8} {ns:>14} {frac:>10.4}");
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(format!(
+            "stage fractions sum to {sum}, not 1.0 — a stage timer is missing"
+        ));
+    }
+    println!("{:<8} {:>14} {:>10.4}", "total", grand, sum);
+    if !total.walks.is_empty() {
+        let committed = total.walks.iter().filter(|w| w.committed).count();
+        let vertices: u64 = total.walks.iter().map(|w| w.vertices).sum();
+        println!(
+            "walks    {} across split phases ({committed} committed, \
+             {vertices} vertices), peak imbalance {peak_imbalance:.2}x",
+            total.walks.len()
+        );
+    }
+    if let Some(path) = folded {
+        let mut out = String::new();
+        for (name, ns) in total.stages() {
+            out.push_str(&format!("scheduler;search;{name} {ns}\n"));
+        }
+        std::fs::write(&path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("# wrote {}", path.display());
+    }
+    Ok(())
+}
+
 /// `rtsads-sim bench-snapshot [--out FILE.json] [--phases N]
 /// [--allow-dirty]` — measures search throughput at the canonical scenario
 /// points and writes the tracked baseline (`BENCH_search.json` by
@@ -388,16 +495,21 @@ fn cmd_bench_snapshot(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]` —
-/// compares two `bench-snapshot` files; returns `Ok(false)` (nonzero exit)
-/// when throughput dropped past the tolerance on any point.
+/// `rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]
+/// [--json]` — compares two `bench-snapshot` files; returns `Ok(false)`
+/// (nonzero exit) when throughput dropped past the tolerance or a stage
+/// fraction shifted structurally on any point. `--json` swaps the
+/// human-readable table for machine-readable per-point deltas plus the
+/// verdict; the exit code is the same either way.
 fn cmd_bench_diff(argv: &[String]) -> Result<bool, String> {
     use rtsads_repro::snapshot::{self, BenchSnapshot};
     let mut files: Vec<&String> = Vec::new();
     let mut tolerance = snapshot::DEFAULT_TOLERANCE;
+    let mut json = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--json" => json = true,
             "--tolerance" => {
                 tolerance = it
                     .next()
@@ -419,7 +531,11 @@ fn cmd_bench_diff(argv: &[String]) -> Result<bool, String> {
         BenchSnapshot::parse(&text).map_err(|e| format!("{p}: {e}"))
     };
     let diff = snapshot::diff_snapshots(&read(base)?, &read(new)?, tolerance);
-    print!("{}", diff.render());
+    if json {
+        print!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render());
+    }
     Ok(!diff.has_regression())
 }
 
@@ -473,6 +589,16 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Some("profile") => {
+            return match cmd_profile(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    eprintln!("usage: rtsads-sim profile --trace FILE.jsonl [--folded OUT.txt]");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Some("bench-snapshot") => {
             return match cmd_bench_snapshot(&argv[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -493,7 +619,8 @@ fn main() -> ExitCode {
                 Err(msg) => {
                     eprintln!("error: {msg}");
                     eprintln!(
-                        "usage: rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]"
+                        "usage: rtsads-sim bench-diff baseline.json new.json \
+                         [--tolerance FRAC] [--json]"
                     );
                     ExitCode::FAILURE
                 }
@@ -509,13 +636,15 @@ fn main() -> ExitCode {
                 "usage: rtsads-sim [--workers N] [--txns N] [--replication PCT] [--sf X] \
                  [--algorithm rt-sads|d-cols|greedy|myopic|random] [--comm-us C] \
                  [--nodes N] [--racks R] [--inter-rack-cost C2] [--seed S] \
-                 [--search-threads N] [--phases] [--trace-out FILE.jsonl] [--metrics-out FILE.json] \
+                 [--search-threads N] [--phases] [--profile] [--trace-out FILE.jsonl] \
+                 [--metrics-out FILE.json] \
                  [--perfetto-out FILE.trace.json] [--report-out FILE.json] \
                  [--timeseries-out FILE.csv|.jsonl] [--timeseries-window-us W]\n\
                         rtsads-sim explain --task N --trace FILE.jsonl\n\
                         rtsads-sim timeline --trace FILE.jsonl [--window-us W] [--width N]\n\
+                        rtsads-sim profile --trace FILE.jsonl [--folded OUT.txt]\n\
                         rtsads-sim report-diff a.json b.json\n\
-                        rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC]"
+                        rtsads-sim bench-diff baseline.json new.json [--tolerance FRAC] [--json]"
             );
             return ExitCode::FAILURE;
         }
@@ -539,12 +668,21 @@ fn main() -> ExitCode {
         // The timeline gets measured scheduling wall time next to Q_s(j);
         // wall time is nondeterministic, so only measure when asked for a
         // timeline (JSONL traces stay byte-reproducible otherwise).
-        .measure_overhead(args.perfetto_out.is_some());
+        .measure_overhead(args.perfetto_out.is_some())
+        // Stage-level attribution on request — and whenever a Perfetto
+        // timeline is written, so phase spans get their stage sub-spans.
+        .profile(args.profile || args.perfetto_out.is_some());
 
     let telemetry_on = args.trace_out.is_some()
         || args.metrics_out.is_some()
         || args.perfetto_out.is_some()
         || args.report_out.is_some();
+    if args.profile && !telemetry_on {
+        eprintln!(
+            "note: --profile needs a sink to land in; add --trace-out FILE.jsonl \
+             and inspect it with `rtsads-sim profile --trace FILE.jsonl`"
+        );
+    }
     let report = if telemetry_on {
         match run_with_telemetry(&args, config, built.tasks) {
             Ok(report) => report,
@@ -721,6 +859,14 @@ mod tests {
         let args = parse_strs(&["--search-threads", "8", "--workers", "4"]).expect("parses");
         assert_eq!(args.search_threads, 8);
         assert_eq!(args.workers, 4);
+    }
+
+    #[test]
+    fn profile_flag_parses_and_defaults_off() {
+        assert!(!parse_strs(&[]).expect("defaults").profile);
+        let args = parse_strs(&["--profile", "--trace-out", "run.jsonl"]).expect("parses");
+        assert!(args.profile);
+        assert!(args.trace_out.is_some());
     }
 
     #[test]

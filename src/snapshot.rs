@@ -20,6 +20,7 @@
 //! the regime the `zero_alloc` test pins to zero heap allocations.
 
 use bench_support::{deep_dive_batch, synthetic_batch, tight_batch};
+use paragon_des::trace::PhaseProfile;
 use paragon_des::{Duration, SimRng, Time};
 use paragon_platform::{HostParams, SchedulingMeter};
 use rt_task::{CommModel, ResourceEats};
@@ -28,7 +29,75 @@ use rtsads::{Algorithm, PhaseScratch};
 use sched_search::{
     search_schedule_with, ChildOrder, Pruning, Representation, SearchParams, SearchScratch,
 };
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// Stage-level wall-time attribution of one snapshot point, measured by a
+/// dedicated profiled pass run after the timed passes so the stage timers
+/// can never taint the throughput rates. Stage values are fractions of the
+/// attributed total and sum to 1.0; `imbalance` is the max-over-mean
+/// subtree vertex count on split (multi-thread) points and 1.0 on serial
+/// ones. Lives behind `serde(default)` on [`SnapshotPoint`], so baselines
+/// written before the field existed parse to `None` and skip comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointProfile {
+    /// Total attributed wall nanoseconds in the profiled pass.
+    pub total_ns: u64,
+    /// Phase-level feasibility screen fraction.
+    pub screen: f64,
+    /// SoA completion-column fill fraction.
+    pub fill: f64,
+    /// Cost fold and child-ordering fraction.
+    pub cost: f64,
+    /// Shard gate / shard-first ranking fraction.
+    pub shard: f64,
+    /// Branch-switch apply fraction.
+    pub apply: f64,
+    /// Backtrack undo fraction.
+    pub undo: f64,
+    /// Parallel merge/reduction fraction.
+    pub merge: f64,
+    /// Parallel-walk imbalance (max/mean subtree vertices; 1.0 = balanced).
+    pub imbalance: f64,
+}
+
+impl PointProfile {
+    /// Converts an accumulated [`PhaseProfile`] into per-stage fractions.
+    /// Returns `None` when nothing was attributed (profiler disabled or the
+    /// pass did no search work), so callers never divide by zero.
+    #[must_use]
+    pub fn from_phase(profile: &PhaseProfile) -> Option<Self> {
+        let total = profile.total_ns();
+        if total == 0 {
+            return None;
+        }
+        let frac = |ns: u64| ns as f64 / total as f64;
+        Some(PointProfile {
+            total_ns: total,
+            screen: frac(profile.screen_ns),
+            fill: frac(profile.fill_ns),
+            cost: frac(profile.cost_ns),
+            shard: frac(profile.shard_ns),
+            apply: frac(profile.apply_ns),
+            undo: frac(profile.undo_ns),
+            merge: frac(profile.merge_ns),
+            imbalance: profile.imbalance(),
+        })
+    }
+
+    /// The stage fractions with their diff-metric names, in pipeline order.
+    #[must_use]
+    pub fn fractions(&self) -> [(&'static str, f64); 7] {
+        [
+            ("profile.screen", self.screen),
+            ("profile.fill", self.fill),
+            ("profile.cost", self.cost),
+            ("profile.shard", self.shard),
+            ("profile.apply", self.apply),
+            ("profile.undo", self.undo),
+            ("profile.merge", self.merge),
+        ]
+    }
+}
 
 /// Throughput at one canonical scenario point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,6 +122,11 @@ pub struct SnapshotPoint {
     /// (`serde(default)`), which skips its comparison.
     #[serde(default)]
     pub candidates_per_vertex: f64,
+    /// Stage-level time attribution from a separate profiled pass; `None`
+    /// in baselines written before the field existed (`serde(default)`),
+    /// which skips the stage-shift comparison.
+    #[serde(default)]
+    pub profile: Option<PointProfile>,
 }
 
 /// The whole snapshot: provenance plus the three measured points.
@@ -88,6 +162,15 @@ pub const SNAPSHOT_SEED: u64 = 7;
 /// regression (20% — wide enough for CI-runner noise, tight enough to catch
 /// a real slowdown).
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Absolute stage-fraction shift tolerated by `bench-diff` before the
+/// profile comparison calls a regression: a stage that moves by more than
+/// ten percentage points of the phase's attributed time (e.g. cost fold
+/// going from 30% to 45%) signals a hot-path structure change even when
+/// total throughput hides it. Deliberately absolute, not relative — small
+/// stages jitter wildly in relative terms but a ten-point absolute move is
+/// always structural.
+pub const STAGE_SHIFT_TOLERANCE: f64 = 0.10;
 
 /// One compared metric of one snapshot point.
 #[derive(Debug, Clone)]
@@ -139,13 +222,22 @@ impl SnapshotDiff {
             "{:<14} {:<17} {:>14} {:>14} {:>9}  {}\n",
             "point", "metric", "baseline", "new", "change", "verdict"
         ));
+        // Throughput rates print as integers; stage fractions (all < 10)
+        // as three decimals.
+        let fmt = |v: f64| {
+            if v.abs() < 10.0 {
+                format!("{v:.3}")
+            } else {
+                format!("{v:.0}")
+            }
+        };
         for d in &self.deltas {
             out.push_str(&format!(
-                "{:<14} {:<17} {:>14.0} {:>14.0} {:>+8.1}%  {}\n",
+                "{:<14} {:<17} {:>14} {:>14} {:>+8.1}%  {}\n",
                 d.point,
                 d.metric,
-                d.base,
-                d.new,
+                fmt(d.base),
+                fmt(d.new),
                 d.change * 100.0,
                 if d.regressed { "REGRESSED" } else { "ok" }
             ));
@@ -171,10 +263,49 @@ impl SnapshotDiff {
         ));
         out
     }
+
+    /// Machine-readable comparison for `bench-diff --json`: the per-point
+    /// deltas, the point-set mismatches, and the verdict, as pretty-printed
+    /// JSON with a trailing newline. The exit code still carries the
+    /// verdict; the JSON is for CI artifacts and dashboards.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let strings =
+            |xs: &[String]| Value::Array(xs.iter().map(|s| Value::Str(s.clone())).collect());
+        let deltas = self
+            .deltas
+            .iter()
+            .map(|d| {
+                Value::Object(vec![
+                    ("point".to_string(), Value::Str(d.point.clone())),
+                    ("metric".to_string(), Value::Str(d.metric.to_string())),
+                    ("base".to_string(), Value::F64(d.base)),
+                    ("new".to_string(), Value::F64(d.new)),
+                    ("change".to_string(), Value::F64(d.change)),
+                    ("regressed".to_string(), Value::Bool(d.regressed)),
+                ])
+            })
+            .collect();
+        let verdict = if self.has_regression() {
+            "FAIL"
+        } else {
+            "PASS"
+        };
+        let obj = Value::Object(vec![
+            ("tolerance".to_string(), Value::F64(self.tolerance)),
+            ("verdict".to_string(), Value::Str(verdict.to_string())),
+            ("deltas".to_string(), Value::Array(deltas)),
+            ("missing".to_string(), strings(&self.missing)),
+            ("unexpected".to_string(), strings(&self.unexpected)),
+        ]);
+        serde_json::to_string_pretty(&obj).expect("diff serializes") + "\n"
+    }
 }
 
-/// Compares throughput point by point: `phases_per_sec` and
-/// `vertices_per_sec` for every baseline point. A metric regresses when it
+/// Compares snapshots point by point: `phases_per_sec` and
+/// `vertices_per_sec` for every baseline point, plus candidate work per
+/// expansion and (when both sides carry a profile section) the per-stage
+/// time fractions against [`STAGE_SHIFT_TOLERANCE`]. A metric regresses when it
 /// drops by more than `tolerance` relative to the baseline; improvements
 /// never fail. Baseline points absent from `new` are reported in
 /// [`SnapshotDiff::missing`], and points present in `new` but absent from
@@ -224,6 +355,25 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64)
                 change,
                 regressed: change > tolerance,
             });
+        }
+        // Stage fractions compare on an absolute percentage-point shift,
+        // independent of the throughput tolerance: where the time goes is a
+        // structural property, so a stage absorbing ten more points of the
+        // phase is a regression signature even when total throughput moved
+        // within tolerance (or improved). Skipped when either side predates
+        // the profile section.
+        if let (Some(bpr), Some(npr)) = (&bp.profile, &np.profile) {
+            for ((metric, b), (_, n)) in bpr.fractions().iter().zip(npr.fractions().iter()) {
+                let change = n - b;
+                deltas.push(MetricDelta {
+                    point: bp.name.clone(),
+                    metric,
+                    base: *b,
+                    new: *n,
+                    change,
+                    regressed: change.abs() > STAGE_SHIFT_TOLERANCE,
+                });
+            }
         }
     }
     SnapshotDiff {
@@ -295,7 +445,7 @@ fn point(
         let mut undos = 0u64;
         let mut candidates = 0u64;
         let mut expansions = 0u64;
-        let start = std::time::Instant::now();
+        let start = rt_telemetry::MonotonicInstant::now();
         for _ in 0..measured {
             let t = phase();
             vertices += t.vertices;
@@ -313,6 +463,7 @@ fn point(
             vertices_per_sec: vertices as f64 / secs,
             undos_per_sec: undos as f64 / secs,
             candidates_per_vertex: candidates as f64 / expansions.max(1) as f64,
+            profile: None,
         };
         if best
             .as_ref()
@@ -349,14 +500,25 @@ pub fn collect(measured: u64) -> BenchSnapshot {
             resources: ResourceEats::new(),
             provenance: false,
         };
-        let mut scratch = SearchScratch::new();
-        point("deep_dive_64", warmup, measured, || {
+        fn dive_phase(params: &SearchParams, scratch: &mut SearchScratch) -> PhaseTally {
             let mut meter = SchedulingMeter::new(HostParams::free(), Duration::ZERO);
-            let out = search_schedule_with(&params, &mut meter, &mut scratch);
+            let out = search_schedule_with(params, &mut meter, scratch);
             let tally = PhaseTally::of(&out.stats);
             scratch.recycle(out.assignments);
             tally
-        })
+        }
+        let mut scratch = SearchScratch::new();
+        let mut p = point("deep_dive_64", warmup, measured, || {
+            dive_phase(&params, &mut scratch)
+        });
+        // Stage attribution comes from a separate profiled pass so the
+        // timers can never contaminate the throughput rates above.
+        scratch.set_profiling(true);
+        for _ in 0..warmup {
+            dive_phase(&params, &mut scratch);
+        }
+        p.profile = PointProfile::from_phase(&scratch.take_profile());
+        p
     };
 
     // Points 2-5: the full algorithm layer on 8 workers, serial and at 8
@@ -373,35 +535,38 @@ pub fn collect(measured: u64) -> BenchSnapshot {
                       initial: &[Time]| {
         let algorithm = Algorithm::rt_sads();
         let mut scratch = PhaseScratch::new();
-        point(
-            name,
-            (phase_measured / 10).clamp(2, 10),
-            phase_measured,
-            || {
-                let mut meter = SchedulingMeter::new(
-                    HostParams::new(Duration::from_micros(1)),
-                    Duration::from_secs(10),
-                );
-                let mut rng = SimRng::seed_from(SNAPSHOT_SEED);
-                let out = algorithm.schedule_phase(
-                    tasks,
-                    comm,
-                    initial,
-                    Time::ZERO,
-                    Some(200_000),
-                    Pruning::default(),
-                    &ResourceEats::new(),
-                    false,
-                    threads,
-                    &mut meter,
-                    &mut rng,
-                    &mut scratch,
-                );
-                let tally = PhaseTally::of(&out.stats);
-                scratch.recycle(out.assignments);
-                tally
-            },
-        )
+        let run = |scratch: &mut PhaseScratch| -> PhaseTally {
+            let mut meter = SchedulingMeter::new(
+                HostParams::new(Duration::from_micros(1)),
+                Duration::from_secs(10),
+            );
+            let mut rng = SimRng::seed_from(SNAPSHOT_SEED);
+            let out = algorithm.schedule_phase(
+                tasks,
+                comm,
+                initial,
+                Time::ZERO,
+                Some(200_000),
+                Pruning::default(),
+                &ResourceEats::new(),
+                false,
+                threads,
+                &mut meter,
+                &mut rng,
+                scratch,
+            );
+            let tally = PhaseTally::of(&out.stats);
+            scratch.recycle(out.assignments);
+            tally
+        };
+        let profile_phases = (phase_measured / 10).clamp(2, 10);
+        let mut p = point(name, profile_phases, phase_measured, || run(&mut scratch));
+        scratch.search.set_profiling(true);
+        for _ in 0..profile_phases {
+            run(&mut scratch);
+        }
+        p.profile = PointProfile::from_phase(&scratch.search.take_profile());
+        p
     };
     let mixed_tasks = synthetic_batch(150, workers);
     let tight_tasks = tight_batch(150, workers);
@@ -493,9 +658,27 @@ mod tests {
              per expansion, got {}",
             sharded.candidates_per_vertex
         );
+        // Every point carries a profile section whose stage fractions sum
+        // to 1.0, and the parallel points report an imbalance >= 1.
+        for p in &snap.points {
+            let prof = p
+                .profile
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: profiled pass attributed nothing", p.name));
+            let sum: f64 = prof.fractions().iter().map(|(_, f)| f).sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{}: stage fractions sum to {sum}, not 1.0",
+                p.name
+            );
+            assert!(prof.total_ns > 0, "{}: zero attributed time", p.name);
+            assert!(prof.imbalance >= 1.0, "{}: imbalance below 1", p.name);
+        }
         let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
         assert_eq!(back.points.len(), 6);
         assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
+        // The profile section round-trips through JSON too.
+        assert!(back.points.iter().all(|p| p.profile.is_some()));
     }
 
     fn synthetic_snapshot(scale: f64) -> BenchSnapshot {
@@ -507,6 +690,7 @@ mod tests {
             vertices_per_sec: rate * 50.0 * scale,
             undos_per_sec: rate * 2.0 * scale,
             candidates_per_vertex: 0.0,
+            profile: None,
         };
         BenchSnapshot {
             manifest: RunManifest::new("RT-SADS", SNAPSHOT_SEED, 8),
@@ -549,6 +733,7 @@ mod tests {
             vertices_per_sec: 15_000.0,
             undos_per_sec: 600.0,
             candidates_per_vertex: 0.0,
+            profile: None,
         });
         let diff = diff_snapshots(&base, &grown, 0.20);
         assert!(
@@ -592,6 +777,70 @@ mod tests {
         // Doing less work per expansion can never fail.
         new.points[0].candidates_per_vertex = 10.0;
         assert!(!diff_snapshots(&base, &new, 0.20).has_regression());
+    }
+
+    fn flat_profile() -> PointProfile {
+        PointProfile {
+            total_ns: 700,
+            screen: 0.1,
+            fill: 0.2,
+            cost: 0.3,
+            shard: 0.1,
+            apply: 0.1,
+            undo: 0.1,
+            merge: 0.1,
+            imbalance: 1.0,
+        }
+    }
+
+    #[test]
+    fn stage_shift_gates_absolute_ten_point_moves_both_ways() {
+        let mut base = synthetic_snapshot(1.0);
+        base.points[0].profile = Some(flat_profile());
+        let mut new = synthetic_snapshot(1.0);
+
+        // Either side without a profile section: comparison skipped.
+        let skipped = diff_snapshots(&base, &new, 0.20);
+        assert!(skipped
+            .deltas
+            .iter()
+            .all(|d| !d.metric.starts_with("profile.")));
+        assert!(!skipped.has_regression());
+
+        // An injected shift past ten points on one stage fails the gate,
+        // in either direction (time moved INTO cost / OUT of fill).
+        let mut shifted = flat_profile();
+        shifted.cost += 0.12;
+        shifted.fill -= 0.12;
+        new.points[0].profile = Some(shifted);
+        let diff = diff_snapshots(&base, &new, 0.20);
+        let regressed: Vec<&str> = diff
+            .deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.metric)
+            .collect();
+        assert_eq!(regressed, vec!["profile.fill", "profile.cost"]);
+        assert!(diff.has_regression());
+
+        // A shift inside the ten-point band passes clean.
+        let mut small = flat_profile();
+        small.cost += 0.05;
+        small.fill -= 0.05;
+        new.points[0].profile = Some(small);
+        assert!(!diff_snapshots(&base, &new, 0.20).has_regression());
+    }
+
+    #[test]
+    fn diff_json_carries_deltas_and_verdict() {
+        let base = synthetic_snapshot(1.0);
+        let json = diff_snapshots(&base, &synthetic_snapshot(0.5), 0.20).to_json();
+        assert!(json.contains("\"verdict\": \"FAIL\""));
+        assert!(json.contains("\"metric\": \"phases_per_sec\""));
+        assert!(json.contains("\"regressed\": true"));
+        let clean = diff_snapshots(&base, &base, 0.20).to_json();
+        assert!(clean.contains("\"verdict\": \"PASS\""));
+        assert!(clean.ends_with('\n'));
     }
 
     #[test]

@@ -429,6 +429,106 @@ fn parallel_engine_is_width_invariant_and_matches_serial_when_unsliced() {
     assert!(leaf_commits > 0, "no split instance ever committed a leaf");
 }
 
+/// The stage profiler's neutrality contract: profiling observes wall time
+/// but never influences a scheduling decision, so a profiled scratch must
+/// produce the bit-identical `SearchOutcome`, meter state and subtree
+/// report as an unprofiled one — serially and at parallel widths 1 and 8 —
+/// over the same 500 seeded instances as the oracle sweep. The profiled
+/// runs must also actually attribute time, or the equalities are vacuous.
+#[test]
+fn profiled_search_is_bit_identical_to_unprofiled() {
+    let parent = SimRng::seed_from(0x5AD5_D1FF);
+    let widths = [1usize, 8];
+    let mut plain_scratch = SearchScratch::new();
+    let mut prof_scratch = SearchScratch::new();
+    prof_scratch.set_profiling(true);
+    let mut par_scratches: Vec<(
+        SearchScratch,
+        ParallelScratch,
+        SearchScratch,
+        ParallelScratch,
+    )> = widths
+        .iter()
+        .map(|_| {
+            let mut prof = SearchScratch::new();
+            prof.set_profiling(true);
+            (
+                SearchScratch::new(),
+                ParallelScratch::new(),
+                prof,
+                ParallelScratch::new(),
+            )
+        })
+        .collect();
+    let mut attributed_ns = 0u64;
+    let mut split_walks = 0usize;
+
+    for i in 0..INSTANCES {
+        let mut rng = parent.child(i);
+        let inst = random_instance(&mut rng);
+        let params = inst.params();
+
+        let mut plain_meter = inst.meter();
+        let mut prof_meter = inst.meter();
+        let a = search_schedule_with(&params, &mut plain_meter, &mut plain_scratch);
+        let b = search_schedule_with(&params, &mut prof_meter, &mut prof_scratch);
+        let at = format!("instance {i} serial");
+        assert_eq!(a.assignments, b.assignments, "{at}");
+        assert_eq!(a.termination, b.termination, "{at}");
+        assert_eq!(a.n_viable, b.n_viable, "{at}");
+        assert_eq!(a.makespan, b.makespan, "{at}");
+        assert_eq!(a.stats, b.stats, "{at}");
+        assert_eq!(a.provenance, b.provenance, "{at}");
+        assert_eq!(plain_meter.vertices(), prof_meter.vertices(), "{at}");
+        assert_eq!(plain_meter.consumed(), prof_meter.consumed(), "{at}");
+        let profile = prof_scratch.take_profile();
+        attributed_ns += profile.total_ns();
+        assert!(
+            prof_scratch.profiling(),
+            "take_profile must keep the profiler armed"
+        );
+
+        for (w, (ps, pp, fs, fp)) in widths.iter().zip(par_scratches.iter_mut()) {
+            let mut pm = inst.meter();
+            let mut fm = inst.meter();
+            let (po, pr) = search_schedule_parallel_with_report(&params, *w, &mut pm, ps, pp);
+            let (fo, fr) = search_schedule_parallel_with_report(&params, *w, &mut fm, fs, fp);
+            let at = format!("instance {i} width {w}");
+            assert_eq!(po.assignments, fo.assignments, "{at}");
+            assert_eq!(po.termination, fo.termination, "{at}");
+            assert_eq!(po.n_viable, fo.n_viable, "{at}");
+            assert_eq!(po.makespan, fo.makespan, "{at}");
+            assert_eq!(po.stats, fo.stats, "{at}");
+            assert_eq!(po.provenance, fo.provenance, "{at}");
+            assert_eq!(pm.vertices(), fm.vertices(), "{at}");
+            assert_eq!(pm.consumed(), fm.consumed(), "{at}");
+            assert_eq!(pr.split, fr.split, "{at}");
+            assert_eq!(pr.committed, fr.committed, "{at}");
+            assert_eq!(pr.stage_stats, fr.stage_stats, "{at}");
+            let profile = fs.take_profile();
+            attributed_ns += profile.total_ns();
+            if fr.split {
+                assert_eq!(
+                    profile.walks.len(),
+                    fr.subtrees,
+                    "{at}: one walk record per subtree"
+                );
+                split_walks += profile.walks.len();
+            } else {
+                assert!(profile.walks.is_empty(), "{at}: unsplit phase has walks");
+            }
+            ps.recycle(po.assignments);
+            fs.recycle(fo.assignments);
+        }
+
+        plain_scratch.recycle(a.assignments);
+        prof_scratch.recycle(b.assignments);
+    }
+
+    assert!(attributed_ns > 0, "profiled sweep attributed no time");
+    assert!(split_walks > 0, "no split phase ever recorded walks");
+}
+
 /// The degenerate-topology contract: a 1-node/1-rack [`TopologySpec`] is the
 /// paper's flat machine, so swapping every instance's flat `CommModel` for
 /// the equivalent one-node hierarchical model must leave the entire
