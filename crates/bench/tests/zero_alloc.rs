@@ -140,6 +140,44 @@ fn steady_state_phases_do_not_allocate() {
         assert_eq!(n, 0, "{name} schedule_phase allocated {n} times");
     }
 
+    // Canonical point 4: the shard-first candidate path at P=1024 (the
+    // sharded bench point's exact scenario). This exercises every structure
+    // the incremental-column refactor added — the per-task column segments,
+    // the shared touched-processor journal, the packed candidate keys and
+    // the shard min-tree — all of which must reach a steady-state capacity
+    // during warm-up and never allocate again.
+    {
+        let tasks = synthetic_batch(150, 1_024);
+        let topo = rt_task::TopologySpec::new(1_024, 16, 4, 0, 2_000, 4_000);
+        let sharded_comm = CommModel::hierarchical(topo);
+        let sharded_initial = vec![Time::ZERO; 1_024];
+        let algorithm = Algorithm::rt_sads();
+        let mut scratch = PhaseScratch::new();
+        let n = count_allocs(WARMUP, MEASURED, || {
+            let mut meter = SchedulingMeter::new(
+                HostParams::new(Duration::from_micros(1)),
+                Duration::from_secs(10),
+            );
+            let mut rng = SimRng::seed_from(7);
+            let out = algorithm.schedule_phase(
+                &tasks,
+                &sharded_comm,
+                &sharded_initial,
+                Time::ZERO,
+                Some(200_000),
+                Pruning::default(),
+                &ResourceEats::new(),
+                false,
+                1,
+                &mut meter,
+                &mut rng,
+                &mut scratch,
+            );
+            scratch.recycle(out.assignments);
+        });
+        assert_eq!(n, 0, "sharded schedule_phase allocated {n} times");
+    }
+
     // The stage profiler must not break the zero-allocation claim: with
     // profiling enabled, the serial hot path adds only monotonic clock
     // reads folded into a fixed-size array (walk records exist solely on

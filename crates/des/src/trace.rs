@@ -96,6 +96,11 @@ pub struct PhaseProfile {
     pub undo_ns: u64,
     /// Parallel reduction: best-vertex merge, counter absorption, delivery.
     pub merge_ns: u64,
+    /// Child ordering and push: sorting the candidate batch and the
+    /// branch/best-vertex selection loop. Absent in pre-select traces, so
+    /// it deserializes to `0`.
+    #[serde(default)]
+    pub select_ns: u64,
     /// Per-subtree-walk telemetry; empty when the phase did not split.
     #[serde(default)]
     pub walks: Vec<WalkProfile>,
@@ -107,11 +112,12 @@ impl PhaseProfile {
     /// subcommand, the bench snapshot) iterates this one list, so a new
     /// stage added here is automatically picked up everywhere.
     #[must_use]
-    pub fn stages(&self) -> [(&'static str, u64); 7] {
+    pub fn stages(&self) -> [(&'static str, u64); 8] {
         [
             ("screen", self.screen_ns),
             ("fill", self.fill_ns),
             ("cost", self.cost_ns),
+            ("select", self.select_ns),
             ("shard", self.shard_ns),
             ("apply", self.apply_ns),
             ("undo", self.undo_ns),
@@ -719,6 +725,7 @@ mod tests {
                     apply_ns: 4_000,
                     undo_ns: 2_500,
                     merge_ns: 800,
+                    select_ns: 0,
                     walks: vec![
                         WalkProfile {
                             termination: "dead_end".into(),
@@ -899,10 +906,11 @@ mod tests {
             apply_ns: 5,
             undo_ns: 6,
             merge_ns: 7,
+            select_ns: 8,
             walks: Vec::new(),
         };
-        assert_eq!(p.total_ns(), 28);
-        assert_eq!(p.stages().iter().map(|(_, ns)| ns).sum::<u64>(), 28);
+        assert_eq!(p.total_ns(), 36);
+        assert_eq!(p.stages().iter().map(|(_, ns)| ns).sum::<u64>(), 36);
         // No walks: trivially balanced.
         assert_eq!(p.imbalance(), 1.0);
         // Walks of 30 and 10 vertices: max 30, mean 20 → 1.5.

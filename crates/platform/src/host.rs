@@ -84,6 +84,7 @@ impl SchedulingMeter {
     /// exhausted — if the charge does not fit in the remaining quantum; the
     /// vertex is still counted (the work of discovering the budget is over
     /// was done), but `consumed` never exceeds the quantum.
+    #[inline]
     pub fn charge_vertex(&mut self) -> bool {
         self.vertices += 1;
         if self.exhausted {

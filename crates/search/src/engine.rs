@@ -288,6 +288,11 @@ pub struct SearchScratch {
     chain: Vec<usize>,
     /// Feasible successors of one expansion, before ordering.
     children: Vec<Candidate>,
+    /// Packed successors of one expansion — `completion(64) |
+    /// processor(32) | task(32)` in one `u128` — used instead of
+    /// `children` when the child order reduces to the packed key's integer
+    /// order (see the select stage in `expand`).
+    ckeys: Vec<u128>,
     /// Raw (task, processor) candidates of one skip round.
     raw: Vec<(usize, ProcessorId)>,
     /// Dense completion column of one skip round, index-aligned with `raw`
@@ -425,6 +430,7 @@ fn search_core(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         level_task,
@@ -441,6 +447,7 @@ fn search_core(
     path.clear();
     chain.clear();
     children.clear();
+    ckeys.clear();
     raw.clear();
     comp.clear();
     level_task.clear();
@@ -549,6 +556,7 @@ fn search_core(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         shard_rank,
@@ -633,6 +641,7 @@ struct Work<'s> {
     path: &'s mut Vec<usize>,
     chain: &'s mut Vec<usize>,
     children: &'s mut Vec<Candidate>,
+    ckeys: &'s mut Vec<u128>,
     raw: &'s mut Vec<(usize, ProcessorId)>,
     comp: &'s mut Vec<Time>,
     shard_rank: &'s mut Vec<(Time, usize)>,
@@ -651,6 +660,7 @@ impl<'s> Work<'s> {
             path,
             chain,
             children,
+            ckeys,
             raw,
             comp,
             level_task: _,
@@ -668,6 +678,7 @@ impl<'s> Work<'s> {
             path,
             chain,
             children,
+            ckeys,
             raw,
             comp,
             shard_rank,
@@ -700,6 +711,16 @@ fn shard_gate<'a>(params: &SearchParams<'a>) -> Option<&'a rt_task::TopologySpec
 fn node_ends_into(topo: &rt_task::TopologySpec, ends: &mut Vec<usize>) {
     ends.clear();
     ends.extend((0..topo.nodes()).map(|s| topo.node_range(s).1));
+}
+
+/// Packs one feasible candidate into a single integer whose natural order
+/// is `(completion, processor, task)` — the layout the select stage's raw
+/// `u128` sort relies on. `Time` is transparently its microsecond count, so
+/// the round-trip through the key is exact.
+#[inline]
+fn pack_candidate(completion: Time, processor: usize, task: usize) -> u128 {
+    debug_assert!(processor < (1 << 32) && task < (1 << 32));
+    ((completion.as_micros() as u128) << 64) | ((processor as u128) << 32) | task as u128
 }
 
 /// How one candidate-list walk ended: the termination reason plus the exit
@@ -814,36 +835,171 @@ impl Ctx<'_, '_> {
         stats.expansions += 1;
         let max_skips = params.representation.max_skips(work.state);
         // The cost function ce compares each candidate's completion against
-        // the partial schedule's makespan; the state is fixed for the whole
-        // expansion, so the O(P) makespan reduction is hoisted out of the
-        // candidate loop.
+        // the partial schedule's makespan, which the state maintains
+        // incrementally — an O(1) read per expansion.
         let base_makespan = work.state.makespan();
         work.children.clear();
+        work.ckeys.clear();
+        // The two default-ish child orders reduce to the integer order of a
+        // packed `completion(64) | processor(32) | task(32)` key (see the
+        // select stage below), so their candidates skip the `Candidate`
+        // struct entirely: 16-byte pushes in the cost loop and a raw `u128`
+        // sort instead of a 40-byte-element comparator sort.
+        let packable = matches!(
+            params.child_order,
+            ChildOrder::LoadBalance | ChildOrder::EarliestCompletion
+        );
+        // Budget hoists: both are constant for the whole expansion, and the
+        // cap compare degenerates to an always-false branch when uncapped
+        // (`vertices_generated` cannot reach `u64::MAX`).
+        let cap = self.vertex_cap.unwrap_or(u64::MAX);
         // Profiling: the cost span may be cut short by a `break
         // 'skip_rounds` inside the accounting loop; the pending slot carries
         // the open span across the jump so the stop after the loop closes
         // it (stop with `None` is a no-op).
         let mut t_cost = None;
-        'skip_rounds: for skip in 0..=max_skips {
-            if let Some(topo) = self.shards {
-                // Shard-first: screen the nodes against the level's task and
-                // enumerate processors only inside the winning shards. Like
-                // the batch screen, the per-shard bounds cost no quantum —
-                // the saving the sharded bench point measures.
-                let t_shard = work.prof.start();
-                let any_left = self.sharded_raw_into(topo, work, skip, stats);
-                work.prof.stop(Stage::Shard, t_shard);
-                if !any_left {
-                    break; // no unassigned task remains at all
+        // Per-candidate accounting order in every branch below (pinned by
+        // the `vertex_cap_break_classifies_every_counted_vertex` and
+        // `quantum_break_counts_the_uncharged_vertex` tests):
+        //   1. vertex cap — checked *before* generating, so a cap break
+        //      counts nothing: every cap-counted vertex is classified.
+        //   2. quantum charge — counted whether or not it succeeds, so
+        //      `vertices_generated == meter.vertices()` always; but a
+        //      *failed* charge never reaches classification, so a
+        //      mid-round quantum break leaves exactly one counted,
+        //      unclassified vertex.
+        //   3. feasibility classification — only for charged vertices.
+        if params.representation.is_assignment_oriented() {
+            // Assignment-oriented levels fix one task, so the round's
+            // candidates are exactly one row of the persistent candidate
+            // column: sync it in O(Δ) from the journal and read completions
+            // straight out of it — no raw candidate list, no O(P) refill.
+            // Round `skip` expands the (skip+1)-th unassigned task of the
+            // level order. The assigned set is constant for the whole
+            // expansion (charges never assign), so consecutive rounds can
+            // resume one forward scan instead of re-running `nth(skip)`
+            // from the front — O(n) total across all rounds, not O(n²).
+            let mut cursor = 0usize;
+            'skip_rounds: for _skip in 0..=max_skips {
+                let task = {
+                    let mut found = None;
+                    while let Some(&t) = self.level_task.get(cursor) {
+                        cursor += 1;
+                        if !work.state.is_assigned(t) {
+                            found = Some(t);
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(t) => t,
+                        None => break, // no unassigned task remains at all
+                    }
+                };
+                // The task is fixed for the round, so its deadline is too.
+                let deadline = params.tasks[task].deadline();
+                if let Some(topo) = self.shards {
+                    // Shard-first: screen the nodes against the level's task
+                    // and enumerate processors only inside the winning
+                    // shards. Like the batch screen, the per-shard bounds
+                    // cost no quantum — the saving the sharded bench point
+                    // measures.
+                    let t_shard = work.prof.start();
+                    self.rank_shards(topo, work, task, stats);
+                    work.prof.stop(Stage::Shard, t_shard);
+                    if work.shard_rank.is_empty() {
+                        // The task exists but no shard can meet its
+                        // deadline: move on to the next task, as the flat
+                        // path would after evaluating (and charging) every
+                        // processor.
+                        stats.level_skips += 1;
+                        continue;
+                    }
+                    // Sync only the winning shards' column segments — the
+                    // losing shards stay stale and unpaid-for.
+                    let t_fill = work.prof.start();
+                    for i in 0..work.shard_rank.len() {
+                        let s = work.shard_rank[i].1;
+                        work.state
+                            .ensure_candidate_segment(params.tasks, params.comm, task, s);
+                    }
+                    work.prof.stop(Stage::Fill, t_fill);
+                    t_cost = work.prof.start();
+                    let col = work.state.comp_column(task);
+                    for &(_, s) in work.shard_rank.iter() {
+                        let (lo, hi) = topo.node_range(s);
+                        for (off, &completion) in col[lo..hi].iter().enumerate() {
+                            let p = lo + off;
+                            if stats.vertices_generated >= cap {
+                                break 'skip_rounds; // cap reached mid-expansion
+                            }
+                            let charged = meter.charge_vertex();
+                            stats.vertices_generated += 1;
+                            if !charged {
+                                break 'skip_rounds; // quantum ran out mid-expansion
+                            }
+                            if completion <= deadline {
+                                stats.feasible_children += 1;
+                                if packable {
+                                    work.ckeys.push(pack_candidate(completion, p, task));
+                                } else {
+                                    work.children.push(Candidate {
+                                        task,
+                                        processor: p,
+                                        completion,
+                                        makespan: base_makespan.max(completion),
+                                        deadline,
+                                    });
+                                }
+                            } else {
+                                stats.infeasible_children += 1;
+                            }
+                        }
+                    }
+                    work.prof.stop(Stage::Cost, t_cost.take());
+                } else {
+                    let t_fill = work.prof.start();
+                    let col = work.state.candidate_column(params.tasks, params.comm, task);
+                    work.prof.stop(Stage::Fill, t_fill);
+                    t_cost = work.prof.start();
+                    for (p, &completion) in col.iter().enumerate() {
+                        if stats.vertices_generated >= cap {
+                            break 'skip_rounds; // cap reached mid-expansion
+                        }
+                        let charged = meter.charge_vertex();
+                        stats.vertices_generated += 1;
+                        if !charged {
+                            break 'skip_rounds; // quantum ran out mid-expansion
+                        }
+                        if completion <= deadline {
+                            stats.feasible_children += 1;
+                            if packable {
+                                work.ckeys.push(pack_candidate(completion, p, task));
+                            } else {
+                                work.children.push(Candidate {
+                                    task,
+                                    processor: p,
+                                    completion,
+                                    makespan: base_makespan.max(completion),
+                                    deadline,
+                                });
+                            }
+                        } else {
+                            stats.infeasible_children += 1;
+                        }
+                    }
+                    work.prof.stop(Stage::Cost, t_cost.take());
                 }
-                if work.raw.is_empty() {
-                    // The task exists but no shard can meet its deadline:
-                    // move on to the next task, as the flat path would after
-                    // evaluating (and charging) every processor.
-                    stats.level_skips += 1;
-                    continue;
+                if !work.children.is_empty() || !work.ckeys.is_empty() {
+                    break;
                 }
-            } else {
+                stats.level_skips += 1;
+            }
+        } else {
+            // Sequence-oriented levels fix a processor and branch over
+            // tasks: the candidates span many tasks, so the per-task
+            // column does not apply and the round keeps the batched
+            // completions_into evaluation.
+            'skip_rounds: for skip in 0..=max_skips {
                 params.representation.raw_candidates_into(
                     work.state,
                     self.level_task,
@@ -852,108 +1008,151 @@ impl Ctx<'_, '_> {
                 );
                 // Screened (phase-infeasible) tasks are invisible to the
                 // search and cost no quantum. An empty round means no viable
-                // task is left at all — skipping further cannot help either
-                // layout.
+                // task is left at all — skipping further cannot help.
                 work.raw.retain(|&(t, _)| self.viable[t]);
                 if work.raw.is_empty() {
                     break;
                 }
-            }
-            // Struct-of-arrays evaluation: the whole round's completions
-            // are computed in one batched pass over the candidate column
-            // (contiguous finish-time loads, one resource lookup per task
-            // run) before the accounting loop below consumes them.
-            let t_fill = work.prof.start();
-            work.state
-                .completions_into(params.tasks, params.comm, work.raw, work.comp);
-            work.prof.stop(Stage::Fill, t_fill);
-            // Per-candidate accounting order (pinned by the
-            // `vertex_cap_break_classifies_every_counted_vertex` and
-            // `quantum_break_counts_the_uncharged_vertex` tests):
-            //   1. vertex cap — checked *before* generating, so a cap break
-            //      counts nothing: every cap-counted vertex is classified.
-            //   2. quantum charge — counted whether or not it succeeds, so
-            //      `vertices_generated == meter.vertices()` always; but a
-            //      *failed* charge never reaches classification, so a
-            //      mid-round quantum break leaves exactly one counted,
-            //      unclassified vertex.
-            //   3. feasibility classification — only for charged vertices.
-            t_cost = work.prof.start();
-            for (i, &(task, p)) in work.raw.iter().enumerate() {
-                if self
-                    .vertex_cap
-                    .is_some_and(|cap| stats.vertices_generated >= cap)
-                {
-                    break 'skip_rounds; // cap reached mid-expansion
+                let t_fill = work.prof.start();
+                work.state
+                    .completions_into(params.tasks, params.comm, work.raw, work.comp);
+                work.prof.stop(Stage::Fill, t_fill);
+                t_cost = work.prof.start();
+                for (i, &(task, p)) in work.raw.iter().enumerate() {
+                    if stats.vertices_generated >= cap {
+                        break 'skip_rounds; // cap reached mid-expansion
+                    }
+                    let charged = meter.charge_vertex();
+                    stats.vertices_generated += 1;
+                    if !charged {
+                        break 'skip_rounds; // quantum ran out mid-expansion
+                    }
+                    let completion = work.comp[i];
+                    if params.tasks[task].meets_deadline(completion) {
+                        stats.feasible_children += 1;
+                        if packable {
+                            work.ckeys.push(pack_candidate(completion, p.index(), task));
+                        } else {
+                            work.children.push(Candidate {
+                                task,
+                                processor: p.index(),
+                                completion,
+                                makespan: base_makespan.max(completion),
+                                deadline: params.tasks[task].deadline(),
+                            });
+                        }
+                    } else {
+                        stats.infeasible_children += 1;
+                    }
                 }
-                let charged = meter.charge_vertex();
-                stats.vertices_generated += 1;
-                if !charged {
-                    break 'skip_rounds; // quantum ran out mid-expansion
+                work.prof.stop(Stage::Cost, t_cost.take());
+                if !work.children.is_empty() || !work.ckeys.is_empty() {
+                    break;
                 }
-                let completion = work.comp[i];
-                if params.tasks[task].meets_deadline(completion) {
-                    stats.feasible_children += 1;
-                    work.children.push(Candidate {
-                        task,
-                        processor: p.index(),
-                        completion,
-                        makespan: base_makespan.max(completion),
-                        deadline: params.tasks[task].deadline(),
-                    });
-                } else {
-                    stats.infeasible_children += 1;
-                }
+                stats.level_skips += 1;
             }
-            work.prof.stop(Stage::Cost, t_cost.take());
-            if !work.children.is_empty() {
-                break;
-            }
-            stats.level_skips += 1;
         }
-        // Closes the span a mid-loop budget break left open, then folds the
-        // child ordering into the same cost stage.
+        // Closes the span a mid-loop budget break left open; ordering and
+        // pushing the children is its own `select` stage from here on.
         work.prof.stop(Stage::Cost, t_cost);
-        let t_sort = work.prof.start();
-        params.child_order.sort(work.children);
-        work.prof.stop(Stage::Cost, t_sort);
+        let t_select = work.prof.start();
         let depth = work.state.depth() + 1;
-        let mut leaf = None;
         // Push lowest-priority first so the highest-priority child is popped
-        // next (CL front).
-        for child in work.children.iter().rev() {
-            let id = work.arena.len();
-            work.arena.push(Node {
+        // next (CL front). Bulk-extend the arena and CL rather than pushing
+        // per child: the capacity checks amortise and the Node construction
+        // stays in one tight loop.
+        let base_id = work.arena.len();
+        let mut leaf = None;
+        if packable {
+            // The packed key's integer order is `(completion, processor,
+            // task)`. For `EarliestCompletion` that *is* the policy key;
+            // for `LoadBalance` — `(makespan, completion, processor, task)`
+            // — it is equivalent because every makespan here is
+            // `base_makespan.max(completion)` for the one shared
+            // `base_makespan`: `max` is monotone in `completion`, so
+            // distinct completions order the makespans identically, and
+            // equal completions give equal makespans, falling through to
+            // the same `(processor, task)` tiebreak. A raw `u128` sort
+            // replaces a 40-byte-element comparator sort — on wide sharded
+            // expansions this is most of the select stage.
+            work.ckeys.sort_unstable();
+            work.arena.extend(work.ckeys.iter().rev().map(|&k| Node {
                 parent: cv,
                 depth,
-                task: child.task,
-                processor: ProcessorId::new(child.processor),
-            });
+                task: k as u32 as usize,
+                processor: ProcessorId::new((k >> 32) as u32 as usize),
+            }));
             if params.provenance {
-                work.node_costs.push((child.completion, child.makespan));
+                work.node_costs.extend(work.ckeys.iter().rev().map(|&k| {
+                    let completion = Time::from_micros((k >> 64) as u64);
+                    (completion, base_makespan.max(completion))
+                }));
             }
-            work.cl.push(id);
-            // Every generated feasible vertex is a candidate "best".
-            let key = (depth, child.makespan);
-            if key.0 > best.0 || (key.0 == best.0 && key.1 < best.1) {
-                *best = (depth, child.makespan, Some(id));
+            work.cl.extend(base_id..base_id + work.ckeys.len());
+            if !work.ckeys.is_empty() {
+                stats.deepest = stats.deepest.max(depth);
             }
-            stats.deepest = stats.deepest.max(depth);
-            if depth == self.n_viable {
-                // Prefer the highest-priority leaf of this expansion: since
-                // we iterate lowest-priority first, keep overwriting.
-                leaf = Some((id, child.makespan));
+            for (i, &k) in work.ckeys.iter().rev().enumerate() {
+                let id = base_id + i;
+                let makespan = base_makespan.max(Time::from_micros((k >> 64) as u64));
+                // Every generated feasible vertex is a candidate "best".
+                let key = (depth, makespan);
+                if key.0 > best.0 || (key.0 == best.0 && key.1 < best.1) {
+                    *best = (depth, makespan, Some(id));
+                }
+                if depth == self.n_viable {
+                    // Prefer the highest-priority leaf of this expansion:
+                    // since we iterate lowest-priority first, keep
+                    // overwriting.
+                    leaf = Some((id, makespan));
+                }
+            }
+        } else {
+            params.child_order.sort(work.children);
+            work.arena
+                .extend(work.children.iter().rev().map(|child| Node {
+                    parent: cv,
+                    depth,
+                    task: child.task,
+                    processor: ProcessorId::new(child.processor),
+                }));
+            if params.provenance {
+                work.node_costs.extend(
+                    work.children
+                        .iter()
+                        .rev()
+                        .map(|c| (c.completion, c.makespan)),
+                );
+            }
+            work.cl.extend(base_id..base_id + work.children.len());
+            if !work.children.is_empty() {
+                stats.deepest = stats.deepest.max(depth);
+            }
+            for (i, child) in work.children.iter().rev().enumerate() {
+                let id = base_id + i;
+                // Every generated feasible vertex is a candidate "best".
+                let key = (depth, child.makespan);
+                if key.0 > best.0 || (key.0 == best.0 && key.1 < best.1) {
+                    *best = (depth, child.makespan, Some(id));
+                }
+                if depth == self.n_viable {
+                    // Prefer the highest-priority leaf of this expansion:
+                    // since we iterate lowest-priority first, keep
+                    // overwriting.
+                    leaf = Some((id, child.makespan));
+                }
             }
         }
+        work.prof.stop(Stage::Select, t_select);
         leaf
     }
 
-    /// The shard-first candidate generator: picks the level's task exactly
-    /// like the flat assignment-oriented path, screens every shard with an
-    /// aggregate feasibility bound, and writes the processors of the
-    /// best-ranked feasible shards (up to the topology's fanout) into
-    /// `work.raw`. Returns `false` when no unassigned task remains at this
-    /// skip round (the flat path's empty-round condition).
+    /// The shard-first screen: tests every shard of the topology against
+    /// the level's task with an aggregate feasibility bound and leaves the
+    /// best-ranked feasible shards (up to the topology's fanout) in
+    /// `work.shard_rank`. The expansion then enumerates processors only
+    /// inside those winners, reading completions from the task's candidate
+    /// column.
     ///
     /// The screen bound for shard `s` is
     /// `max(shard_min(s), earliest_resource_start) + p + min_node_cost(s)`,
@@ -962,22 +1161,13 @@ impl Ctx<'_, '_> {
     /// has no feasible member. Only the fanout cut is heuristic. Shards are
     /// ranked by `(bound, shard index)` — a total order, so the generated
     /// candidate set is deterministic.
-    fn sharded_raw_into(
+    fn rank_shards(
         &self,
         topo: &rt_task::TopologySpec,
         work: &mut Work<'_>,
-        skip: usize,
+        task: usize,
         stats: &mut SearchStats,
-    ) -> bool {
-        work.raw.clear();
-        let Some(&task) = self
-            .level_task
-            .iter()
-            .filter(|&&t| !work.state.is_assigned(t))
-            .nth(skip)
-        else {
-            return false;
-        };
+    ) {
         let t = &self.params.tasks[task];
         stats.shard_screens += 1;
         work.shard_rank.clear();
@@ -997,12 +1187,6 @@ impl Ctx<'_, '_> {
         pruned += (work.shard_rank.len() - fanout) as u64;
         stats.shards_pruned += pruned;
         work.shard_rank.truncate(fanout);
-        for &(_, s) in work.shard_rank.iter() {
-            let (lo, hi) = topo.node_range(s);
-            work.raw
-                .extend((lo..hi).map(|p| (task, ProcessorId::new(p))));
-        }
-        true
     }
 
     /// Walks the candidate list until a leaf, a dead-end, a budget break or
@@ -1286,6 +1470,7 @@ fn run_sub(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         level_task: _,
@@ -1302,6 +1487,7 @@ fn run_sub(
     path.clear();
     chain.clear();
     children.clear();
+    ckeys.clear();
     raw.clear();
     comp.clear();
     shard_ends.clear();
@@ -1352,6 +1538,7 @@ fn run_sub(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         shard_rank,
@@ -1429,6 +1616,7 @@ fn search_parallel_core(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         level_task,
@@ -1445,6 +1633,7 @@ fn search_parallel_core(
     path.clear();
     chain.clear();
     children.clear();
+    ckeys.clear();
     raw.clear();
     comp.clear();
     level_task.clear();
@@ -1543,6 +1732,7 @@ fn search_parallel_core(
         path,
         chain,
         children,
+        ckeys,
         raw,
         comp,
         shard_rank,

@@ -1,6 +1,6 @@
 //! Partial-schedule state along one root-to-vertex path.
 
-use paragon_des::Time;
+use paragon_des::{Duration, Time};
 use rt_task::{CommModel, ProcessorId, ResourceEats, Task};
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +46,7 @@ pub struct Assignment {
 /// assert!(state.is_complete());
 /// assert_eq!(state.makespan(), Time::from_millis(13));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PathState {
     assigned: Vec<bool>,
     n_assigned: usize,
@@ -60,7 +60,89 @@ pub struct PathState {
     /// Per-shard minimum finish time, maintained incrementally — the SoA
     /// column the shard-first screen aggregates per shard.
     shard_min: Vec<Time>,
+    /// Latest finish time over all processors, maintained as a running max
+    /// by `apply` (appending only delays a processor) and restored from the
+    /// undo log by `undo` — `makespan()` in O(1) instead of an O(P) scan.
+    makespan: Time,
+    /// Touched-processor journal: every `apply` and `undo` appends the index
+    /// of the processor whose finish time it changed. Candidate columns
+    /// record the journal position they were filled at and replay only the
+    /// suffix on reuse — the O(Δ) dirty-tracking that replaces the O(P)
+    /// per-vertex refill.
+    journal: Vec<u32>,
+    /// Phase generation; bumped by `reset` so columns filled in an earlier
+    /// phase are recognised as stale without being dropped.
+    col_gen: u64,
+    /// Bumped whenever the resource EATs change (`apply`/`undo` of a
+    /// resource-holding task). Columns cache the task's resource
+    /// earliest-start and revalidate it lazily against this epoch.
+    res_epoch: u64,
+    /// Per-task persistent candidate columns (`comp`/`ce_k`), indexed by
+    /// batch task index. Grows monotonically; never dropped between phases.
+    columns: Vec<TaskColumn>,
+    /// Iterative segment min-tree over `finish`, maintained only when
+    /// sharded: leaves `[len/2, len/2 + P)` mirror `finish`, padded to a
+    /// power of two with `Time::MAX`. An `apply`/`undo` updates one
+    /// root-to-leaf path (O(log P)) and the touched shard's minimum is a
+    /// range-min query, replacing the O(shard size) rescan.
+    tree: Vec<Time>,
 }
+
+/// One task's persistent candidate column: the completion instant the task
+/// would have on every processor (`max(finish_k, earliest) + demand_k`),
+/// maintained incrementally across vertices of the same phase.
+///
+/// Validity is tracked per *segment* (the shard partition when sharded, one
+/// segment covering all processors otherwise): each segment remembers the
+/// phase generation and journal position it was last synchronised at, so the
+/// shard-first screen only ever pays for the segments it actually
+/// enumerates.
+#[derive(Debug, Clone, Default)]
+struct TaskColumn {
+    /// State-independent demand `p_l + c_lk` per processor — valid wherever
+    /// the owning segment's `gen` is current.
+    demand: Vec<Duration>,
+    /// Completion instants, index-aligned with `finish`.
+    comp: Vec<Time>,
+    /// The task's resource earliest-start the `comp` entries were computed
+    /// against.
+    earliest: Time,
+    /// Resource epoch `earliest` was taken at.
+    res_epoch: u64,
+    /// Phase generation `earliest` was taken at.
+    head_gen: u64,
+    /// Per-segment sync state.
+    segs: Vec<SegState>,
+}
+
+/// Synchronisation point of one column segment: the phase generation it was
+/// cold-filled in and the journal length it has replayed up to.
+#[derive(Debug, Clone, Copy, Default)]
+struct SegState {
+    gen: u64,
+    journal_pos: usize,
+}
+
+/// Semantic equality: two states are equal when they represent the same
+/// partial schedule. The incremental caches (journal, candidate columns,
+/// segment min-tree, generation counters) are deliberately excluded — they
+/// are derived performance state whose shape depends on the access history,
+/// not on the schedule.
+impl PartialEq for PathState {
+    fn eq(&self, other: &Self) -> bool {
+        self.assigned == other.assigned
+            && self.n_assigned == other.n_assigned
+            && self.finish == other.finish
+            && self.assignments == other.assignments
+            && self.resources == other.resources
+            && self.undo_log == other.undo_log
+            && self.shard_ends == other.shard_ends
+            && self.shard_min == other.shard_min
+            && self.makespan == other.makespan
+    }
+}
+
+impl Eq for PathState {}
 
 /// What [`PathState::apply`] displaced, kept so [`PathState::undo`] can
 /// revert one assignment in O(1) (plus the resource snapshot for the rare
@@ -68,7 +150,8 @@ pub struct PathState {
 ///
 /// The fields are exactly the state an assignment can clobber: the assigned
 /// processor's previous finish time, its shard's previous minimum finish
-/// (meaningless — [`Time::ZERO`] — when unsharded), and — only when the task
+/// (meaningless — [`Time::ZERO`] — when unsharded), the previous makespan
+/// (the running max cannot be inverted locally), and — only when the task
 /// holds resources, since [`ResourceEats::commit`] is a max-merge that
 /// cannot be inverted locally — a snapshot of the resource EATs taken before
 /// the commit.
@@ -76,6 +159,7 @@ pub struct PathState {
 struct UndoRecord {
     prev_finish: Time,
     prev_shard_min: Time,
+    prev_makespan: Time,
     prev_resources: Option<ResourceEats>,
 }
 
@@ -106,6 +190,7 @@ impl PathState {
         resources: ResourceEats,
     ) -> Self {
         assert!(!initial_finish.is_empty(), "PathState needs processors");
+        let makespan = *initial_finish.iter().max().expect("non-empty");
         PathState {
             assigned: vec![false; n_tasks],
             n_assigned: 0,
@@ -115,6 +200,12 @@ impl PathState {
             undo_log: Vec::new(),
             shard_ends: Vec::new(),
             shard_min: Vec::new(),
+            makespan,
+            journal: Vec::new(),
+            col_gen: 1,
+            res_epoch: 0,
+            columns: Vec::new(),
+            tree: Vec::new(),
         }
     }
 
@@ -140,6 +231,14 @@ impl PathState {
         self.undo_log.clear();
         self.shard_ends.clear();
         self.shard_min.clear();
+        self.makespan = *initial_finish.iter().max().expect("non-empty");
+        self.journal.clear();
+        // Stale columns from the previous phase stay allocated (their
+        // buffers are the cache) but their generation no longer matches, so
+        // the next use cold-fills in place.
+        self.col_gen += 1;
+        self.res_epoch = 0;
+        self.tree.clear();
     }
 
     /// Partitions the processors into shards for shard-first candidate
@@ -170,6 +269,50 @@ impl PathState {
             self.shard_min.push(min);
             lo = hi;
         }
+        // Build the segment min-tree over the finish column: leaves padded
+        // to a power of two with Time::MAX so internal nodes need no bounds
+        // checks. Clear-don't-drop keeps repeated configuration
+        // allocation-free at steady state.
+        let p = self.finish.len();
+        let size = p.next_power_of_two();
+        self.tree.clear();
+        self.tree.resize(2 * size, Time::MAX);
+        self.tree[size..size + p].copy_from_slice(&self.finish);
+        for i in (1..size).rev() {
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+    }
+
+    /// Re-anchors leaf `p` of the min-tree at `finish[p]` and recomputes its
+    /// root-to-leaf path. O(log P).
+    fn tree_update(&mut self, p: usize) {
+        let size = self.tree.len() / 2;
+        let mut i = size + p;
+        self.tree[i] = self.finish[p];
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+    }
+
+    /// Minimum of `finish[lo..hi]` via the min-tree. O(log P).
+    fn tree_range_min(&self, lo: usize, hi: usize) -> Time {
+        let size = self.tree.len() / 2;
+        let (mut lo, mut hi) = (lo + size, hi + size);
+        let mut m = Time::MAX;
+        while lo < hi {
+            if lo & 1 == 1 {
+                m = m.min(self.tree[lo]);
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                m = m.min(self.tree[hi]);
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        m
     }
 
     /// Number of configured shards (zero when unsharded).
@@ -295,6 +438,136 @@ impl PathState {
         }
     }
 
+    /// Number of column segments: the shard partition when sharded, one
+    /// segment covering every processor otherwise.
+    fn n_segments(&self) -> usize {
+        self.shard_ends.len().max(1)
+    }
+
+    /// Processor range `[lo, hi)` covered by column segment `seg`.
+    fn seg_range(&self, seg: usize) -> (usize, usize) {
+        if self.shard_ends.is_empty() {
+            (0, self.finish.len())
+        } else {
+            let lo = if seg == 0 {
+                0
+            } else {
+                self.shard_ends[seg - 1]
+            };
+            (lo, self.shard_ends[seg])
+        }
+    }
+
+    /// Brings segment `seg` of `task`'s candidate column up to date with the
+    /// current state, in O(Δ) where Δ is the number of journal entries since
+    /// the segment last synchronised (O(segment size) on the first touch per
+    /// phase, or when Δ would exceed a straight refill).
+    ///
+    /// Each entry of the synchronised range equals
+    /// [`PathState::completion_if`] for the same `(task, processor)` pair —
+    /// bit-for-bit, since both compute `max(finish_k, earliest) + demand_k`
+    /// from the same operands.
+    pub fn ensure_candidate_segment(
+        &mut self,
+        tasks: &[Task],
+        comm: &CommModel,
+        task: usize,
+        seg: usize,
+    ) {
+        let n_segs = self.n_segments();
+        let (lo, hi) = self.seg_range(seg);
+        let p_count = self.finish.len();
+        if self.columns.len() <= task {
+            self.columns.resize_with(task + 1, TaskColumn::default);
+        }
+        let t = &tasks[task];
+        let col = &mut self.columns[task];
+        // Reshape for this phase's geometry if it changed (no-op — and no
+        // allocation — once capacities reach their steady state).
+        if col.comp.len() != p_count || col.segs.len() != n_segs {
+            col.comp.clear();
+            col.comp.resize(p_count, Time::ZERO);
+            col.demand.clear();
+            col.demand.resize(p_count, Duration::ZERO);
+            col.segs.clear();
+            col.segs.resize(n_segs, SegState::default());
+            col.head_gen = 0;
+        }
+        // Revalidate the cached resource earliest-start. A changed value
+        // shifts every completion of the column, so it invalidates all
+        // segments; an unchanged one costs a single epoch compare on the
+        // (overwhelmingly common) resource-free path.
+        if col.head_gen != self.col_gen {
+            col.earliest = self.resources.earliest_start(t.resources());
+            col.res_epoch = self.res_epoch;
+            col.head_gen = self.col_gen;
+        } else if col.res_epoch != self.res_epoch {
+            let e = self.resources.earliest_start(t.resources());
+            col.res_epoch = self.res_epoch;
+            if e != col.earliest {
+                col.earliest = e;
+                for s in &mut col.segs {
+                    s.gen = 0; // col_gen starts at 1, so 0 is always stale
+                }
+            }
+        }
+        let sstate = col.segs[seg];
+        if sstate.gen != self.col_gen {
+            // Cold fill: compute demand and completion for the whole range.
+            for p in lo..hi {
+                let d = comm.demand(t, ProcessorId::new(p));
+                col.demand[p] = d;
+                col.comp[p] = self.finish[p].max(col.earliest) + d;
+            }
+            col.segs[seg] = SegState {
+                gen: self.col_gen,
+                journal_pos: self.journal.len(),
+            };
+        } else {
+            let delta = &self.journal[sstate.journal_pos..];
+            if delta.len() >= hi - lo {
+                // The journal suffix outweighs a straight refill; demand is
+                // already cached, so recompute the range directly.
+                for p in lo..hi {
+                    col.comp[p] = self.finish[p].max(col.earliest) + col.demand[p];
+                }
+            } else {
+                // O(Δ) replay: patch only the processors touched since the
+                // segment last synchronised.
+                for &p in delta {
+                    let p = p as usize;
+                    if p >= lo && p < hi {
+                        col.comp[p] = self.finish[p].max(col.earliest) + col.demand[p];
+                    }
+                }
+            }
+            col.segs[seg].journal_pos = self.journal.len();
+        }
+    }
+
+    /// Brings every segment of `task`'s candidate column up to date and
+    /// returns it: `column[k]` is the completion instant the task would have
+    /// on processor `k` (equals [`PathState::completion_if`] entry-wise).
+    pub fn candidate_column(&mut self, tasks: &[Task], comm: &CommModel, task: usize) -> &[Time] {
+        for seg in 0..self.n_segments() {
+            self.ensure_candidate_segment(tasks, comm, task, seg);
+        }
+        &self.columns[task].comp
+    }
+
+    /// Read-only view of `task`'s candidate column. Only the segments
+    /// brought up to date by [`PathState::ensure_candidate_segment`] (or
+    /// [`PathState::candidate_column`]) since the last `apply`/`undo` are
+    /// meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column was never filled.
+    #[must_use]
+    pub fn comp_column(&self, task: usize) -> &[Time] {
+        &self.columns[task].comp
+    }
+
     /// Commits assignment `(task → p)` and returns its completion instant.
     ///
     /// # Panics
@@ -312,6 +585,7 @@ impl PathState {
         self.undo_log.push(UndoRecord {
             prev_finish: self.finish[p.index()],
             prev_shard_min,
+            prev_makespan: self.makespan,
             prev_resources: if requests.is_empty() {
                 None
             } else {
@@ -321,13 +595,21 @@ impl PathState {
         self.assigned[task] = true;
         self.n_assigned += 1;
         self.finish[p.index()] = completion;
+        // Appending only delays finish[p] (completion ≥ previous finish), so
+        // the makespan is a monotone running max.
+        self.makespan = self.makespan.max(completion);
+        self.journal.push(p.index() as u32);
         if !self.shard_ends.is_empty() {
-            // The assignment only delays finish[p], so a single O(shard
-            // size) rescan of the affected shard keeps the minimum exact.
+            // One O(log P) leaf update plus an O(log P) range-min over the
+            // affected shard keeps the minimum exact.
+            self.tree_update(p.index());
             let s = self.shard_of(p.index());
             let lo = if s == 0 { 0 } else { self.shard_ends[s - 1] };
             let hi = self.shard_ends[s];
-            self.shard_min[s] = *self.finish[lo..hi].iter().min().expect("non-empty shard");
+            self.shard_min[s] = self.tree_range_min(lo, hi);
+        }
+        if !requests.is_empty() {
+            self.res_epoch += 1;
         }
         self.resources.commit(requests, completion);
         self.assignments.push(Assignment {
@@ -355,21 +637,26 @@ impl PathState {
         self.assigned[a.task] = false;
         self.n_assigned -= 1;
         self.finish[a.processor.index()] = u.prev_finish;
+        self.makespan = u.prev_makespan;
+        self.journal.push(a.processor.index() as u32);
         if !self.shard_ends.is_empty() {
+            self.tree_update(a.processor.index());
             let s = self.shard_of(a.processor.index());
             self.shard_min[s] = u.prev_shard_min;
         }
         if let Some(resources) = u.prev_resources {
             self.resources = resources;
+            self.res_epoch += 1;
         }
         a
     }
 
     /// The total execution time `CE` of this partial schedule: the latest
-    /// finish time over all processors (paper, Section 4.4).
+    /// finish time over all processors (paper, Section 4.4). O(1) — the
+    /// value is maintained incrementally by `apply`/`undo`.
     #[must_use]
     pub fn makespan(&self) -> Time {
-        *self.finish.iter().max().expect("at least one processor")
+        self.makespan
     }
 
     /// The committed assignments in path order.
@@ -615,6 +902,96 @@ mod tests {
     fn shard_ends_must_cover_processors() {
         let mut s = PathState::new(vec![Time::ZERO; 4], 1);
         s.configure_shards(&[2, 3]);
+    }
+
+    /// The incremental column must match `completion_if` entry-wise no
+    /// matter what interleaving of applies and undos preceded the read.
+    fn assert_column_fresh(tasks: &[Task], comm: &CommModel, s: &mut PathState, task: usize) {
+        let expected: Vec<Time> = (0..s.processors())
+            .map(|p| s.completion_if(tasks, comm, task, ProcessorId::new(p)))
+            .collect();
+        let got = s.candidate_column(tasks, comm, task).to_vec();
+        assert_eq!(got, expected, "column for task {task} diverged");
+    }
+
+    #[test]
+    fn candidate_column_tracks_apply_and_undo() {
+        let tasks = mk_tasks(&[(100, 10_000, &[0]), (150, 10_000, &[]), (70, 10_000, &[1])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let mut s = PathState::new(vec![Time::from_micros(5); 3], 3);
+        assert_column_fresh(&tasks, &comm, &mut s, 0);
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        s.apply(&tasks, &comm, 1, ProcessorId::new(2));
+        assert_column_fresh(&tasks, &comm, &mut s, 2);
+        s.undo();
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        assert_column_fresh(&tasks, &comm, &mut s, 2);
+        s.undo();
+        assert_column_fresh(&tasks, &comm, &mut s, 0);
+    }
+
+    #[test]
+    fn candidate_column_revalidates_after_resource_commit() {
+        use rt_task::ResourceRequest;
+        let tasks = vec![
+            Task::builder(TaskId::new(0))
+                .processing_time(Duration::from_micros(100))
+                .deadline(Time::from_micros(10_000))
+                .resources(vec![ResourceRequest::exclusive(0)])
+                .build(),
+            Task::builder(TaskId::new(1))
+                .processing_time(Duration::from_micros(100))
+                .deadline(Time::from_micros(10_000))
+                .resources(vec![ResourceRequest::shared(0)])
+                .build(),
+        ];
+        let comm = CommModel::free();
+        let mut s = PathState::new(vec![Time::ZERO; 2], 2);
+        // Fill task 1's column before the resource commit shifts its
+        // earliest start, then verify the cached earliest is invalidated.
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        s.undo();
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+    }
+
+    #[test]
+    fn candidate_column_survives_reset_generation() {
+        let tasks = mk_tasks(&[(100, 10_000, &[]), (150, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let mut s = PathState::new(vec![Time::ZERO; 2], 2);
+        s.apply(&tasks, &comm, 0, ProcessorId::new(0));
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+        // A reset bumps the generation: stale column entries from the old
+        // phase must not leak into the new one.
+        let finishes = [Time::from_micros(300), Time::from_micros(700)];
+        s.reset(&finishes, 2, &ResourceEats::new());
+        assert_column_fresh(&tasks, &comm, &mut s, 0);
+        assert_column_fresh(&tasks, &comm, &mut s, 1);
+    }
+
+    #[test]
+    fn sharded_segments_sync_independently() {
+        let tasks = mk_tasks(&[(100, 10_000, &[]), (150, 10_000, &[]), (70, 10_000, &[])]);
+        let comm = CommModel::constant(Duration::from_micros(10));
+        let finishes: Vec<Time> = [10u64, 40, 30, 20].map(Time::from_micros).into();
+        let mut s = PathState::new(finishes, 3);
+        s.configure_shards(&[2, 4]);
+        // Sync only shard 1 of task 0's column, mutate shard 0, then check
+        // that re-syncing each shard yields from-scratch values.
+        s.ensure_candidate_segment(&tasks, &comm, 0, 1);
+        s.apply(&tasks, &comm, 1, ProcessorId::new(0));
+        s.ensure_candidate_segment(&tasks, &comm, 0, 0);
+        s.ensure_candidate_segment(&tasks, &comm, 0, 1);
+        let expected: Vec<Time> = (0..4)
+            .map(|p| s.completion_if(&tasks, &comm, 0, ProcessorId::new(p)))
+            .collect();
+        assert_eq!(s.comp_column(0), &expected[..]);
+        s.undo();
+        assert_column_fresh(&tasks, &comm, &mut s, 0);
     }
 
     #[test]

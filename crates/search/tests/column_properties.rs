@@ -1,0 +1,196 @@
+//! Property tests of the persistent candidate columns: after an arbitrary
+//! interleaving of `apply`/`undo`, with column reads forced at arbitrary
+//! points in between (so segments synchronise at different journal
+//! positions), every column entry must be bit-equal to the from-scratch
+//! evaluation (`completion_if`) against the live state — and the
+//! incrementally maintained `makespan` and per-shard `shard_min` must equal
+//! their from-scratch recomputations over the finish array.
+
+use proptest::prelude::*;
+
+use paragon_des::{Duration, Time};
+use rt_task::{CommModel, ProcessorId, ResourceEats, ResourceRequest, Task, TaskId, TopologySpec};
+use sched_search::PathState;
+
+/// One step of the random walk over the search tree.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Assign the `t`-th (mod remaining) unassigned task to processor
+    /// `p` (mod P); no-op when the path is complete.
+    Apply(usize, usize),
+    /// Pop the deepest assignment; no-op at the root.
+    Undo,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0usize..5, 0usize..64, 0usize..64).prop_map(
+        |(kind, t, p)| {
+            if kind < 3 {
+                Op::Apply(t, p)
+            } else {
+                Op::Undo
+            }
+        },
+    )
+}
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    p_us: u64,
+    laxity_x10: u64,
+    resource: Option<(usize, bool)>,
+}
+
+fn task_spec() -> impl Strategy<Value = TaskSpec> {
+    (
+        1u64..2_000,
+        10u64..60,
+        any::<bool>(),
+        0usize..3,
+        any::<bool>(),
+    )
+        .prop_map(|(p_us, laxity_x10, has_resource, r, exclusive)| TaskSpec {
+            p_us,
+            laxity_x10,
+            resource: has_resource.then_some((r, exclusive)),
+        })
+}
+
+fn tasks_from(specs: &[TaskSpec]) -> Vec<Task> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let p = Duration::from_micros(s.p_us);
+            let resources = match s.resource {
+                Some((r, true)) => vec![ResourceRequest::exclusive(r)],
+                Some((r, false)) => vec![ResourceRequest::shared(r)],
+                None => Vec::new(),
+            };
+            Task::builder(TaskId::new(i as u64))
+                .processing_time(p)
+                .deadline(Time::ZERO + p.mul_f64(s.laxity_x10 as f64 / 10.0))
+                .resources(resources)
+                .build()
+        })
+        .collect()
+}
+
+/// Checks every incremental structure of `state` against its from-scratch
+/// definition. `candidate_column` synchronises the column as a side effect,
+/// which is exactly the production read path.
+fn check_state(
+    tasks: &[Task],
+    comm: &CommModel,
+    state: &mut PathState,
+) -> Result<(), TestCaseError> {
+    let procs = state.processors();
+    // Incremental makespan == max finish.
+    let max_finish = (0..procs)
+        .map(|p| state.finish_of(ProcessorId::new(p)))
+        .max()
+        .unwrap_or(Time::ZERO);
+    prop_assert_eq!(state.makespan(), max_finish, "makespan != max finish");
+    // Incremental shard minima == per-segment min finish.
+    if let Some(topo) = comm.topology() {
+        for s in 0..topo.nodes() {
+            let (lo, hi) = topo.node_range(s);
+            let min_finish = (lo..hi)
+                .map(|p| state.finish_of(ProcessorId::new(p)))
+                .min()
+                .expect("non-empty shard");
+            prop_assert_eq!(state.shard_min(s), min_finish, "shard_min({}) stale", s);
+        }
+    }
+    // Every column entry == the from-scratch completion for that pair.
+    for t in 0..tasks.len() {
+        let col = state.candidate_column(tasks, comm, t).to_vec();
+        prop_assert_eq!(col.len(), procs);
+        for (p, &got) in col.iter().enumerate() {
+            let want = state.completion_if(tasks, comm, t, ProcessorId::new(p));
+            prop_assert_eq!(
+                got,
+                want,
+                "column[task={}][p={}] diverged from completion_if",
+                t,
+                p
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run_walk(
+    tasks: &[Task],
+    comm: &CommModel,
+    procs: usize,
+    shard_ends: &[usize],
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let initial: Vec<Time> = (0..procs)
+        .map(|p| Time::from_micros((p as u64 * 137) % 1_000))
+        .collect();
+    let mut state = PathState::with_resources(initial, tasks.len(), ResourceEats::new());
+    if !shard_ends.is_empty() {
+        state.configure_shards(shard_ends);
+    }
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Apply(t, p) => {
+                let unassigned: Vec<usize> = state.unassigned().collect();
+                if let Some(&task) = unassigned.get(t % unassigned.len().max(1)) {
+                    state.apply(tasks, comm, task, ProcessorId::new(p % procs));
+                }
+            }
+            Op::Undo => {
+                if state.depth() > 0 {
+                    state.undo();
+                }
+            }
+        }
+        // Force column reads at varying interleaving points so segments
+        // synchronise at different journal positions; every third step
+        // keeps the walk cheap while still exercising stale replays.
+        if i % 3 == 0 {
+            check_state(tasks, comm, &mut state)?;
+        }
+    }
+    check_state(tasks, comm, &mut state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat (single-segment) columns under a constant-cost model stay
+    /// bit-equal to from-scratch evaluation through any apply/undo
+    /// interleaving.
+    #[test]
+    fn flat_columns_match_rebuild(
+        specs in prop::collection::vec(task_spec(), 1..10),
+        ops in prop::collection::vec(op(), 1..40),
+        c_us in 0u64..500,
+        procs in 1usize..12,
+    ) {
+        let tasks = tasks_from(&specs);
+        let comm = CommModel::constant(Duration::from_micros(c_us));
+        run_walk(&tasks, &comm, procs, &[], &ops)?;
+    }
+
+    /// Sharded (multi-segment) columns under a hierarchical model — the
+    /// shard-first read path syncs segments independently, so the journal
+    /// replay positions differ per segment.
+    #[test]
+    fn sharded_columns_match_rebuild(
+        specs in prop::collection::vec(task_spec(), 1..10),
+        ops in prop::collection::vec(op(), 1..40),
+        nodes in 2u32..5,
+        per_node in 1u32..5,
+    ) {
+        let tasks = tasks_from(&specs);
+        let workers = nodes * per_node;
+        let topo = TopologySpec::new(workers, nodes, 1, 50, 400, 400);
+        let comm = CommModel::hierarchical(topo);
+        let shard_ends: Vec<usize> = (0..topo.nodes()).map(|s| topo.node_range(s).1).collect();
+        run_walk(&tasks, &comm, workers as usize, &shard_ends, &ops)?;
+    }
+}

@@ -76,6 +76,7 @@ impl AffinitySet {
 
     /// Whether `proc` is a member.
     #[must_use]
+    #[inline]
     pub fn contains(&self, proc: ProcessorId) -> bool {
         let (word, bit) = Self::locate(proc);
         self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)

@@ -133,6 +133,7 @@ impl ResourceEats {
     /// The earliest instant a task with `requests` may start, as far as
     /// resources are concerned.
     #[must_use]
+    #[inline]
     pub fn earliest_start(&self, requests: &[ResourceRequest]) -> Time {
         requests
             .iter()

@@ -56,6 +56,7 @@ impl Task {
     /// The processing time `p_i`: how long the task executes once started
     /// (excluding any communication delay).
     #[must_use]
+    #[inline]
     pub fn processing_time(&self) -> Duration {
         self.processing_time
     }
@@ -68,12 +69,14 @@ impl Task {
 
     /// The absolute deadline `d_i`.
     #[must_use]
+    #[inline]
     pub fn deadline(&self) -> Time {
         self.deadline
     }
 
     /// The processors holding this task's referenced data in local memory.
     #[must_use]
+    #[inline]
     pub fn affinity(&self) -> &AffinitySet {
         &self.affinity
     }
@@ -81,6 +84,7 @@ impl Task {
     /// The resources this task holds for the whole of its execution
     /// (empty for the paper's independent tasks).
     #[must_use]
+    #[inline]
     pub fn resources(&self) -> &[ResourceRequest] {
         &self.resources
     }
@@ -119,6 +123,7 @@ impl Task {
 
     /// Whether finishing at `completion` meets the deadline.
     #[must_use]
+    #[inline]
     pub fn meets_deadline(&self, completion: Time) -> bool {
         completion <= self.deadline
     }
@@ -333,6 +338,7 @@ impl CommModel {
     /// the cheapest hierarchy class reaching an affine processor
     /// (hierarchical model; worst class with no affinity).
     #[must_use]
+    #[inline]
     pub fn cost(&self, task: &Task, proc: ProcessorId) -> Duration {
         if task.affinity().contains(proc) {
             return Duration::ZERO;
@@ -355,6 +361,7 @@ impl CommModel {
     /// The total demand `p_i + c_ij` the assignment `(T_i → P_j)` places on
     /// the processor.
     #[must_use]
+    #[inline]
     pub fn demand(&self, task: &Task, proc: ProcessorId) -> Duration {
         task.processing_time() + self.cost(task, proc)
     }

@@ -124,6 +124,7 @@ impl TopologySpec {
 
     /// Number of nodes (shards).
     #[must_use]
+    #[inline]
     pub fn nodes(&self) -> usize {
         self.nodes as usize
     }
@@ -136,6 +137,7 @@ impl TopologySpec {
 
     /// The shard-first fanout hint.
     #[must_use]
+    #[inline]
     pub fn fanout(&self) -> usize {
         self.fanout as usize
     }
@@ -193,6 +195,7 @@ impl TopologySpec {
     ///
     /// Panics if `n` is not a valid node index.
     #[must_use]
+    #[inline]
     pub fn node_range(&self, n: usize) -> (usize, usize) {
         assert!(n < self.nodes(), "node {n} outside {} nodes", self.nodes);
         Self::part_range(self.workers(), self.nodes(), n)
@@ -270,6 +273,7 @@ impl TopologySpec {
     ///
     /// Panics if `n` is not a valid node index.
     #[must_use]
+    #[inline]
     pub fn min_node_cost(&self, affinity: &AffinitySet, n: usize) -> Duration {
         let (lo, hi) = self.node_range(n);
         if affinity.is_empty() {

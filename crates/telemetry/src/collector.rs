@@ -267,6 +267,7 @@ mod tests {
                     apply_ns: 300,
                     undo_ns: 200,
                     merge_ns: 50,
+                    select_ns: 0,
                     walks: vec![
                         paragon_des::trace::WalkProfile {
                             termination: "dead_end".into(),

@@ -746,6 +746,7 @@ mod tests {
                     apply_ns: 150,
                     undo_ns: 100,
                     merge_ns: 0,
+                    select_ns: 0,
                     walks: vec![
                         WalkProfile {
                             termination: "dead_end".into(),

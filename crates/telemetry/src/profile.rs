@@ -47,10 +47,13 @@ pub enum Stage {
     Undo = 5,
     /// Parallel reduction: best-vertex merge and counter absorption.
     Merge = 6,
+    /// Child ordering and push: sorting the candidate batch and selecting
+    /// the branch/best-vertex updates.
+    Select = 7,
 }
 
 /// Number of stages — the length of the accumulator array.
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 /// A per-scratch stage-time accumulator. See the module docs for the
 /// enable/measure/drain lifecycle.
@@ -146,7 +149,8 @@ impl StageProfiler {
     /// resets the accumulators for the next phase. The walk vector is
     /// moved out, not cloned, so a phase with no walks allocates nothing.
     pub fn take(&mut self) -> PhaseProfile {
-        let [screen_ns, fill_ns, cost_ns, shard_ns, apply_ns, undo_ns, merge_ns] = self.stage_ns;
+        let [screen_ns, fill_ns, cost_ns, shard_ns, apply_ns, undo_ns, merge_ns, select_ns] =
+            self.stage_ns;
         self.stage_ns = [0; STAGE_COUNT];
         PhaseProfile {
             screen_ns,
@@ -156,6 +160,7 @@ impl StageProfiler {
             apply_ns,
             undo_ns,
             merge_ns,
+            select_ns,
             walks: std::mem::take(&mut self.walks),
         }
     }

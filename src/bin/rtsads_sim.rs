@@ -399,6 +399,7 @@ fn cmd_profile(argv: &[String]) -> Result<(), String> {
             total.apply_ns += profile.apply_ns;
             total.undo_ns += profile.undo_ns;
             total.merge_ns += profile.merge_ns;
+            total.select_ns += profile.select_ns;
             total.walks.extend(profile.walks);
         }
     }

@@ -56,6 +56,12 @@ pub struct PointProfile {
     pub undo: f64,
     /// Parallel merge/reduction fraction.
     pub merge: f64,
+    /// Child ordering and push (branch selection) fraction. `None` in
+    /// baselines written before the `select` stage existed
+    /// (`serde(default)`), in which case [`PointProfile::fractions`] omits
+    /// it and the remaining stages still sum to 1.0.
+    #[serde(default)]
+    pub select: Option<f64>,
     /// Parallel-walk imbalance (max/mean subtree vertices; 1.0 = balanced).
     pub imbalance: f64,
 }
@@ -80,14 +86,18 @@ impl PointProfile {
             apply: frac(profile.apply_ns),
             undo: frac(profile.undo_ns),
             merge: frac(profile.merge_ns),
+            select: Some(frac(profile.select_ns)),
             imbalance: profile.imbalance(),
         })
     }
 
     /// The stage fractions with their diff-metric names, in pipeline order.
+    /// Stages absent from this profile (a `None` optional stage in an older
+    /// baseline) are omitted rather than reported as zero, so the diff can
+    /// tell "not measured" from "measured nothing".
     #[must_use]
-    pub fn fractions(&self) -> [(&'static str, f64); 7] {
-        [
+    pub fn fractions(&self) -> Vec<(&'static str, f64)> {
+        let mut out = vec![
             ("profile.screen", self.screen),
             ("profile.fill", self.fill),
             ("profile.cost", self.cost),
@@ -95,7 +105,11 @@ impl PointProfile {
             ("profile.apply", self.apply),
             ("profile.undo", self.undo),
             ("profile.merge", self.merge),
-        ]
+        ];
+        if let Some(select) = self.select {
+            out.push(("profile.select", select));
+        }
+        out
     }
 }
 
@@ -122,6 +136,14 @@ pub struct SnapshotPoint {
     /// (`serde(default)`), which skips its comparison.
     #[serde(default)]
     pub candidates_per_vertex: f64,
+    /// Subtree walks the point's profiled pass spawned, summed over its
+    /// phases. `0` on serial points — and, tellingly, on nominally
+    /// multi-threaded points that fell back to the serial walk (k < 2
+    /// viable subtrees), which is why the `*_t8` points' imbalance can sit
+    /// pinned at 1.0. `0` also in baselines written before the field
+    /// existed (`serde(default)`).
+    #[serde(default)]
+    pub walks_spawned: u64,
     /// Stage-level time attribution from a separate profiled pass; `None`
     /// in baselines written before the field existed (`serde(default)`),
     /// which skips the stage-shift comparison.
@@ -202,6 +224,11 @@ pub struct SnapshotDiff {
     /// regression): a point added to the bench suite without regenerating
     /// the committed baseline would otherwise escape the gate silently.
     pub unexpected: Vec<String>,
+    /// Stage metrics present on only one side of a profile comparison
+    /// (e.g. a newly added pipeline stage that an older baseline predates),
+    /// as `"point/metric"` strings. Logged as a note, never a regression:
+    /// the stage set is allowed to grow without invalidating history.
+    pub skipped_stages: Vec<String>,
 }
 
 impl SnapshotDiff {
@@ -252,6 +279,11 @@ impl SnapshotDiff {
                 "{name:<14} not in baseline (regenerate it)  REGRESSED\n"
             ));
         }
+        for name in &self.skipped_stages {
+            out.push_str(&format!(
+                "note: {name} present on one side only; stage comparison skipped\n"
+            ));
+        }
         out.push_str(&format!(
             "verdict: {} (tolerance {:.0}%)\n",
             if self.has_regression() {
@@ -297,6 +329,7 @@ impl SnapshotDiff {
             ("deltas".to_string(), Value::Array(deltas)),
             ("missing".to_string(), strings(&self.missing)),
             ("unexpected".to_string(), strings(&self.unexpected)),
+            ("skipped_stages".to_string(), strings(&self.skipped_stages)),
         ]);
         serde_json::to_string_pretty(&obj).expect("diff serializes") + "\n"
     }
@@ -316,6 +349,7 @@ impl SnapshotDiff {
 pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64) -> SnapshotDiff {
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
+    let mut skipped_stages = Vec::new();
     let unexpected = new
         .points
         .iter()
@@ -361,18 +395,32 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64)
         // structural property, so a stage absorbing ten more points of the
         // phase is a regression signature even when total throughput moved
         // within tolerance (or improved). Skipped when either side predates
-        // the profile section.
+        // the profile section. Stages are matched BY NAME, not by position:
+        // a stage present on only one side (a newly added pipeline stage
+        // that an older baseline predates) is noted and skipped rather than
+        // tripping the gate — the stage set is allowed to grow.
         if let (Some(bpr), Some(npr)) = (&bp.profile, &np.profile) {
-            for ((metric, b), (_, n)) in bpr.fractions().iter().zip(npr.fractions().iter()) {
+            let bf = bpr.fractions();
+            let nf = npr.fractions();
+            for &(metric, b) in &bf {
+                let Some(&(_, n)) = nf.iter().find(|(m, _)| *m == metric) else {
+                    skipped_stages.push(format!("{}/{metric}", bp.name));
+                    continue;
+                };
                 let change = n - b;
                 deltas.push(MetricDelta {
                     point: bp.name.clone(),
                     metric,
-                    base: *b,
-                    new: *n,
+                    base: b,
+                    new: n,
                     change,
                     regressed: change.abs() > STAGE_SHIFT_TOLERANCE,
                 });
+            }
+            for &(metric, _) in &nf {
+                if !bf.iter().any(|(m, _)| *m == metric) {
+                    skipped_stages.push(format!("{}/{metric}", bp.name));
+                }
             }
         }
     }
@@ -381,6 +429,7 @@ pub fn diff_snapshots(base: &BenchSnapshot, new: &BenchSnapshot, tolerance: f64)
         deltas,
         missing,
         unexpected,
+        skipped_stages,
     }
 }
 
@@ -463,6 +512,7 @@ fn point(
             vertices_per_sec: vertices as f64 / secs,
             undos_per_sec: undos as f64 / secs,
             candidates_per_vertex: candidates as f64 / expansions.max(1) as f64,
+            walks_spawned: 0,
             profile: None,
         };
         if best
@@ -517,7 +567,9 @@ pub fn collect(measured: u64) -> BenchSnapshot {
         for _ in 0..warmup {
             dive_phase(&params, &mut scratch);
         }
-        p.profile = PointProfile::from_phase(&scratch.take_profile());
+        let prof = scratch.take_profile();
+        p.walks_spawned = prof.walks.len() as u64;
+        p.profile = PointProfile::from_phase(&prof);
         p
     };
 
@@ -565,7 +617,9 @@ pub fn collect(measured: u64) -> BenchSnapshot {
         for _ in 0..profile_phases {
             run(&mut scratch);
         }
-        p.profile = PointProfile::from_phase(&scratch.search.take_profile());
+        let prof = scratch.search.take_profile();
+        p.walks_spawned = prof.walks.len() as u64;
+        p.profile = PointProfile::from_phase(&prof);
         p
     };
     let mixed_tasks = synthetic_batch(150, workers);
@@ -595,13 +649,20 @@ pub fn collect(measured: u64) -> BenchSnapshot {
         )
     };
 
+    // The host's logical CPU count: the multi-thread points' split decision
+    // (and therefore their imbalance/walk telemetry) depends on it, so a
+    // baseline measured on a narrower machine is identifiable as such.
+    let nproc = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let manifest = RunManifest::new("RT-SADS", SNAPSHOT_SEED, workers)
         .calibration(1, Some(2_000))
         .with(
             "points",
             "deep_dive_64,mixed_150x8,tight_150x8,mixed_150x8_t8,tight_150x8_t8,sharded_1024x64",
         )
-        .with("measured_phases", measured.to_string());
+        .with("measured_phases", measured.to_string())
+        .with("nproc", nproc.to_string());
 
     BenchSnapshot {
         manifest,
@@ -677,8 +738,23 @@ mod tests {
         let back = BenchSnapshot::parse(&snap.to_json()).expect("round trip");
         assert_eq!(back.points.len(), 6);
         assert_eq!(back.manifest.seed, SNAPSHOT_SEED);
-        // The profile section round-trips through JSON too.
+        // The profile section round-trips through JSON too, including the
+        // select stage and the walk count.
         assert!(back.points.iter().all(|p| p.profile.is_some()));
+        assert!(back
+            .points
+            .iter()
+            .all(|p| p.profile.as_ref().unwrap().select.is_some()));
+        assert_eq!(
+            back.points.iter().map(|p| p.walks_spawned).sum::<u64>(),
+            snap.points.iter().map(|p| p.walks_spawned).sum::<u64>()
+        );
+        // The manifest records the host's logical CPU count.
+        assert!(snap
+            .manifest
+            .extra
+            .iter()
+            .any(|(k, v)| k.as_str() == "nproc" && v.parse::<usize>().is_ok_and(|n| n >= 1)));
     }
 
     fn synthetic_snapshot(scale: f64) -> BenchSnapshot {
@@ -690,6 +766,7 @@ mod tests {
             vertices_per_sec: rate * 50.0 * scale,
             undos_per_sec: rate * 2.0 * scale,
             candidates_per_vertex: 0.0,
+            walks_spawned: 0,
             profile: None,
         };
         BenchSnapshot {
@@ -733,6 +810,7 @@ mod tests {
             vertices_per_sec: 15_000.0,
             undos_per_sec: 600.0,
             candidates_per_vertex: 0.0,
+            walks_spawned: 0,
             profile: None,
         });
         let diff = diff_snapshots(&base, &grown, 0.20);
@@ -789,6 +867,7 @@ mod tests {
             apply: 0.1,
             undo: 0.1,
             merge: 0.1,
+            select: None,
             imbalance: 1.0,
         }
     }
@@ -829,6 +908,48 @@ mod tests {
         small.fill -= 0.05;
         new.points[0].profile = Some(small);
         assert!(!diff_snapshots(&base, &new, 0.20).has_regression());
+    }
+
+    #[test]
+    fn unknown_stages_are_skipped_with_a_note_not_failed() {
+        // Baseline predates the `select` stage (None); the new snapshot
+        // carries it. Positional matching would pair mismatched stages and
+        // trip the ±10pp gate; name matching must skip it with a note.
+        let mut base = synthetic_snapshot(1.0);
+        base.points[0].profile = Some(flat_profile());
+        let mut new = synthetic_snapshot(1.0);
+        let mut with_select = flat_profile();
+        // Carve the new stage out of cost so every shared stage stays
+        // within the gate and the totals still sum to 1.0.
+        with_select.cost -= 0.08;
+        with_select.select = Some(0.08);
+        new.points[0].profile = Some(with_select);
+        let diff = diff_snapshots(&base, &new, 0.20);
+        assert!(
+            !diff.has_regression(),
+            "a stage the baseline predates must not fail the gate: {}",
+            diff.render()
+        );
+        assert_eq!(
+            diff.skipped_stages,
+            vec!["deep_dive_64/profile.select".to_string()]
+        );
+        assert!(diff.render().contains("stage comparison skipped"));
+        assert!(diff.to_json().contains("skipped_stages"));
+        // The shared stages are still compared by name.
+        assert!(diff
+            .deltas
+            .iter()
+            .any(|d| d.metric == "profile.cost" && !d.regressed));
+
+        // And the reverse direction (baseline has a stage the new snapshot
+        // lost) is also a note, not a positional mispairing.
+        let diff_rev = diff_snapshots(&new, &base, 0.20);
+        assert!(!diff_rev.has_regression());
+        assert_eq!(
+            diff_rev.skipped_stages,
+            vec!["deep_dive_64/profile.select".to_string()]
+        );
     }
 
     #[test]
