@@ -562,12 +562,23 @@ pub fn collect(measured: u64) -> BenchSnapshot {
             dive_phase(&params, &mut scratch)
         });
         // Stage attribution comes from a separate profiled pass so the
-        // timers can never contaminate the throughput rates above.
+        // timers can never contaminate the throughput rates above; like
+        // the full points below, the cleanest of several passes wins.
         scratch.set_profiling(true);
-        for _ in 0..warmup {
-            dive_phase(&params, &mut scratch);
+        let mut best_prof: Option<PhaseProfile> = None;
+        for _ in 0..PASSES {
+            for _ in 0..warmup {
+                dive_phase(&params, &mut scratch);
+            }
+            let prof = scratch.take_profile();
+            if best_prof
+                .as_ref()
+                .is_none_or(|b| prof.total_ns() < b.total_ns())
+            {
+                best_prof = Some(prof);
+            }
         }
-        let prof = scratch.take_profile();
+        let prof = best_prof.expect("at least one profiled pass");
         p.walks_spawned = prof.walks.len() as u64;
         p.profile = PointProfile::from_phase(&prof);
         p
@@ -611,13 +622,31 @@ pub fn collect(measured: u64) -> BenchSnapshot {
             scratch.recycle(out.assignments);
             tally
         };
-        let profile_phases = (phase_measured / 10).clamp(2, 10);
+        let profile_phases = (phase_measured / 4).clamp(3, 10);
         let mut p = point(name, profile_phases, phase_measured, || run(&mut scratch));
+        // Stage attribution gets the same noise treatment as throughput:
+        // preemption only ever inflates a stage's wall time (the stalled
+        // stage absorbs the involuntary wait), so of several profiled
+        // passes the one with the smallest total is the cleanest window —
+        // averaging would fold the stalls back in. This matters most for
+        // the multi-thread points on hosts with nproc < threads, where a
+        // single time-slice landing inside one stage can move tens of
+        // percentage points of a short pass's attribution.
         scratch.search.set_profiling(true);
-        for _ in 0..profile_phases {
-            run(&mut scratch);
+        let mut best_prof: Option<PhaseProfile> = None;
+        for _ in 0..PASSES {
+            for _ in 0..profile_phases {
+                run(&mut scratch);
+            }
+            let prof = scratch.search.take_profile();
+            if best_prof
+                .as_ref()
+                .is_none_or(|b| prof.total_ns() < b.total_ns())
+            {
+                best_prof = Some(prof);
+            }
         }
-        let prof = scratch.search.take_profile();
+        let prof = best_prof.expect("at least one profiled pass");
         p.walks_spawned = prof.walks.len() as u64;
         p.profile = PointProfile::from_phase(&prof);
         p
